@@ -1,0 +1,159 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every figure of the paper has one bench module (see DESIGN.md §4).  The
+fixtures here build the deployed systems once per session from the zoo's
+cached artifacts:
+
+* the trained multi-exit LeNet and the three baselines;
+* the RL-searched nonuniform compression spec, applied and evaluated;
+* the paper's evaluation environment (solar trace, 500 events, capacitor).
+
+Benches print paper-vs-measured tables (captured in bench output) and
+assert the *shape* of each result — orderings and factor regimes — rather
+than absolute numbers (the substrate is a simulator, not the authors'
+testbed; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import zoo
+from repro.compress.evaluator import evaluate_exits
+from repro.experiment import PAPER
+from repro.runtime import (
+    FixedExitPolicy,
+    QLearningController,
+    StaticController,
+    StaticLUTPolicy,
+)
+from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+
+#: Learning episodes for the runtime Q-learning controller (Fig. 7 regime).
+QLEARNING_EPISODES = 25
+
+
+def print_table(title: str, rows, headers):
+    """Render a small fixed-width table into the captured bench output."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return zoo.get_dataset()
+
+
+@pytest.fixture(scope="session")
+def trained_lenet():
+    """(net, test accuracies) for the multi-exit LeNet."""
+    return zoo.get_trained_network("multi_exit_lenet")
+
+
+@pytest.fixture(scope="session")
+def nonuniform_spec():
+    """(spec, search summary) from the cached RL search."""
+    return zoo.get_nonuniform_spec()
+
+
+@pytest.fixture(scope="session")
+def compressed_ours(dataset):
+    """(CompressedModel, ExitEvaluation) for the deployed network.
+
+    Uses the zoo's cached deployment: the RL-searched spec applied to the
+    trained multi-exit LeNet, followed by the post-compression fine-tune.
+    """
+    model, _ = zoo.get_deployed_model()
+    evaluation = evaluate_exits(model, dataset.test)
+    return model, evaluation
+
+
+@pytest.fixture(scope="session")
+def ours_profile(compressed_ours):
+    model, evaluation = compressed_ours
+    return InferenceProfile.from_compressed(model, evaluation, PAPER.mcu, name="ours")
+
+
+@pytest.fixture(scope="session")
+def baseline_profiles(dataset):
+    """InferenceProfiles for SonicNet / SpArSeNet / LeNet-Cifar."""
+    profiles = {}
+    for name in ("sonic_net", "sparse_net", "lenet_cifar"):
+        net, accs = zoo.get_trained_network(name)
+        profiles[name] = InferenceProfile.from_network(
+            net, accs, PAPER.mcu, name=name
+        )
+    return profiles
+
+
+@pytest.fixture(scope="session")
+def environment():
+    """(trace, events) of the canonical evaluation."""
+    trace = PAPER.make_trace()
+    return trace, PAPER.make_events(trace)
+
+
+def run_baseline(profile, trace, events, dataset, seed=3):
+    """One intermittent-execution run of a single-exit baseline."""
+    sim = Simulator(
+        trace,
+        profile,
+        StaticController(FixedExitPolicy(0)),
+        mcu=PAPER.mcu,
+        storage=PAPER.make_storage(),
+        dataset=dataset,
+        config=SimulatorConfig(mode="dataset", execution="intermittent", seed=seed),
+    )
+    return sim.run(events)
+
+
+def run_ours_qlearning(profile, trace, events, dataset, episodes=QLEARNING_EPISODES, seed=3):
+    """Train the runtime controller over episodes; return (results, final).
+
+    Learning episodes run in fast profile mode; the reported final episode
+    runs real forward passes on the test set (dataset mode).
+    """
+    controller = QLearningController(
+        profile.num_exits, epsilon=0.25, epsilon_decay=0.9, rng=11
+    )
+    learn_sim = Simulator(
+        trace, profile, controller, mcu=PAPER.mcu, storage=PAPER.make_storage(),
+        config=SimulatorConfig(mode="profile", seed=seed),
+    )
+    curve = [learn_sim.run(events) for _ in range(episodes)]
+    controller.qtable.epsilon = 0.0
+    final_sim = Simulator(
+        trace, profile, controller, mcu=PAPER.mcu, storage=PAPER.make_storage(),
+        dataset=dataset, config=SimulatorConfig(mode="dataset", seed=seed),
+    )
+    return curve, final_sim.run(events)
+
+
+def run_static_lut(profile, trace, events, dataset, seed=3):
+    """The static-LUT baseline runtime (Fig. 7 comparison)."""
+    controller = StaticController(
+        StaticLUTPolicy(profile.exit_energy_mj, PAPER.storage_capacity_mj)
+    )
+    sim = Simulator(
+        trace, profile, controller, mcu=PAPER.mcu, storage=PAPER.make_storage(),
+        dataset=dataset, config=SimulatorConfig(mode="dataset", seed=seed),
+    )
+    return sim.run(events)
+
+
+@pytest.fixture(scope="session")
+def headline_results(ours_profile, baseline_profiles, environment, dataset):
+    """All Fig. 5/6 simulation runs, computed once per session."""
+    trace, events = environment
+    _, ours = run_ours_qlearning(ours_profile, trace, events, dataset.test)
+    results = {"ours": ours}
+    for name, profile in baseline_profiles.items():
+        results[name] = run_baseline(profile, trace, events, dataset.test)
+    return results

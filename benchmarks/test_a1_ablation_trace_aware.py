@@ -1,0 +1,76 @@
+"""A1 — ablation: power-trace-aware reward (Eq. 10) vs uniform weighting.
+
+The paper's Racc weighs each exit's accuracy by how often the EH trace
+actually selects it (p_i).  This ablation runs two small searches that
+differ only in that weighting and deploys both winners on the trace:
+the trace-aware objective should yield at least as good an event-weighted
+outcome, because it optimizes the deployment metric directly.
+"""
+
+from repro.experiment import PAPER
+from repro.rl import (
+    CompressionObjective,
+    LayerwiseCompressionEnv,
+    NonuniformSearch,
+    SearchConfig,
+)
+from repro.rl.ddpg import DDPGConfig
+
+from benchmarks.conftest import print_table
+
+EPISODES = 12
+
+
+def _search(net, dataset, trace, events, trace_aware):
+    objective = CompressionObjective(
+        net=net,
+        val_data=dataset.val.sample(300, rng=1),
+        trace=trace,
+        events=events,
+        flops_target=PAPER.flops_target,
+        size_target_kb=PAPER.size_target_kb,
+        trace_aware=trace_aware,
+    )
+    env = LayerwiseCompressionEnv(objective)
+    config = SearchConfig(
+        episodes=EPISODES, seed=0, ddpg=DDPGConfig(hidden_sizes=(32, 32), warmup=32)
+    )
+    result = NonuniformSearch(env, config).run()
+    # Score both winners under the REAL deployment objective.
+    deploy_objective = CompressionObjective(
+        net=net,
+        val_data=dataset.val.sample(300, rng=1),
+        trace=trace,
+        events=events,
+        flops_target=PAPER.flops_target,
+        size_target_kb=PAPER.size_target_kb,
+        trace_aware=True,
+    )
+    return deploy_objective.evaluate(result.best_spec)
+
+
+def test_trace_aware_reward_helps(benchmark, trained_lenet, dataset, environment):
+    net, _ = trained_lenet
+    trace, events = environment
+
+    def run():
+        aware = _search(net, dataset, trace, events, trace_aware=True)
+        blind = _search(net, dataset, trace, events, trace_aware=False)
+        return aware, blind
+
+    aware, blind = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "A1: trace-aware vs trace-blind search (deployed Racc)",
+        [
+            ("trace-aware", f"{aware.racc:.3f}", aware.feasible,
+             " ".join(f"{p:.2f}" for p in aware.exit_fractions)),
+            ("trace-blind", f"{blind.racc:.3f}", blind.feasible,
+             " ".join(f"{p:.2f}" for p in blind.exit_fractions)),
+        ],
+        ["objective", "deployed Racc", "feasible", "p_i"],
+    )
+
+    # With tiny budgets both searches are noisy; the trace-aware variant
+    # must not be materially worse at its own deployment metric.
+    assert aware.racc >= blind.racc - 0.05

@@ -1,0 +1,84 @@
+"""A2 — ablation: the incremental-inference second decision (Section IV).
+
+Compares three continue/stop rules under the learned exit selector:
+never continue, a fixed entropy threshold (Fig. 1(a)'s rule), and the
+learned Q-table decider.  Also sweeps the threshold to show the
+accuracy/energy trade-off the second Q-table automates.
+"""
+
+from repro.experiment import PAPER
+from repro.runtime import QLearningController
+from repro.runtime.incremental import IncrementalDecider, NeverContinue, ThresholdContinue
+from repro.sim import Simulator, SimulatorConfig
+
+from benchmarks.conftest import print_table
+
+EPISODES = 20
+
+
+def run_with_rule(profile, trace, events, rule_factory, seed=3):
+    controller = QLearningController(
+        profile.num_exits,
+        epsilon=0.25,
+        epsilon_decay=0.9,
+        continue_rule=rule_factory(),
+        rng=11,
+    )
+    sim = Simulator(
+        trace, profile, controller, mcu=PAPER.mcu, storage=PAPER.make_storage(),
+        config=SimulatorConfig(mode="profile", seed=seed),
+    )
+    result = None
+    for _ in range(EPISODES):
+        result = sim.run(events)
+    return result
+
+
+def test_incremental_rules(benchmark, ours_profile, environment):
+    trace, events = environment
+
+    def run():
+        out = {}
+        out["never"] = run_with_rule(ours_profile, trace, events, NeverContinue)
+        out["thresh 0.4"] = run_with_rule(
+            ours_profile, trace, events, lambda: ThresholdContinue(0.4)
+        )
+        out["thresh 0.7"] = run_with_rule(
+            ours_profile, trace, events, lambda: ThresholdContinue(0.7)
+        )
+        out["learned"] = run_with_rule(
+            ours_profile, trace, events, lambda: IncrementalDecider(rng=13, epsilon_decay=0.9)
+        )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            (
+                name,
+                f"{r.average_accuracy:.3f}",
+                r.num_processed,
+                sum(rec.continued for rec in r.records),
+                f"{r.mean_inference_energy_mj:.2f}",
+            )
+        )
+    print_table(
+        "A2: incremental inference rules",
+        rows,
+        ["rule", "avg accuracy", "processed", "continues", "mJ/inference"],
+    )
+
+    never = results["never"]
+    learned = results["learned"]
+    eager = results["thresh 0.4"]  # low threshold -> continues often
+
+    # The learned decider must not lose to never-continue by more than
+    # noise: its floor is learning to say "stop" everywhere.
+    assert learned.average_accuracy >= never.average_accuracy - 0.05
+
+    # Eager continuation must actually continue, and pay for it in energy
+    # per inference (the trade the learned decider arbitrates).
+    assert sum(rec.continued for rec in eager.records) > 10
+    assert eager.mean_inference_energy_mj >= never.mean_inference_energy_mj - 0.02

@@ -1,0 +1,79 @@
+"""A3 — ablation: sensitivity to the energy environment.
+
+Sweeps storage capacity, charge efficiency, and harvest power for the
+deployed multi-exit system.  Expected shapes: more stored energy or more
+power -> more deep-exit usage and higher average accuracy; the system
+degrades gracefully (never collapses to zero while any exit is
+affordable).
+"""
+
+from repro.energy import EnergyStorage
+from repro.experiment import PAPER
+from repro.runtime import GreedyEnergyPolicy, StaticController
+from repro.sim import Simulator, SimulatorConfig
+
+from benchmarks.conftest import print_table
+
+
+def run_env(profile, trace, events, capacity, efficiency, seed=3):
+    sim = Simulator(
+        trace,
+        profile,
+        StaticController(GreedyEnergyPolicy()),
+        mcu=PAPER.mcu,
+        storage=EnergyStorage(capacity, efficiency, initial_mj=capacity / 2),
+        config=SimulatorConfig(mode="profile", seed=seed),
+    )
+    return sim.run(events)
+
+
+def test_energy_environment_sweep(benchmark, ours_profile, environment):
+    trace, events = environment
+
+    def run():
+        grid = {}
+        for capacity in (2.0, 4.0):
+            for efficiency in (0.5, 0.8, 1.0):
+                grid[(capacity, efficiency)] = run_env(
+                    ours_profile, trace, events, capacity, efficiency
+                )
+        for scale in (0.5, 2.0):
+            grid[("power", scale)] = Simulator(
+                trace.scaled(scale),
+                ours_profile,
+                StaticController(GreedyEnergyPolicy()),
+                mcu=PAPER.mcu,
+                storage=PAPER.make_storage(),
+                config=SimulatorConfig(mode="profile", seed=3),
+            ).run(events)
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for key, r in grid.items():
+        rows.append(
+            (
+                str(key),
+                f"{r.average_accuracy:.3f}",
+                r.num_processed,
+                " ".join(str(c) for c in r.exit_counts(3)),
+            )
+        )
+    print_table(
+        "A3: energy environment sweep (greedy policy)",
+        rows,
+        ["(capacity,eff) / power", "avg acc", "processed", "exit counts"],
+    )
+
+    # More efficiency helps at fixed capacity.
+    assert (
+        grid[(2.0, 1.0)].average_accuracy >= grid[(2.0, 0.5)].average_accuracy - 0.02
+    )
+    # More harvest power helps.
+    assert (
+        grid[("power", 2.0)].average_accuracy
+        >= grid[("power", 0.5)].average_accuracy
+    )
+    # Graceful degradation: even the weakest setting processes something.
+    assert grid[("power", 0.5)].num_processed > 0

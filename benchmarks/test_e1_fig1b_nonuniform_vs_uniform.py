@@ -1,0 +1,73 @@
+"""E1 — Fig. 1(b): per-exit accuracy, full precision vs uniform vs
+nonuniform compression at the same FLOPs/size budget.
+
+Paper shape: both schemes lose accuracy; the nonuniform policy loses less,
+with the advantage concentrated in the exits the power trace actually
+selects.  (Paper values: full 64.9/72.0/73.0, uniform 57.3/65.2/67.5,
+nonuniform 61.9/68.5/69.9.)
+"""
+
+from repro import zoo
+from repro.compress import Compressor, fit_uniform_spec
+from repro.compress.evaluator import evaluate_exits
+from repro.experiment import PAPER
+
+from benchmarks.conftest import print_table
+
+PAPER_FULL = (0.649, 0.720, 0.730)
+PAPER_UNIFORM = (0.573, 0.652, 0.675)
+PAPER_NONUNIFORM = (0.619, 0.685, 0.699)
+
+
+def test_fig1b_nonuniform_beats_uniform(
+    benchmark, trained_lenet, nonuniform_spec, compressed_ours, dataset
+):
+    net, full_accs = trained_lenet
+    spec, summary = nonuniform_spec
+    _, nonuniform_eval = compressed_ours
+
+    def run_uniform():
+        uniform = fit_uniform_spec(
+            net, flops_target=PAPER.flops_target, size_target_kb=PAPER.size_target_kb
+        )
+        model = Compressor().apply(net, uniform, calibration_x=dataset.val.x[:64])
+        return evaluate_exits(model, dataset.test)
+
+    uniform_eval = benchmark.pedantic(run_uniform, rounds=1, iterations=1)
+
+    rows = []
+    for i in range(3):
+        rows.append(
+            (
+                f"Exit {i + 1}",
+                f"{PAPER_FULL[i]:.3f}/{PAPER_UNIFORM[i]:.3f}/{PAPER_NONUNIFORM[i]:.3f}",
+                f"{full_accs[i]:.3f}",
+                f"{uniform_eval.accuracies[i]:.3f}",
+                f"{nonuniform_eval.accuracies[i]:.3f}",
+            )
+        )
+    print_table(
+        "E1 / Fig 1(b): accuracy per exit (paper full/uniform/nonuniform)",
+        rows,
+        ["exit", "paper", "full", "uniform", "nonuniform"],
+    )
+
+    # Shape 1: compression costs accuracy relative to full precision.
+    for i in range(3):
+        assert nonuniform_eval.accuracies[i] <= full_accs[i] + 0.02
+
+    # Shape 2: the trace-weighted accuracy of the nonuniform policy beats
+    # uniform compression at the same budget (what the search optimizes).
+    weights = summary["exit_fractions"]
+    weight_sum = sum(weights) or 1.0
+    nonuni_weighted = sum(w * a for w, a in zip(weights, nonuniform_eval.accuracies))
+    uni_weighted = sum(w * a for w, a in zip(weights, uniform_eval.accuracies))
+    print(
+        f"trace-weighted accuracy: nonuniform {nonuni_weighted / weight_sum:.3f} "
+        f"vs uniform {uni_weighted / weight_sum:.3f}"
+    )
+    assert nonuni_weighted > uni_weighted
+
+    # Shape 3: both satisfy the same budget.
+    assert nonuniform_eval.fmodel_flops <= PAPER.flops_target
+    assert nonuniform_eval.model_size_kb <= PAPER.size_target_kb

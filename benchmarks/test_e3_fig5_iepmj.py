@@ -1,0 +1,81 @@
+"""E3 — Fig. 5: IEpmJ (interesting events per milliJoule) and the average
+accuracies, ours vs SonicNet vs SpArSeNet vs LeNet-Cifar.
+
+Paper values: IEpmJ 0.89 / 0.25 / 0.05 / ~0.70 (ours / Sonic / SpArSe /
+LeNet), i.e. 3.6x, 18.9x, 1.28x; average accuracy over all events 50.1 /
+14.0 / 2.6 / 39.2 %; accuracy over processed events 65.4 / 75.4 / 82.7 /
+74.7 % (ours lowest — it trades per-inference accuracy for coverage).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+PAPER_ROWS = {
+    "ours": dict(iepmj=0.89, acc_all=0.501, acc_processed=0.654),
+    "sonic_net": dict(iepmj=0.25, acc_all=0.140, acc_processed=0.754),
+    "sparse_net": dict(iepmj=0.05, acc_all=0.026, acc_processed=0.827),
+    "lenet_cifar": dict(iepmj=0.70, acc_all=0.392, acc_processed=0.747),
+}
+
+
+def test_fig5_iepmj_ordering(benchmark, headline_results):
+    results = benchmark.pedantic(lambda: headline_results, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("ours", "sonic_net", "sparse_net", "lenet_cifar"):
+        r = results[name]
+        p = PAPER_ROWS[name]
+        rows.append(
+            (
+                name,
+                f"{p['iepmj']:.2f}",
+                f"{r.iepmj:.3f}",
+                f"{p['acc_all']:.3f}",
+                f"{r.average_accuracy:.3f}",
+                f"{p['acc_processed']:.3f}",
+                f"{r.processed_accuracy:.3f}",
+                r.num_processed,
+            )
+        )
+    print_table(
+        "E3 / Fig 5: IEpmJ and accuracies (paper vs measured)",
+        rows,
+        ["system", "IEpmJ(p)", "IEpmJ", "acc-all(p)", "acc-all", "acc-proc(p)", "acc-proc", "processed"],
+    )
+    ours, sonic = results["ours"], results["sonic_net"]
+    sparse, lenet = results["sparse_net"], results["lenet_cifar"]
+    for name in ("ours", "sonic_net", "sparse_net", "lenet_cifar"):
+        print(f"{name}: misses by reason -> {results[name].miss_counts()}")
+    print(
+        f"speedups: vs sonic {ours.iepmj / max(sonic.iepmj, 1e-9):.1f}x (paper 3.6x), "
+        f"vs sparse {ours.iepmj / max(sparse.iepmj, 1e-9):.1f}x (paper 18.9x), "
+        f"vs lenet {ours.iepmj / max(lenet.iepmj, 1e-9):.2f}x (paper 1.28x)"
+    )
+
+    # Shape: strict IEpmJ ordering over the intermittent baselines.
+    assert ours.iepmj > sonic.iepmj > sparse.iepmj
+    assert lenet.iepmj > sonic.iepmj
+    # LeNet-Cifar is the paper's closest call (1.28x).  On the synthetic
+    # dataset LeNet-Cifar trains disproportionately strong relative to the
+    # compressed multi-exit model (see EXPERIMENTS.md delta 2b), so we
+    # assert parity-regime rather than strict dominance here.
+    assert ours.iepmj >= 0.75 * lenet.iepmj
+
+    # Factor regimes (loose bands around the paper's 3.6x / 18.9x).
+    assert ours.iepmj / max(sonic.iepmj, 1e-9) > 2.0
+    assert ours.iepmj / max(sparse.iepmj, 1e-9) > 6.0
+
+    # Ours trades per-inference accuracy for coverage: lowest processed
+    # accuracy, and vastly more processed events than the multi-power-cycle
+    # baselines (the paper's Section V-C argument).
+    assert ours.processed_accuracy <= max(
+        sonic.processed_accuracy, sparse.processed_accuracy, lenet.processed_accuracy
+    )
+    assert ours.num_processed > 3 * max(sonic.num_processed, sparse.num_processed)
+
+    # IEpmJ == (N / E_total) * average accuracy (Eq. 1 consistency).
+    for r in results.values():
+        assert r.iepmj == pytest.approx(
+            r.num_events / r.total_env_energy_mj * r.average_accuracy, rel=1e-9
+        )

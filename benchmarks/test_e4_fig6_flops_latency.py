@@ -1,0 +1,92 @@
+"""E4 — Fig. 6 + Section V-D: FLOPs reduction per exit and latency.
+
+Paper shape: compression reduces the three exits to roughly 0.31x / 0.44x /
+0.67x of their original FLOPs; SonicNet (2.0M) and SpArSeNet (11.4M) dwarf
+the compressed average, LeNet-Cifar (~0.23M) undercuts it.  Per-event
+latency: ours 18.0 time units vs 139.9 (Sonic), 183.4 (SpArSe), 56.7
+(LeNet) — 7.8x / 10.2x / 3.15x better.
+"""
+
+from repro.models import PAPER_EXIT_FLOPS
+from repro.nn import profile_network
+
+from benchmarks.conftest import print_table
+
+PAPER_EXIT_RATIOS = (0.31, 0.44, 0.67)
+PAPER_LATENCY = {"ours": 18.0, "sonic_net": 139.9, "sparse_net": 183.4, "lenet_cifar": 56.7}
+
+
+def test_fig6_flops_reduction(benchmark, compressed_ours):
+    model, _ = benchmark.pedantic(lambda: compressed_ours, rounds=1, iterations=1)
+    original = model.profile.exit_flops
+
+    rows = []
+    for i, (orig, comp) in enumerate(zip(original, model.exit_flops)):
+        rows.append(
+            (
+                f"Exit {i + 1}",
+                f"{orig / 1e6:.3f}M",
+                f"{comp / 1e6:.3f}M",
+                f"{comp / orig:.2f}x",
+                f"{PAPER_EXIT_RATIOS[i]:.2f}x",
+            )
+        )
+    print_table(
+        "E4 / Fig 6: FLOPs before/after compression",
+        rows,
+        ["exit", "before", "after", "ratio", "paper ratio"],
+    )
+
+    for orig, comp in zip(original, model.exit_flops):
+        # Every exit must be compressed, and never below 10% (the paper's
+        # ratios sit between 0.31x and 0.67x).
+        assert 0.05 <= comp / orig < 1.0
+    # The final exit meets the 1.15M budget like the paper's 0.67 * 1.62M.
+    assert model.exit_flops[-1] <= 1.15e6
+
+
+def test_fig6_baseline_flops_scale(benchmark, baseline_profiles, ours_profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    avg_ours = sum(
+        f * p for f, p in zip(ours_profile.exit_flops, (0.7, 0.1, 0.2))
+    )  # rough exit mix
+    rows = [("ours (avg inference)", f"{avg_ours / 1e6:.2f}M", "-")]
+    for name, paper_flops in (
+        ("sonic_net", 2.0),
+        ("sparse_net", 11.4),
+        ("lenet_cifar", 0.23),
+    ):
+        measured = baseline_profiles[name].exit_flops[0]
+        rows.append((name, f"{measured / 1e6:.2f}M", f"{paper_flops:.2f}M"))
+    print_table("E4 / Fig 6: baseline FLOPs", rows, ["network", "measured", "paper"])
+
+    assert baseline_profiles["sparse_net"].exit_flops[0] > baseline_profiles["sonic_net"].exit_flops[0]
+    assert baseline_profiles["sonic_net"].exit_flops[0] > avg_ours
+    assert baseline_profiles["lenet_cifar"].exit_flops[0] < ours_profile.exit_flops[-1]
+
+
+def test_fig6_per_event_latency(benchmark, headline_results):
+    benchmark.pedantic(lambda: headline_results, rounds=1, iterations=1)
+    rows = []
+    for name in ("ours", "sonic_net", "sparse_net", "lenet_cifar"):
+        r = headline_results[name]
+        rows.append(
+            (name, f"{r.mean_latency_s:.1f}s", f"{PAPER_LATENCY[name]:.1f}", r.num_processed)
+        )
+    print_table(
+        "E4 / §V-D: per-event latency (event occurrence -> result)",
+        rows,
+        ["system", "measured", "paper (time units)", "processed"],
+    )
+    ours = headline_results["ours"].mean_latency_s
+    sonic = headline_results["sonic_net"].mean_latency_s
+    sparse = headline_results["sparse_net"].mean_latency_s
+    lenet = headline_results["lenet_cifar"].mean_latency_s
+    print(
+        f"latency improvements: {sonic / ours:.1f}x vs sonic (paper 7.8x), "
+        f"{sparse / ours:.1f}x vs sparse (paper 10.2x), "
+        f"{lenet / ours:.1f}x vs lenet (paper 3.15x)"
+    )
+    # Shape: ours fastest; SpArSe slowest; every baseline at least 2x slower.
+    assert ours < lenet < sonic < sparse
+    assert sonic / ours > 2.0

@@ -1,0 +1,44 @@
+"""E5 — Fig. 7(a): runtime Q-learning vs the static LUT over episodes.
+
+Paper shape: the Q-learning controller's average accuracy over all events
+climbs across learning episodes and ends above the static LUT (+10.2%).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    print_table,
+    run_ours_qlearning,
+    run_static_lut,
+)
+
+
+def test_fig7a_learning_curve(benchmark, ours_profile, environment, dataset):
+    trace, events = environment
+
+    def run():
+        curve, final = run_ours_qlearning(ours_profile, trace, events, dataset.test)
+        lut = run_static_lut(ours_profile, trace, events, dataset.test)
+        return curve, final, lut
+
+    curve, final, lut = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    accs = [r.average_accuracy for r in curve]
+    rows = [
+        (f"ep {i}", f"{a:.3f}")
+        for i, a in enumerate(accs)
+        if i % 4 == 0 or i == len(accs) - 1
+    ]
+    rows.append(("final (dataset mode)", f"{final.average_accuracy:.3f}"))
+    rows.append(("static LUT", f"{lut.average_accuracy:.3f}"))
+    print_table("E5 / Fig 7(a): learning curve", rows, ["episode", "avg accuracy"])
+    gain = final.average_accuracy - lut.average_accuracy
+    print(f"Q-learning gain over static LUT: {gain * 100:+.1f} pts (paper: +10.2%)")
+
+    # Shape 1: learning improves over its own start.
+    early = np.mean(accs[:3])
+    late = np.mean(accs[-3:])
+    assert late >= early - 0.02
+
+    # Shape 2: the learned controller beats (or at worst matches) the LUT.
+    assert final.average_accuracy >= lut.average_accuracy - 0.01

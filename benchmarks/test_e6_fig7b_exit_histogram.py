@@ -1,0 +1,53 @@
+"""E6 — Fig. 7(b): number of processed events per exit, Q-learning vs LUT.
+
+Paper shape: Q-learning routes more events to the cheap Exit 1 (71.0% vs
+57.6% of all events) to conserve energy, and processes ~11% more events
+in total than the static LUT.
+"""
+
+from benchmarks.conftest import print_table, run_ours_qlearning, run_static_lut
+
+PAPER_Q_FRACTIONS = (0.710, 0.028, 0.114)     # of all 500 events
+PAPER_LUT_FRACTIONS = (0.576, 0.038, 0.152)
+
+
+def test_fig7b_exit_usage(benchmark, ours_profile, environment, dataset):
+    trace, events = environment
+
+    def run():
+        _, final = run_ours_qlearning(ours_profile, trace, events, dataset.test)
+        lut = run_static_lut(ours_profile, trace, events, dataset.test)
+        return final, lut
+
+    qlearn, lut = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    q_counts = qlearn.exit_counts(3)
+    lut_counts = lut.exit_counts(3)
+    rows = []
+    for i in range(3):
+        rows.append(
+            (
+                f"Exit {i + 1}",
+                q_counts[i],
+                f"{PAPER_Q_FRACTIONS[i] * 500:.0f}",
+                lut_counts[i],
+                f"{PAPER_LUT_FRACTIONS[i] * 500:.0f}",
+            )
+        )
+    rows.append(("processed", qlearn.num_processed, "426", lut.num_processed, "383"))
+    print_table(
+        "E6 / Fig 7(b): processed events per exit",
+        rows,
+        ["exit", "Q-learning", "paper Q", "static LUT", "paper LUT"],
+    )
+
+    # Shape 1: Q-learning prioritizes Exit 1 relative to the LUT.
+    assert q_counts[0] >= lut_counts[0]
+
+    # Shape 2: Q-learning processes at least as many events overall
+    # (paper: +11.2%).
+    assert qlearn.num_processed >= lut.num_processed
+
+    # Shape 3: Exit 1 dominates the learned policy's mix.
+    assert q_counts[0] > q_counts[1]
+    assert q_counts[0] > q_counts[2]

@@ -1,0 +1,44 @@
+"""E7 — Section V-A model profile: per-exit FLOPs and weight storage.
+
+Paper: exits at 0.4452M / 1.2602M / 1.6202M FLOPs, 580 KB fp32 weights,
+energy 1.5 mJ/MFLOP.  Also times one single-image inference per exit on
+the numpy substrate (the pytest-benchmark measurement).
+"""
+
+import numpy as np
+
+from repro.experiment import PAPER
+from repro.models import PAPER_EXIT_FLOPS, make_multi_exit_lenet
+from repro.nn import profile_network
+
+from benchmarks.conftest import print_table
+
+
+def test_model_profile_matches_paper(benchmark):
+    net = make_multi_exit_lenet(seed=3)
+    prof = profile_network(net, (3, 32, 32))
+
+    rows = []
+    for i, (measured, paper) in enumerate(zip(prof.exit_flops, PAPER_EXIT_FLOPS)):
+        rows.append(
+            (
+                f"Exit {i + 1}",
+                f"{paper / 1e6:.4f}M",
+                f"{measured / 1e6:.4f}M",
+                f"{measured / paper:.3f}x",
+                f"{PAPER.mcu.inference_energy_mj(measured):.3f} mJ",
+            )
+        )
+    print_table(
+        "E7: per-exit cost (paper Section V-A)",
+        rows,
+        ["exit", "paper FLOPs", "measured FLOPs", "ratio", "energy"],
+    )
+    print(f"fp32 weight storage: {prof.model_size_kb():.1f} KB (paper: 580 KB)")
+
+    for measured, paper in zip(prof.exit_flops, PAPER_EXIT_FLOPS):
+        assert abs(measured - paper) / paper < 0.02
+    assert prof.model_size_kb() > PAPER.mcu.weight_storage_kb  # needs compression
+
+    x = np.random.default_rng(0).normal(size=(1, 3, 32, 32))
+    benchmark.pedantic(lambda: net.forward_to_exit(x, 2), rounds=5, iterations=1)

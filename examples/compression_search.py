@@ -1,0 +1,86 @@
+"""Nonuniform compression search (paper Section III) at a small budget.
+
+Runs the two-agent DDPG search that allocates a per-layer pruning rate and
+weight/activation bitwidths, rewarded by the event-weighted accuracy under
+a solar trace (Eq. 10-12), then fine-tunes the winning candidate and
+prints the Figure-4-style policy.
+
+Run:  python examples/compression_search.py  [--episodes N]
+"""
+
+import argparse
+
+from repro.compress import Compressor, FinetuneConfig, finetune_compressed
+from repro.compress.evaluator import evaluate_exits
+from repro.data import SyntheticConfig, make_cifar_like
+from repro.energy import solar_trace, uniform_random_events
+from repro.models import MULTI_EXIT_LENET_LAYERS, make_multi_exit_lenet
+from repro.nn import TrainConfig, Trainer
+from repro.rl import (
+    CompressionObjective,
+    LayerwiseCompressionEnv,
+    NonuniformSearch,
+    RandomSearch,
+    SearchConfig,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=15,
+                        help="search episodes per strategy (default 15)")
+    args = parser.parse_args()
+
+    print("== preparing a trained multi-exit LeNet ==")
+    splits = make_cifar_like(
+        num_train=1500, num_val=400, num_test=400,
+        config=SyntheticConfig(noise_std=1.2), seed=7,
+    )
+    net = make_multi_exit_lenet(seed=3)
+    Trainer(TrainConfig(epochs=4, batch_size=64, lr=0.01, seed=11)).fit(
+        net, splits.train.x, splits.train.y
+    )
+
+    print("== building the search objective (trace + events + budgets) ==")
+    trace = solar_trace(seed=5)
+    events = uniform_random_events(500, trace.duration, rng=9)
+    objective = CompressionObjective(
+        net=net,
+        val_data=splits.val,
+        trace=trace,
+        events=events,
+        flops_target=1.15e6,
+        size_target_kb=16.0,
+    )
+    env = LayerwiseCompressionEnv(objective)
+
+    print(f"== DDPG search ({args.episodes} episodes) ==")
+    search = NonuniformSearch(env, SearchConfig(episodes=args.episodes, seed=0, verbose=True))
+    rl_result = search.run()
+
+    print(f"== random search baseline ({args.episodes} episodes) ==")
+    random_result = RandomSearch(env, episodes=args.episodes, seed=1).run()
+    print(f"DDPG best Racc {rl_result.best.racc:.3f} (feasible={rl_result.best.feasible}) "
+          f"vs random {random_result.best.racc:.3f} (feasible={random_result.best.feasible})")
+
+    best = rl_result.best
+    print("\nlayer-wise policy (Fig. 4 style):")
+    print(f"{'layer':8s} {'preserve':>8s} {'w bits':>6s} {'a bits':>6s}")
+    for name in MULTI_EXIT_LENET_LAYERS:
+        lc = best.spec[name]
+        print(f"{name:8s} {lc.preserve_ratio:8.2f} {lc.weight_bits:6d} {lc.act_bits:6d}")
+    print(f"F_model = {best.fmodel_flops/1e6:.3f}M, S_model = {best.size_kb:.1f} KB")
+
+    print("\n== fine-tuning the winner under its compression constraints ==")
+    model = Compressor().apply(net, best.spec, calibration_x=splits.val.x[:64])
+    finetune_compressed(
+        model, splits.train.x, splits.train.y,
+        FinetuneConfig(epochs=3, verbose=True),
+        val_x=splits.val.x, val_y=splits.val.y,
+    )
+    evaluation = evaluate_exits(model, splits.test)
+    print(f"fine-tuned per-exit test accuracy: {[f'{a:.3f}' for a in evaluation.accuracies]}")
+
+
+if __name__ == "__main__":
+    main()

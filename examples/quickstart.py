@@ -1,0 +1,81 @@
+"""Quickstart: the full pipeline on a small budget (~2 minutes).
+
+Builds the paper's 3-exit LeNet, trains it briefly on the synthetic
+CIFAR-10 substitute, compresses it to an MCU budget, deploys it on a
+solar-powered device model, and replays a stream of events.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compress import Compressor, FinetuneConfig, finetune_compressed, fit_uniform_spec
+from repro.compress.evaluator import evaluate_exits
+from repro.data import SyntheticConfig, make_cifar_like
+from repro.energy import EnergyStorage, solar_trace, uniform_random_events
+from repro.intermittent import MSP432
+from repro.models import make_multi_exit_lenet
+from repro.nn import TrainConfig, Trainer, profile_network
+from repro.runtime import GreedyEnergyPolicy, StaticController
+from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+
+
+def main():
+    # 1. Data: a synthetic 10-class image task (CIFAR-10 stand-in).
+    print("== generating data ==")
+    splits = make_cifar_like(
+        num_train=1500, num_val=400, num_test=400,
+        config=SyntheticConfig(noise_std=1.2), seed=7,
+    )
+
+    # 2. The multi-exit network, briefly trained.
+    print("== training the 3-exit LeNet (a few epochs) ==")
+    net = make_multi_exit_lenet(seed=3)
+    Trainer(TrainConfig(epochs=4, batch_size=64, lr=0.01, seed=11, verbose=True)).fit(
+        net, splits.train.x, splits.train.y, splits.val.x, splits.val.y
+    )
+    profile = profile_network(net, (3, 32, 32))
+    print(f"exit FLOPs: {[f'{f/1e6:.3f}M' for f in profile.exit_flops]}")
+    print(f"fp32 weight size: {profile.model_size_kb():.0f} KB "
+          f"(MCU budget: {MSP432.weight_storage_kb:.0f} KB)")
+
+    # 3. Compress to the paper's budget (uniform baseline for speed; the
+    # RL search in examples/compression_search.py does this nonuniformly).
+    print("== compressing to 1.15M FLOPs / 16 KB ==")
+    spec = fit_uniform_spec(net, flops_target=1.15e6, size_target_kb=16.0)
+    model = Compressor().apply(net, spec, calibration_x=splits.val.x[:64])
+    zero_shot = evaluate_exits(model, splits.test)
+    print(f"zero-shot accuracy:   {[f'{a:.3f}' for a in zero_shot.accuracies]}")
+    # A 30x budget forces ~2-bit weights; a brief pruning/quantization-aware
+    # fine-tune recovers most of the accuracy (see repro.compress.finetune).
+    print("fine-tuning the compressed model (3 epochs)...")
+    finetune_compressed(
+        model, splits.train.x, splits.train.y, FinetuneConfig(epochs=3, seed=0)
+    )
+    evaluation = evaluate_exits(model, splits.test)
+    print(f"compressed exits: {[f'{f/1e6:.3f}M' for f in model.exit_flops]} FLOPs, "
+          f"{model.model_size_kb:.1f} KB")
+    print(f"per-exit accuracy: {[f'{a:.3f}' for a in evaluation.accuracies]}")
+
+    # 4. Deploy on a solar-harvesting device and replay events.
+    print("== simulating a solar-powered sensing day ==")
+    deployed = InferenceProfile.from_compressed(model, evaluation, MSP432)
+    trace = solar_trace(seed=5)
+    events = uniform_random_events(500, trace.duration, rng=9)
+    sim = Simulator(
+        trace,
+        deployed,
+        StaticController(GreedyEnergyPolicy()),
+        storage=EnergyStorage(2.0, efficiency=0.8, initial_mj=1.0),
+        dataset=splits.test,
+        config=SimulatorConfig(mode="dataset", seed=3),
+    )
+    result = sim.run(events)
+    print(f"events: {result.num_events}, processed: {result.num_processed}, "
+          f"missed: {result.num_missed} {result.miss_counts()}")
+    print(f"IEpmJ = {result.iepmj:.3f} events/mJ   "
+          f"average accuracy (all events) = {result.average_accuracy:.3f}")
+    print(f"exit usage: {result.exit_counts(deployed.num_exits)}   "
+          f"mean latency: {result.mean_latency_s:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Runtime exit selection with Q-learning (paper Section IV, Fig. 7).
+
+Deploys a multi-exit inference profile on a solar-powered device and
+compares three runtime controllers over repeated learning episodes:
+
+* the static LUT frozen at compression time (deepest affordable exit);
+* Q-learning over (stored energy, charging efficiency) states;
+* Q-learning plus the learned incremental-inference decider.
+
+Run:  python examples/runtime_adaptation.py
+"""
+
+from repro.energy import EnergyStorage, solar_trace, uniform_random_events
+from repro.runtime import (
+    QLearningController,
+    StaticController,
+    StaticLUTPolicy,
+)
+from repro.runtime.incremental import IncrementalDecider
+from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+
+EPISODES = 20
+
+
+def make_profile():
+    """A compressed 3-exit deployment (costs in the paper's regime)."""
+    return InferenceProfile(
+        name="compressed-3-exit",
+        exit_accuracies=[0.62, 0.70, 0.72],
+        exit_energy_mj=[0.21, 0.84, 1.63],
+        exit_flops=[0.14e6, 0.56e6, 1.09e6],
+        incremental_energy_mj=[0.70, 0.85],
+        incremental_flops=[0.47e6, 0.57e6],
+    )
+
+
+def storage():
+    return EnergyStorage(2.0, efficiency=0.8, initial_mj=1.0)
+
+
+def main():
+    trace = solar_trace(seed=5)
+    events = uniform_random_events(500, trace.duration, rng=9)
+    profile = make_profile()
+
+    print("== static LUT baseline ==")
+    lut = StaticController(StaticLUTPolicy(profile.exit_energy_mj, 2.0))
+    lut_result = Simulator(
+        trace, profile, lut, storage=storage(), config=SimulatorConfig(seed=3)
+    ).run(events)
+    print(f"static LUT: avg accuracy {lut_result.average_accuracy:.3f}, "
+          f"exits {lut_result.exit_counts(3)}, missed {lut_result.num_missed}")
+
+    for label, rule in (
+        ("Q-learning", None),
+        ("Q-learning + incremental", IncrementalDecider(rng=13, epsilon_decay=0.9)),
+    ):
+        print(f"\n== {label}: {EPISODES} learning episodes ==")
+        controller = QLearningController(
+            3, epsilon=0.25, epsilon_decay=0.9, continue_rule=rule, rng=11
+        )
+        sim = Simulator(
+            trace, profile, controller, storage=storage(),
+            config=SimulatorConfig(seed=3),
+        )
+        result = None
+        for episode in range(EPISODES):
+            result = sim.run(events)
+            if episode % 5 == 0 or episode == EPISODES - 1:
+                print(f"  episode {episode:2d}: avg accuracy {result.average_accuracy:.3f} "
+                      f"exits {result.exit_counts(3)}")
+        gain = result.average_accuracy - lut_result.average_accuracy
+        continues = sum(r.continued for r in result.records)
+        print(f"{label}: final {result.average_accuracy:.3f} "
+              f"({gain * 100:+.1f} pts vs LUT), incremental continues: {continues}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network access, so PEP-517 editable installs (which need ``bdist_wheel``)
+fail.  This shim lets ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .`` on environments with wheel) work everywhere.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — reproduction of "Intermittent Inference with Nonuniformly
+Compressed Multi-Exit Neural Network for Energy Harvesting Powered
+Devices" (Wu et al., DAC 2020).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.nn` — a pure-numpy DNN substrate (conv/pool/FC layers with
+  backprop, multi-exit containers, training, FLOPs/size profiling);
+* :mod:`repro.data` — the synthetic CIFAR-10 substitute;
+* :mod:`repro.models` — the paper's 3-exit LeNet and the SonicNet /
+  SpArSeNet / LeNet-Cifar baselines;
+* :mod:`repro.prune` / :mod:`repro.quant` / :mod:`repro.compress` — channel
+  pruning (Eq. 2), linear quantization (Eq. 3), and nonuniform compression
+  with exact cost bookkeeping;
+* :mod:`repro.rl` — the two-agent DDPG search over layer-wise pruning
+  rates and bitwidths (Section III-B);
+* :mod:`repro.energy` / :mod:`repro.intermittent` — power traces, capacitor
+  storage, MCU cost model, SONIC-style multi-power-cycle execution;
+* :mod:`repro.runtime` — Q-learning exit selection and incremental
+  inference (Section IV);
+* :mod:`repro.sim` — the event-driven evaluation harness and the IEpmJ
+  metric (Eq. 1);
+* :mod:`repro.zoo` — cached trained networks and searched specs;
+* :mod:`repro.experiment` — the canonical evaluation setup (Section V-A).
+"""
+
+from repro.experiment import PAPER, PaperExperiment
+from repro.compress import CompressedModel, CompressionSpec, Compressor, LayerCompression
+from repro.data import Dataset, DatasetSplits, SyntheticConfig, make_cifar_like
+from repro.energy import EnergyStorage, PowerTrace, solar_trace, uniform_random_events
+from repro.intermittent import MCUSpec, MSP432
+from repro.models import (
+    make_lenet_cifar,
+    make_multi_exit_lenet,
+    make_sonic_net,
+    make_sparse_net,
+)
+from repro.nn import MultiExitNetwork, profile_network
+from repro.runtime import QLearningController, StaticController, StaticLUTPolicy
+from repro.sim import InferenceProfile, SimulationResult, Simulator, SimulatorConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PAPER",
+    "PaperExperiment",
+    "CompressedModel",
+    "CompressionSpec",
+    "Compressor",
+    "LayerCompression",
+    "Dataset",
+    "DatasetSplits",
+    "SyntheticConfig",
+    "make_cifar_like",
+    "EnergyStorage",
+    "PowerTrace",
+    "solar_trace",
+    "uniform_random_events",
+    "MCUSpec",
+    "MSP432",
+    "make_lenet_cifar",
+    "make_multi_exit_lenet",
+    "make_sonic_net",
+    "make_sparse_net",
+    "MultiExitNetwork",
+    "profile_network",
+    "QLearningController",
+    "StaticController",
+    "StaticLUTPolicy",
+    "InferenceProfile",
+    "SimulationResult",
+    "Simulator",
+    "SimulatorConfig",
+    "__version__",
+]

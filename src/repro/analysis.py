@@ -1,0 +1,99 @@
+"""Result analysis helpers: ASCII figures and parameter sweeps.
+
+The benchmark harness prints paper-vs-measured tables; this module adds
+terminal-friendly bar charts and learning-curve sparklines for quick
+visual comparison (no plotting dependencies in this environment), plus a
+small sweep utility used by the ablation studies and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def bar_chart(values: dict, width: int = 40, fmt: str = "{:.3f}", title: str = "") -> str:
+    """Render a labelled horizontal bar chart as a string.
+
+    ``values`` maps label -> non-negative number.  Bars are scaled to the
+    maximum value; zero-max charts render empty bars.
+    """
+    if not values:
+        raise ConfigError("bar_chart needs at least one value")
+    if width < 1:
+        raise ConfigError("width must be positive")
+    numbers = {k: float(v) for k, v in values.items()}
+    if any(v < 0 for v in numbers.values()):
+        raise ConfigError("bar_chart values must be non-negative")
+    peak = max(numbers.values())
+    label_w = max(len(str(k)) for k in numbers)
+    lines = [f"== {title} =="] if title else []
+    for label, value in numbers.items():
+        filled = int(round(width * (value / peak))) if peak > 0 else 0
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{str(label).ljust(label_w)} |{bar}| " + fmt.format(value))
+    return "\n".join(lines)
+
+
+def sparkline(series, width: int = 60) -> str:
+    """Compress a numeric series into a one-line block-character graph."""
+    blocks = " _.-=+*#%@"
+    series = np.asarray(list(series), dtype=np.float64)
+    if series.size == 0:
+        raise ConfigError("sparkline needs a non-empty series")
+    if series.size > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array([series[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(series.min()), float(series.max())
+    if hi - lo < 1e-12:
+        return blocks[len(blocks) // 2] * series.size
+    idx = ((series - lo) / (hi - lo) * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in idx)
+
+
+def learning_curve(results, metric: str = "average_accuracy", width: int = 60) -> str:
+    """One-line visualization of a list of SimulationResults over episodes."""
+    values = [getattr(r, metric) for r in results]
+    line = sparkline(values, width)
+    return f"{metric}: [{line}]  {values[0]:.3f} -> {values[-1]:.3f}"
+
+
+def sweep(fn, grid: dict):
+    """Evaluate ``fn(**point)`` over the cartesian product of ``grid``.
+
+    ``grid`` maps parameter name -> list of values.  Returns a list of
+    ``(point_dict, result)`` pairs in deterministic order.
+    """
+    if not grid:
+        raise ConfigError("sweep needs a non-empty grid")
+    names = sorted(grid)
+    out = []
+
+    def recurse(i, point):
+        if i == len(names):
+            out.append((dict(point), fn(**point)))
+            return
+        name = names[i]
+        for value in grid[name]:
+            point[name] = value
+            recurse(i + 1, point)
+        del point[name]
+
+    recurse(0, {})
+    return out
+
+
+def compare_to_paper(measured: dict, paper: dict) -> str:
+    """Tabulate measured vs paper values with the measured/paper ratio."""
+    keys = [k for k in paper if k in measured]
+    if not keys:
+        raise ConfigError("no overlapping keys between measured and paper")
+    label_w = max(len(str(k)) for k in keys)
+    lines = [f"{'metric'.ljust(label_w)}  {'paper':>9}  {'measured':>9}  {'ratio':>6}"]
+    for key in keys:
+        p, m = float(paper[key]), float(measured[key])
+        ratio = m / p if p else float("inf")
+        lines.append(f"{str(key).ljust(label_w)}  {p:9.3f}  {m:9.3f}  {ratio:6.2f}")
+    return "\n".join(lines)

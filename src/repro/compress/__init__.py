@@ -1,0 +1,28 @@
+"""Nonuniform compression: specs, application, and exit-wise evaluation."""
+
+from repro.compress.spec import CompressionSpec, LayerCompression
+from repro.compress.compressor import (
+    CompressedModel,
+    Compressor,
+    LayerCostRecord,
+)
+from repro.compress.evaluator import ExitEvaluation, evaluate_exits
+from repro.compress.finetune import FinetuneConfig, finetune_compressed
+from repro.compress.uniform import (
+    fit_uniform_spec,
+    make_uniform_spec,
+)
+
+__all__ = [
+    "CompressionSpec",
+    "LayerCompression",
+    "CompressedModel",
+    "Compressor",
+    "LayerCostRecord",
+    "ExitEvaluation",
+    "evaluate_exits",
+    "FinetuneConfig",
+    "finetune_compressed",
+    "fit_uniform_spec",
+    "make_uniform_spec",
+]

@@ -1,0 +1,61 @@
+"""Exit-wise evaluation of (compressed) networks.
+
+Produces the quantities the paper's Eq. 6-7 call ``Acc_i`` and ``E_i``:
+per-exit accuracy on a representative dataset and per-exit energy cost from
+FLOPs at the MCU's energy-per-MFLOP constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.compressor import CompressedModel
+from repro.data.dataset import Dataset
+from repro.nn.trainer import evaluate_exit_accuracies
+
+#: Paper Section V-A: "The energy cost is 1.5mJ per million FLOPs."
+DEFAULT_ENERGY_PER_MFLOP_MJ = 1.5
+
+
+@dataclass
+class ExitEvaluation:
+    """Per-exit accuracy/cost summary of one compressed model."""
+
+    accuracies: list          # Acc_i per exit
+    exit_flops: list          # FLOPs per exit path
+    exit_energy_mj: list      # E_i per exit
+    model_size_kb: float
+    fmodel_flops: float
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.accuracies)
+
+    def as_dict(self) -> dict:
+        return {
+            "accuracies": list(self.accuracies),
+            "exit_flops": [float(f) for f in self.exit_flops],
+            "exit_energy_mj": [float(e) for e in self.exit_energy_mj],
+            "model_size_kb": float(self.model_size_kb),
+            "fmodel_flops": float(self.fmodel_flops),
+        }
+
+
+def evaluate_exits(
+    model: CompressedModel,
+    dataset: Dataset,
+    batch_size: int = 256,
+    energy_per_mflop_mj: float = DEFAULT_ENERGY_PER_MFLOP_MJ,
+) -> ExitEvaluation:
+    """Measure Acc_i on ``dataset`` and derive E_i from the cost report."""
+    accuracies = evaluate_exit_accuracies(model.net, dataset.x, dataset.y, batch_size)
+    energy = [f / 1e6 * energy_per_mflop_mj for f in model.exit_flops]
+    return ExitEvaluation(
+        accuracies=accuracies,
+        exit_flops=[float(f) for f in model.exit_flops],
+        exit_energy_mj=energy,
+        model_size_kb=model.model_size_kb,
+        fmodel_flops=model.fmodel_flops,
+    )

@@ -1,0 +1,93 @@
+"""Post-compression fine-tuning (quantization- and pruning-aware).
+
+Compressing a 470 KB fp32 network into a 16 KB MCU budget means ~1-4 bit
+weights and heavy channel pruning; no network survives that zero-shot.
+Like the compression lines the paper builds on (HAQ [15], AMC [27]), the
+deployed model is therefore briefly *fine-tuned after compression*:
+
+* weight quantizers stay attached during training — the forward pass sees
+  quantized weights while gradients flow to the raw fp copies
+  (straight-through estimator, built into :mod:`repro.nn.layers`);
+* pruning masks are re-applied after every optimizer step so pruned
+  channels cannot regrow;
+* activation quantizers stay fixed at their calibrated scales.
+
+The RL search's inner loop stays zero-shot (evaluating hundreds of
+candidates with fine-tuning would be intractable); only the winning spec
+gets this treatment before deployment, mirroring HAQ's final fine-tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.compressor import CompressedModel
+from repro.nn.io import load_state_dict, state_dict
+from repro.nn.losses import MultiExitCrossEntropy
+from repro.nn.optim import SGD
+from repro.nn.trainer import evaluate_exit_accuracies
+from repro.utils.rng import as_generator, batches
+
+
+@dataclass
+class FinetuneConfig:
+    """Hyper-parameters of the post-compression fine-tune."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.005
+    momentum: float = 0.9
+    lr_decay: float = 0.9
+    exit_weights: list = None
+    seed: int = 0
+    verbose: bool = False
+    #: With validation data, restore the epoch with the best mean exit
+    #: accuracy at the end (low-bit training oscillates; the last epoch is
+    #: often not the best one).
+    keep_best: bool = True
+
+
+def finetune_compressed(
+    model: CompressedModel,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    config: FinetuneConfig = None,
+    val_x: np.ndarray = None,
+    val_y: np.ndarray = None,
+) -> list:
+    """Fine-tune ``model.net`` in place under its compression constraints.
+
+    Returns the per-epoch validation exit accuracies (empty list when no
+    validation data is given).
+    """
+    cfg = config or FinetuneConfig()
+    rng = as_generator(cfg.seed)
+    net = model.net
+    criterion = MultiExitCrossEntropy(net.num_exits, cfg.exit_weights)
+    optimizer = SGD(net.parameters(), lr=cfg.lr, momentum=cfg.momentum)
+    history = []
+    best_score, best_state = -1.0, None
+    for epoch in range(cfg.epochs):
+        for idx in batches(len(train_x), cfg.batch_size, rng):
+            optimizer.zero_grad()
+            logits = net.forward_all(train_x[idx], train=True)
+            criterion(logits, train_y[idx])
+            net.backward_all(criterion.backward())
+            optimizer.step()
+            model.apply_masks()  # pruned channels must stay pruned
+        optimizer.lr *= cfg.lr_decay
+        if val_x is not None:
+            accs = evaluate_exit_accuracies(net, val_x, val_y)
+            history.append(accs)
+            score = float(np.mean(accs))
+            if cfg.keep_best and score > best_score:
+                best_score, best_state = score, state_dict(net)
+            if cfg.verbose:
+                pretty = ", ".join(f"{a:.3f}" for a in accs)
+                print(f"finetune epoch {epoch + 1}/{cfg.epochs}: val=[{pretty}]")
+    if best_state is not None:
+        load_state_dict(net, best_state)
+        model.apply_masks()
+    return history

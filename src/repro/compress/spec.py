@@ -1,0 +1,116 @@
+"""Compression specifications: per-layer (alpha, b^w, b^a) triples.
+
+A :class:`CompressionSpec` is the artifact the RL search produces and the
+:class:`~repro.compress.compressor.Compressor` consumes — the paper's
+"pruning rate and bitwidth allocation policy for each layer" (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import CompressionError
+
+
+@dataclass(frozen=True)
+class LayerCompression:
+    """Compression knobs for one weighted layer.
+
+    ``preserve_ratio`` is the paper's alpha_l (fraction of input channels
+    kept, in (0, 1]); ``weight_bits``/``act_bits`` are b^w_l and b^a_l.
+    Bit values >= 32 mean full precision.
+    """
+
+    preserve_ratio: float = 1.0
+    weight_bits: int = 32
+    act_bits: int = 32
+
+    def __post_init__(self):
+        if not 0.0 < self.preserve_ratio <= 1.0:
+            raise CompressionError(
+                f"preserve_ratio must be in (0, 1], got {self.preserve_ratio}"
+            )
+        for label, bits in (("weight_bits", self.weight_bits), ("act_bits", self.act_bits)):
+            if not isinstance(bits, int) or not 1 <= bits <= 32:
+                raise CompressionError(f"{label} must be an int in [1, 32], got {bits!r}")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.preserve_ratio == 1.0 and self.weight_bits >= 32 and self.act_bits >= 32
+
+
+@dataclass
+class CompressionSpec:
+    """Mapping of layer name -> :class:`LayerCompression`."""
+
+    layers: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name, lc in self.layers.items():
+            if not isinstance(lc, LayerCompression):
+                raise CompressionError(f"layer {name!r}: expected LayerCompression")
+
+    def __getitem__(self, name: str) -> LayerCompression:
+        try:
+            return self.layers[name]
+        except KeyError:
+            raise CompressionError(f"spec has no entry for layer {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.layers
+
+    def layer_names(self) -> list:
+        return list(self.layers)
+
+    @classmethod
+    def identity(cls, layer_names) -> "CompressionSpec":
+        """Full-precision, no-pruning spec over the given layers."""
+        return cls({name: LayerCompression() for name in layer_names})
+
+    @classmethod
+    def uniform(
+        cls, layer_names, preserve_ratio: float, weight_bits: int = 32, act_bits: int = 32
+    ) -> "CompressionSpec":
+        """Same knobs for every layer (the paper's uniform baseline)."""
+        lc = LayerCompression(preserve_ratio, weight_bits, act_bits)
+        return cls({name: lc for name in layer_names})
+
+    def weight_bitwidths(self) -> dict:
+        """Layer name -> weight bits (for model-size accounting)."""
+        return {name: lc.weight_bits for name, lc in self.layers.items()}
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            name: {
+                "preserve_ratio": lc.preserve_ratio,
+                "weight_bits": lc.weight_bits,
+                "act_bits": lc.act_bits,
+            }
+            for name, lc in self.layers.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompressionSpec":
+        return cls(
+            {
+                name: LayerCompression(
+                    preserve_ratio=float(entry["preserve_ratio"]),
+                    weight_bits=int(entry["weight_bits"]),
+                    act_bits=int(entry["act_bits"]),
+                )
+                for name, entry in data.items()
+            }
+        )
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, path: str) -> "CompressionSpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,55 @@
+"""Uniform compression baseline (paper Fig. 1(b)).
+
+Uniform compression applies the *same* preserve ratio and bitwidth to every
+layer.  :func:`fit_uniform_spec` searches the smallest uniform setting that
+meets the same FLOPs/size targets the nonuniform search gets, which is the
+fair comparison behind Fig. 1(b)'s "Uniform compression" bars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.compress.compressor import Compressor
+from repro.compress.spec import CompressionSpec
+from repro.nn.network import MultiExitNetwork
+
+
+def make_uniform_spec(
+    net: MultiExitNetwork, preserve_ratio: float, weight_bits: int = 32, act_bits: int = 32
+) -> CompressionSpec:
+    """Uniform spec over all weighted layers of ``net``."""
+    names = [l.name for l in net.weighted_layers()]
+    return CompressionSpec.uniform(names, preserve_ratio, weight_bits, act_bits)
+
+
+def fit_uniform_spec(
+    net: MultiExitNetwork,
+    flops_target: float,
+    size_target_kb: float,
+    act_bits: int = 8,
+    input_shape=(3, 32, 32),
+    alpha_step: float = 0.05,
+) -> CompressionSpec:
+    """Find the gentlest uniform spec meeting both targets.
+
+    Sweeps the preserve ratio downward on the paper's 0.05 grid until the
+    FLOPs target is met, then lowers the (single) weight bitwidth until the
+    size target is met.  Raises when even the most aggressive uniform
+    setting cannot satisfy the constraints.
+    """
+    compressor = Compressor(input_shape=input_shape)
+    alphas = np.arange(1.0, alpha_step / 2, -alpha_step)
+    for alpha in alphas:
+        alpha = float(round(alpha, 10))
+        for bits in range(8, 0, -1):
+            spec = make_uniform_spec(net, alpha, weight_bits=bits, act_bits=act_bits)
+            model = compressor.apply(net, spec)
+            if model.fmodel_flops <= flops_target and model.model_size_kb <= size_target_kb:
+                return spec
+            if model.fmodel_flops > flops_target:
+                break  # pruning, not bits, governs FLOPs: try smaller alpha
+    raise CompressionError(
+        f"no uniform spec meets flops<={flops_target} and size<={size_target_kb}KB"
+    )

@@ -1,0 +1,6 @@
+"""Datasets: containers plus the synthetic CIFAR-like generator."""
+
+from repro.data.dataset import Dataset, DatasetSplits
+from repro.data.synthetic import SyntheticConfig, make_cifar_like
+
+__all__ = ["Dataset", "DatasetSplits", "SyntheticConfig", "make_cifar_like"]

@@ -1,0 +1,69 @@
+"""Lightweight dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class Dataset:
+    """A batch of images with integer labels.
+
+    ``x`` is NCHW float64, ``y`` is a 1-D int64 array of the same length.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.ndim != 4:
+            raise ShapeError(f"x must be NCHW, got ndim={self.x.ndim}")
+        if self.y.ndim != 1 or len(self.y) != len(self.x):
+            raise ShapeError("y must be 1-D and aligned with x")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def image_shape(self) -> tuple:
+        return self.x.shape[1:]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1 if len(self.y) else 0
+
+    def subset(self, indices) -> "Dataset":
+        """A view-free copy restricted to ``indices``."""
+        idx = np.asarray(indices)
+        return Dataset(self.x[idx].copy(), self.y[idx].copy())
+
+    def sample(self, n: int, rng=None) -> "Dataset":
+        """Uniformly sample ``n`` items without replacement."""
+        gen = as_generator(rng)
+        if n > len(self):
+            raise ValueError(f"cannot sample {n} from {len(self)} items")
+        return self.subset(gen.choice(len(self), size=n, replace=False))
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test partitions of one generated dataset."""
+
+    train: Dataset
+    val: Dataset
+    test: Dataset
+
+    @property
+    def image_shape(self) -> tuple:
+        return self.train.image_shape
+
+    @property
+    def num_classes(self) -> int:
+        return max(self.train.num_classes, self.val.num_classes, self.test.num_classes)

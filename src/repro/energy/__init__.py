@@ -1,0 +1,31 @@
+"""Energy-harvesting substrate: power traces, storage, and event streams."""
+
+from repro.energy.traces import (
+    PowerTrace,
+    constant_trace,
+    kinetic_trace,
+    rf_trace,
+    solar_trace,
+    trace_from_csv,
+    trace_from_samples,
+)
+from repro.energy.storage import EnergyStorage
+from repro.energy.events import (
+    burst_events,
+    poisson_events,
+    uniform_random_events,
+)
+
+__all__ = [
+    "PowerTrace",
+    "constant_trace",
+    "kinetic_trace",
+    "rf_trace",
+    "solar_trace",
+    "trace_from_csv",
+    "trace_from_samples",
+    "EnergyStorage",
+    "burst_events",
+    "poisson_events",
+    "uniform_random_events",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError):
+    """An array did not have the expected shape or rank."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied to a constructor."""
+
+
+class CompressionError(ReproError):
+    """A compression specification could not be applied to a network."""
+
+
+class EnergyError(ReproError):
+    """An energy-accounting invariant was violated (e.g. negative charge)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""
+
+
+class SerializationError(ReproError):
+    """A model or result artifact could not be saved or loaded."""

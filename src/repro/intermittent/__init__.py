@@ -1,0 +1,9 @@
+"""Intermittent-computing substrate: MCU model and SONIC-style execution."""
+
+from repro.intermittent.mcu import MCUSpec, MSP432
+from repro.intermittent.execution import (
+    IntermittentExecutionEngine,
+    IntermittentRun,
+)
+
+__all__ = ["MCUSpec", "MSP432", "IntermittentExecutionEngine", "IntermittentRun"]

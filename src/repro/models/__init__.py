@@ -1,0 +1,23 @@
+"""Reference architectures: the paper's multi-exit LeNet and baselines."""
+
+from repro.models.multi_exit_lenet import (
+    MULTI_EXIT_LENET_LAYERS,
+    PAPER_EXIT_ACCURACY,
+    PAPER_EXIT_FLOPS,
+    make_multi_exit_lenet,
+)
+from repro.models.baselines import (
+    make_lenet_cifar,
+    make_sonic_net,
+    make_sparse_net,
+)
+
+__all__ = [
+    "MULTI_EXIT_LENET_LAYERS",
+    "PAPER_EXIT_ACCURACY",
+    "PAPER_EXIT_FLOPS",
+    "make_multi_exit_lenet",
+    "make_lenet_cifar",
+    "make_sonic_net",
+    "make_sparse_net",
+]

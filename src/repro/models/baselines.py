@@ -1,0 +1,99 @@
+"""Baseline networks from the paper's evaluation (Section V-C/D).
+
+All three baselines are single-exit classifiers; they are wrapped in
+:class:`~repro.nn.network.MultiExitNetwork` with one segment and one branch
+so the whole tool-chain (profiling, simulation, runtime) treats single- and
+multi-exit networks uniformly.
+
+* ``SonicNet`` — stands in for the network deployed by SONIC/Gobieski et
+  al. [9].  The paper reports it at 2.0M FLOPs; it runs under the
+  intermittent (multi-power-cycle) execution engine.
+* ``SpArSeNet`` — the product of the SpArSe NAS framework [13] at 11.4M
+  FLOPs.  The NAS itself is out of scope (see DESIGN.md §2); only its
+  resulting cost/accuracy trade-off matters to the evaluation.
+* ``LeNet-Cifar`` — a small hand-designed LeNet variant.  Figure 6 implies
+  roughly 0.23M FLOPs (0.46x of the compressed average), i.e. an expert
+  design that "fortunately fits the EH scenario well".
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.network import MultiExitNetwork, Sequential
+from repro.utils.rng import spawn
+
+
+def _single_exit(backbone_layers, head_layers, name: str, num_classes: int) -> MultiExitNetwork:
+    return MultiExitNetwork(
+        segments=[Sequential(backbone_layers, name=f"{name}.backbone")],
+        branches=[Sequential(head_layers, name=f"{name}.head")],
+        name=name,
+        num_classes=num_classes,
+    )
+
+
+def make_sonic_net(num_classes: int = 10, seed=0) -> MultiExitNetwork:
+    """SONIC-style single-exit CNN, ~1.97M FLOPs at 3x32x32 input."""
+    r = iter(spawn(seed, 5))
+    backbone = [
+        Conv2d(3, 8, kernel_size=5, padding=2, name="sonic.conv1", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 20, kernel_size=5, padding=2, name="sonic.conv2", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(20, 24, kernel_size=3, padding=1, name="sonic.conv3", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+    ]
+    head = [
+        Flatten(),
+        Linear(24 * 4 * 4, 128, name="sonic.fc1", rng=next(r)),
+        ReLU(),
+        Linear(128, num_classes, name="sonic.fc2", rng=next(r)),
+    ]
+    return _single_exit(backbone, head, "sonic_net", num_classes)
+
+
+def make_sparse_net(num_classes: int = 10, seed=0) -> MultiExitNetwork:
+    """SpArSe-NAS-style single-exit CNN, ~11.5M FLOPs at 3x32x32 input."""
+    r = iter(spawn(seed, 4))
+    backbone = [
+        Conv2d(3, 32, kernel_size=3, padding=1, name="sparse.conv1", rng=next(r)),
+        ReLU(),
+        Conv2d(32, 32, kernel_size=3, padding=1, name="sparse.conv2", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(32, 16, kernel_size=3, padding=1, name="sparse.conv3", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+    ]
+    classifier = Linear(16 * 8 * 8, num_classes, name="sparse.fc1", rng=next(r))
+    # Damp the classifier init: this wide, deep, normalization-free stack
+    # produces logits with std ~3 under plain Xavier, and the resulting
+    # saturated-softmax gradients collapse the ReLUs within a few SGD
+    # steps.  A small head keeps the initial loss near log(K) so training
+    # is stable at ordinary learning rates.
+    classifier.weight.data *= 0.1
+    head = [Flatten(), classifier]
+    return _single_exit(backbone, head, "sparse_net", num_classes)
+
+
+def make_lenet_cifar(num_classes: int = 10, seed=0) -> MultiExitNetwork:
+    """Hand-designed small LeNet, ~0.24M FLOPs at 3x32x32 input."""
+    r = iter(spawn(seed, 4))
+    backbone = [
+        Conv2d(3, 6, kernel_size=5, stride=2, padding=2, name="lenet.conv1", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(6, 12, kernel_size=5, padding=2, name="lenet.conv2", rng=next(r)),
+        ReLU(),
+        MaxPool2d(2),
+    ]
+    head = [
+        Flatten(),
+        Linear(12 * 4 * 4, 64, name="lenet.fc1", rng=next(r)),
+        ReLU(),
+        Linear(64, num_classes, name="lenet.fc2", rng=next(r)),
+    ]
+    return _single_exit(backbone, head, "lenet_cifar", num_classes)

@@ -1,0 +1,121 @@
+"""The paper's multi-exit LeNet backbone (Section V-A, Fig. 1(c), Fig. 4).
+
+The paper extends LeNet to four convolutional layers and attaches two
+early-exits along the data path, giving three exits in total.  Figure 4
+names eleven weighted layers: Conv1, ConvB1, Conv2, ConvB2, Conv3, Conv4,
+FC-B1, FC-B21, FC-B22, FC-B31, FC-B32 — "B" layers belong to exit branches.
+
+The channel counts below were chosen so the static profile matches the
+paper's reported per-exit cost almost exactly under the 1 MAC = 1 FLOP
+convention:
+
+==========  ============  ===========
+exit        paper FLOPs   this model
+==========  ============  ===========
+Exit 1      0.4452 M      0.4504 M
+Exit 2      1.2602 M      1.2672 M
+Exit 3      1.6202 M      1.6243 M
+==========  ============  ===========
+
+Full-precision weight storage is ~0.47 MB (paper: 580 KB): both far exceed
+a 16 KB MCU budget, which is the constraint that drives compression.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.network import MultiExitNetwork, Sequential
+from repro.utils.rng import spawn
+
+#: Weighted layers in execution order (backbone first, then branch layers),
+#: matching the x-axis of the paper's Figure 4.
+MULTI_EXIT_LENET_LAYERS = (
+    "Conv1",
+    "ConvB1",
+    "Conv2",
+    "ConvB2",
+    "Conv3",
+    "Conv4",
+    "FC-B1",
+    "FC-B21",
+    "FC-B22",
+    "FC-B31",
+    "FC-B32",
+)
+
+#: Per-exit FLOPs reported in the paper (Section V-A), in MACs.
+PAPER_EXIT_FLOPS = (445_200, 1_260_200, 1_620_200)
+
+#: Per-exit full-precision accuracy reported in the paper (Fig. 1(b)).
+PAPER_EXIT_ACCURACY = (0.649, 0.720, 0.730)
+
+
+def make_multi_exit_lenet(num_classes: int = 10, seed=0) -> MultiExitNetwork:
+    """Build the 3-exit LeNet used throughout the paper's evaluation.
+
+    Input is NCHW 3x32x32.  Exits are indexed 0 (shallowest) to 2 (final).
+    """
+    rngs = iter(spawn(seed, len(MULTI_EXIT_LENET_LAYERS)))
+    segment0 = Sequential(
+        [
+            Conv2d(3, 6, kernel_size=5, name="Conv1", rng=next(rngs)),
+            ReLU(),
+            MaxPool2d(2),
+        ],
+        name="segment0",
+    )
+    branch0 = Sequential(
+        [
+            Conv2d(6, 12, kernel_size=3, name="ConvB1", rng=next(rngs)),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(12 * 6 * 6, num_classes, name="FC-B1", rng=next(rngs)),
+        ],
+        name="branch0",
+    )
+    segment1 = Sequential(
+        [
+            Conv2d(6, 24, kernel_size=5, padding=2, name="Conv2", rng=next(rngs)),
+            ReLU(),
+            MaxPool2d(2),
+        ],
+        name="segment1",
+    )
+    branch1 = Sequential(
+        [
+            Conv2d(24, 16, kernel_size=3, padding=1, name="ConvB2", rng=next(rngs)),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(16 * 3 * 3, 256, name="FC-B21", rng=next(rngs)),
+            ReLU(),
+            Linear(256, num_classes, name="FC-B22", rng=next(rngs)),
+        ],
+        name="branch1",
+    )
+    segment2 = Sequential(
+        [
+            Conv2d(24, 24, kernel_size=3, padding=1, name="Conv3", rng=next(rngs)),
+            ReLU(),
+            Conv2d(24, 24, kernel_size=3, padding=1, name="Conv4", rng=next(rngs)),
+            ReLU(),
+            MaxPool2d(2),
+        ],
+        name="segment2",
+    )
+    branch2 = Sequential(
+        [
+            Flatten(),
+            Linear(24 * 3 * 3, 256, name="FC-B31", rng=next(rngs)),
+            ReLU(),
+            Linear(256, num_classes, name="FC-B32", rng=next(rngs)),
+        ],
+        name="branch2",
+    )
+    return MultiExitNetwork(
+        segments=[segment0, segment1, segment2],
+        branches=[branch0, branch1, branch2],
+        name="multi_exit_lenet",
+        num_classes=num_classes,
+    )

@@ -1,0 +1,70 @@
+"""Pure-numpy neural-network substrate.
+
+This subpackage replaces the PyTorch dependency of the original paper: it
+provides convolution/pooling primitives, layer objects with backprop,
+multi-exit network containers, losses, optimizers, a trainer, static
+FLOPs/size profiling, and weight serialization.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.network import IncrementalState, MultiExitNetwork, Sequential
+from repro.nn.losses import CrossEntropyLoss, MultiExitCrossEntropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import TrainConfig, Trainer, TrainHistory, evaluate_exit_accuracies
+from repro.nn.flops import (
+    ExitProfile,
+    LayerProfile,
+    ModelProfile,
+    incremental_flops,
+    profile_network,
+)
+from repro.nn.io import load_state_dict, load_weights, save_weights, state_dict
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "Parameter",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "IncrementalState",
+    "MultiExitNetwork",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MultiExitCrossEntropy",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+    "evaluate_exit_accuracies",
+    "ExitProfile",
+    "LayerProfile",
+    "ModelProfile",
+    "incremental_flops",
+    "profile_network",
+    "load_state_dict",
+    "load_weights",
+    "save_weights",
+    "state_dict",
+]

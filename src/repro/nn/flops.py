@@ -1,0 +1,205 @@
+"""FLOPs and model-size accounting for multi-exit networks.
+
+Convention (documented in DESIGN.md §6): one multiply-accumulate counts as
+**one FLOP**, which is the convention under which the paper's reported exit
+costs (0.4452M / 1.2602M / 1.6202M for a LeNet-class backbone) are
+reproducible.  Model size counts weights at their (possibly quantized)
+bitwidth plus biases at 32 bits, matching Eq. 8's ``S_model``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShapeError
+from repro.nn.functional import conv_output_hw
+from repro.nn.layers import AvgPool2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.network import MultiExitNetwork, Sequential
+
+
+@dataclass
+class LayerProfile:
+    """Static cost record for one weighted layer."""
+
+    name: str
+    kind: str                 # "conv" or "linear"
+    flops: int                # MACs for one input sample
+    weight_count: int
+    bias_count: int
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    in_shape: tuple
+    out_shape: tuple
+
+    def weight_bits(self, bitwidth: int = 32) -> int:
+        """Stored size in bits at the given weight bitwidth."""
+        return self.weight_count * bitwidth + self.bias_count * 32
+
+
+@dataclass
+class ExitProfile:
+    """Cumulative cost of reaching one exit (segments 0..i + branch i)."""
+
+    exit_index: int
+    flops: int
+    layer_names: list = field(default_factory=list)
+
+
+@dataclass
+class ModelProfile:
+    """Full static profile of a multi-exit network."""
+
+    layers: list              # LayerProfile in execution order
+    exits: list               # ExitProfile per exit
+    input_shape: tuple
+
+    def layer(self, name: str) -> LayerProfile:
+        for lp in self.layers:
+            if lp.name == name:
+                return lp
+        raise KeyError(f"no profiled layer named {name!r}")
+
+    @property
+    def exit_flops(self) -> list:
+        return [e.flops for e in self.exits]
+
+    @property
+    def total_flops(self) -> int:
+        """FLOPs of the deepest exit (a full forward pass)."""
+        return self.exits[-1].flops
+
+    @property
+    def total_weights(self) -> int:
+        return sum(lp.weight_count for lp in self.layers)
+
+    def model_size_bits(self, weight_bitwidths=None) -> int:
+        """Total stored size; ``weight_bitwidths`` maps layer name -> bits."""
+        total = 0
+        for lp in self.layers:
+            bits = 32 if weight_bitwidths is None else weight_bitwidths.get(lp.name, 32)
+            total += lp.weight_bits(bits)
+        return total
+
+    def model_size_bytes(self, weight_bitwidths=None) -> float:
+        return self.model_size_bits(weight_bitwidths) / 8.0
+
+    def model_size_kb(self, weight_bitwidths=None) -> float:
+        return self.model_size_bits(weight_bitwidths) / 8.0 / 1024.0
+
+
+def _trace_sequential(seq: Sequential, shape, records: list):
+    """Walk one Sequential, appending LayerProfiles; returns output shape."""
+    for layer in seq:
+        if isinstance(layer, Conv2d):
+            c, h, w = shape
+            if c != layer.in_channels:
+                raise ShapeError(
+                    f"{layer.name}: input has {c} channels, expected {layer.in_channels}"
+                )
+            oh, ow = conv_output_hw(h, w, layer.kernel_size, layer.stride, layer.padding)
+            macs = (
+                layer.out_channels
+                * layer.in_channels
+                * layer.kernel_size ** 2
+                * oh
+                * ow
+            )
+            records.append(
+                LayerProfile(
+                    name=layer.name,
+                    kind="conv",
+                    flops=macs,
+                    weight_count=layer.weight.size,
+                    bias_count=layer.bias.size if layer.bias is not None else 0,
+                    in_channels=layer.in_channels,
+                    out_channels=layer.out_channels,
+                    kernel_size=layer.kernel_size,
+                    in_shape=shape,
+                    out_shape=(layer.out_channels, oh, ow),
+                )
+            )
+            shape = (layer.out_channels, oh, ow)
+        elif isinstance(layer, Linear):
+            if len(shape) != 1:
+                raise ShapeError(f"{layer.name}: expected flat input, got {shape}")
+            if shape[0] != layer.in_features:
+                raise ShapeError(
+                    f"{layer.name}: input has {shape[0]} features, "
+                    f"expected {layer.in_features}"
+                )
+            macs = layer.out_features * layer.in_features
+            records.append(
+                LayerProfile(
+                    name=layer.name,
+                    kind="linear",
+                    flops=macs,
+                    weight_count=layer.weight.size,
+                    bias_count=layer.bias.size if layer.bias is not None else 0,
+                    in_channels=layer.in_features,
+                    out_channels=layer.out_features,
+                    kernel_size=1,
+                    in_shape=shape,
+                    out_shape=(layer.out_features,),
+                )
+            )
+            shape = (layer.out_features,)
+        elif isinstance(layer, (MaxPool2d, AvgPool2d)):
+            c, h, w = shape
+            oh = (h - layer.kernel_size) // layer.stride + 1
+            ow = (w - layer.kernel_size) // layer.stride + 1
+            shape = (c, oh, ow)
+        elif isinstance(layer, Flatten):
+            size = 1
+            for d in shape:
+                size *= d
+            shape = (size,)
+        elif isinstance(layer, (ReLU, Dropout)):
+            pass  # shape- and FLOP-free under the MAC convention
+        else:
+            raise ShapeError(f"cannot profile layer type {type(layer).__name__}")
+    return shape
+
+
+def profile_network(net: MultiExitNetwork, input_shape) -> ModelProfile:
+    """Statically profile ``net`` for one sample of shape ``(C, H, W)``."""
+    input_shape = tuple(input_shape)
+    layers: list = []
+    exits: list = []
+    shape = input_shape
+    backbone_flops = 0
+    backbone_names: list = []
+    for i, (seg, branch) in enumerate(zip(net.segments, net.branches)):
+        seg_start = len(layers)
+        shape = _trace_sequential(seg, shape, layers)
+        backbone_flops += sum(lp.flops for lp in layers[seg_start:])
+        backbone_names.extend(lp.name for lp in layers[seg_start:])
+        branch_records: list = []
+        _trace_sequential(branch, shape, branch_records)
+        layers_for_exit = list(backbone_names) + [lp.name for lp in branch_records]
+        exits.append(
+            ExitProfile(
+                exit_index=i,
+                flops=backbone_flops + sum(lp.flops for lp in branch_records),
+                layer_names=layers_for_exit,
+            )
+        )
+        layers.extend(branch_records)
+    return ModelProfile(layers=layers, exits=exits, input_shape=input_shape)
+
+
+def incremental_flops(profile: ModelProfile) -> list:
+    """Marginal FLOPs of continuing from exit ``i`` to exit ``i+1``.
+
+    Entry ``i`` is the cost of the *additional* segments plus branch
+    ``i+1``, i.e. what an incremental inference pays after having already
+    produced exit ``i``'s result (branch ``i``'s cost is not refunded).
+    """
+    out = []
+    for i in range(len(profile.exits) - 1):
+        cur, nxt = profile.exits[i], profile.exits[i + 1]
+        cur_branch = set(cur.layer_names) - set(nxt.layer_names)
+        branch_cost = sum(profile.layer(n).flops for n in cur_branch)
+        backbone_cur = cur.flops - branch_cost
+        out.append(nxt.flops - backbone_cur)
+    return out

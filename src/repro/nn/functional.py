@@ -1,0 +1,184 @@
+"""Array-level neural-network primitives (im2col convolution, pooling).
+
+These functions are pure: they take arrays in, return arrays out, and stash
+nothing.  Layer objects in :mod:`repro.nn.layers` own the caching needed for
+backprop.  Data layout is NCHW throughout (batch, channels, height, width),
+matching the convention of the paper's PyTorch reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_hw(h: int, w: int, kernel: int, stride: int, padding: int):
+    """Spatial output size of a convolution/pool with square kernel."""
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} pad {padding} does not fit "
+            f"input {h}x{w}"
+        )
+    return oh, ow
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``x`` (N,C,H,W) into columns of shape (N, C*k*k, OH*OW).
+
+    Each output column holds one receptive field, so convolution becomes a
+    single matmul with the reshaped filter bank.
+    """
+    n, c, h, w = x.shape
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    # Strided view: (N, C, k, k, OH, OW) without copying.
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    return view.reshape(n, c * kernel * kernel, oh * ow).copy()
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back to (N,C,H,W), summing overlapping contributions.
+
+    Inverse-accumulate of :func:`im2col`; used by the convolution backward
+    pass to scatter gradients to the input.
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_hw(h, w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kernel, kernel, oh, ow)
+    for ki in range(kernel):
+        hi_end = ki + stride * oh
+        for kj in range(kernel):
+            wj_end = kj + stride * ow
+            out[:, :, ki:hi_end:stride, kj:wj_end:stride] += cols6[:, :, ki, kj]
+    if padding > 0:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+def conv2d_forward(x, weight, bias, stride: int, padding: int):
+    """Convolution forward. Returns (output, cols) with cols kept for backward.
+
+    ``weight`` has shape (OutC, InC, k, k); output is (N, OutC, OH, OW).
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"conv2d expects NCHW input, got ndim={x.ndim}")
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if kh != kw:
+        raise ShapeError("only square kernels are supported")
+    if ic != c:
+        raise ShapeError(f"input has {c} channels but weight expects {ic}")
+    oh, ow = conv_output_hw(h, w, kh, stride, padding)
+    cols = im2col(x, kh, stride, padding)  # (N, C*k*k, OH*OW)
+    wmat = weight.reshape(oc, ic * kh * kw)
+    out = np.einsum("ok,nkp->nop", wmat, cols, optimize=True)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out.reshape(n, oc, oh, ow), cols
+
+
+def conv2d_backward(dout, x_shape, weight, cols, stride: int, padding: int):
+    """Convolution backward. Returns (dx, dweight, dbias)."""
+    n, oc, oh, ow = dout.shape
+    oc_w, ic, kh, kw = weight.shape
+    dout2 = dout.reshape(n, oc, oh * ow)
+    dbias = dout2.sum(axis=(0, 2))
+    # dW = sum_n dout2 @ cols^T, folded back to filter shape.
+    dwmat = np.einsum("nop,nkp->ok", dout2, cols, optimize=True)
+    dweight = dwmat.reshape(weight.shape)
+    wmat = weight.reshape(oc, ic * kh * kw)
+    dcols = np.einsum("ok,nop->nkp", wmat, dout2, optimize=True)
+    dx = col2im(dcols, x_shape, kh, stride, padding)
+    return dx, dweight, dbias
+
+
+def maxpool2d_forward(x, kernel: int, stride: int):
+    """Max pooling forward. Returns (output, argmax) for the backward pass.
+
+    Excess rows/columns that do not fill a full window are dropped (floor
+    division), matching the common framework default.
+    """
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(f"pool kernel {kernel} does not fit input {h}x{w}")
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    windows = view.reshape(n, c, oh, ow, kernel * kernel)
+    argmax = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+    return out, argmax
+
+
+def maxpool2d_backward(dout, x_shape, argmax, kernel: int, stride: int):
+    """Max pooling backward: route each gradient to its argmax location."""
+    n, c, h, w = x_shape
+    oh, ow = dout.shape[2], dout.shape[3]
+    dx = np.zeros(x_shape, dtype=dout.dtype)
+    ki = argmax // kernel
+    kj = argmax % kernel
+    oi = np.arange(oh)[None, None, :, None]
+    oj = np.arange(ow)[None, None, None, :]
+    rows = oi * stride + ki
+    cols = oj * stride + kj
+    nn = np.arange(n)[:, None, None, None]
+    cc = np.arange(c)[None, :, None, None]
+    np.add.at(dx, (nn, cc, rows, cols), dout)
+    return dx
+
+
+def avgpool2d_forward(x, kernel: int, stride: int):
+    """Average pooling forward; returns (output, None)."""
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(f"pool kernel {kernel} does not fit input {h}x{w}")
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return view.mean(axis=(-1, -2)), None
+
+
+def avgpool2d_backward(dout, x_shape, kernel: int, stride: int):
+    """Average pooling backward: spread gradient uniformly over each window."""
+    n, c, h, w = x_shape
+    oh, ow = dout.shape[2], dout.shape[3]
+    dx = np.zeros(x_shape, dtype=dout.dtype)
+    share = dout / (kernel * kernel)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            dx[:, :, ki:ki + stride * oh:stride, kj:kj + stride * ow:stride] += share
+    return dx

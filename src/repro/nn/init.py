@@ -1,0 +1,31 @@
+"""Weight initializers.
+
+Kaiming/He initialization is the default for ReLU networks; Xavier/Glorot is
+provided for linear heads.  All initializers take an explicit RNG so model
+construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def he_normal(shape, fan_in: int, rng) -> np.ndarray:
+    """He-normal init: N(0, sqrt(2/fan_in)), suited to ReLU activations."""
+    gen = as_generator(rng)
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return gen.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng) -> np.ndarray:
+    """Glorot-uniform init: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    gen = as_generator(rng)
+    bound = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return gen.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,61 @@
+"""Save and load multi-exit network weights as ``.npz`` archives.
+
+Only parameter tensors are stored; the architecture is reconstructed by the
+caller (model constructors live in :mod:`repro.models`), which keeps the
+format trivially portable and diff-able.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.network import MultiExitNetwork
+
+
+def state_dict(net: MultiExitNetwork) -> dict:
+    """Map parameter name -> array for every parameter in ``net``."""
+    out = {}
+    for p in net.parameters():
+        if p.name in out:
+            raise SerializationError(f"duplicate parameter name {p.name!r}")
+        out[p.name] = p.data.copy()
+    return out
+
+
+def load_state_dict(net: MultiExitNetwork, state: dict, strict: bool = True) -> None:
+    """Copy arrays from ``state`` into ``net``'s parameters in place."""
+    own = {p.name: p for p in net.parameters()}
+    missing = set(own) - set(state)
+    unexpected = set(state) - set(own)
+    if strict and (missing or unexpected):
+        raise SerializationError(
+            f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+        )
+    for name, param in own.items():
+        if name not in state:
+            continue
+        value = np.asarray(state[name], dtype=np.float64)
+        if value.shape != param.data.shape:
+            raise SerializationError(
+                f"{name}: shape {value.shape} does not match {param.data.shape}"
+            )
+        param.data[...] = value
+        param.zero_grad()
+
+
+def save_weights(net: MultiExitNetwork, path: str) -> None:
+    """Write all parameters to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state_dict(net))
+
+
+def load_weights(net: MultiExitNetwork, path: str, strict: bool = True) -> None:
+    """Load parameters previously written by :func:`save_weights`."""
+    if not os.path.exists(path):
+        raise SerializationError(f"weight file not found: {path}")
+    with np.load(path) as archive:
+        load_state_dict(net, dict(archive.items()), strict=strict)

@@ -1,0 +1,405 @@
+"""Layer objects with forward/backward passes and compression hooks.
+
+Each layer caches whatever its backward pass needs during ``forward`` with
+``train=True``; inference calls (``train=False``) skip the caching.  Layers
+that carry weights (:class:`Conv2d`, :class:`Linear`) expose two hooks used
+by the compression stack:
+
+``weight_quantizer``
+    Optional callable applied to the weight tensor on every forward.  The
+    gradient is accumulated on the *raw* weight (straight-through
+    estimator), which is what makes post-compression fine-tuning work.
+``input_quantizer``
+    Optional callable applied to the layer's input activations, matching
+    the paper's per-layer activation bitwidth ``b^a_l`` (activations are
+    quantized where they are consumed, i.e. at the input of each weighted
+    layer, the HAQ convention the paper follows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn import init as weight_init
+from repro.utils.rng import as_generator
+
+
+class Parameter:
+    """A trainable tensor: raw data plus its accumulated gradient."""
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, name: str, data: np.ndarray):
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class: a differentiable module with (possibly zero) parameters."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.forward(x, train=train)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW input with square kernel."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "",
+        rng=None,
+    ):
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ShapeError("conv dimensions must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        gen = as_generator(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            f"{self.name}.weight",
+            weight_init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, gen
+            ),
+        )
+        self.bias = Parameter(f"{self.name}.bias", weight_init.zeros(out_channels)) if bias else None
+        self.weight_quantizer = None
+        self.input_quantizer = None
+        self._cache = None
+
+    def effective_weight(self) -> np.ndarray:
+        """Weight tensor as the forward pass sees it (after quantization)."""
+        w = self.weight.data
+        return self.weight_quantizer(w) if self.weight_quantizer is not None else w
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if self.input_quantizer is not None:
+            x = self.input_quantizer(x)
+        w = self.effective_weight()
+        b = self.bias.data if self.bias is not None else None
+        out, cols = F.conv2d_forward(x, w, b, self.stride, self.padding)
+        if train:
+            self._cache = (x.shape, w, cols)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        x_shape, w, cols = self._cache
+        dx, dw, db = F.conv2d_backward(dout, x_shape, w, cols, self.stride, self.padding)
+        self.weight.grad += dw  # straight-through past the quantizer
+        if self.bias is not None:
+            self.bias.grad += db
+        return dx
+
+    def parameters(self) -> list:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class Linear(Layer):
+    """Fully-connected layer over (N, in_features) input."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: str = "",
+        rng=None,
+    ):
+        super().__init__(name)
+        if min(in_features, out_features) < 1:
+            raise ShapeError("linear dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = as_generator(rng)
+        self.weight = Parameter(
+            f"{self.name}.weight",
+            weight_init.xavier_uniform((out_features, in_features), in_features, out_features, gen),
+        )
+        self.bias = Parameter(f"{self.name}.bias", weight_init.zeros(out_features)) if bias else None
+        self.weight_quantizer = None
+        self.input_quantizer = None
+        self._cache = None
+
+    def effective_weight(self) -> np.ndarray:
+        w = self.weight.data
+        return self.weight_quantizer(w) if self.weight_quantizer is not None else w
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"{self.name}: expected (N, {self.in_features}), got {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ShapeError(f"{self.name}: expected {self.in_features} features, got {x.shape[1]}")
+        if self.input_quantizer is not None:
+            x = self.input_quantizer(x)
+        w = self.effective_weight()
+        out = x @ w.T
+        if self.bias is not None:
+            out += self.bias.data[None, :]
+        if train:
+            self._cache = (x, w)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        x, w = self._cache
+        self.weight.grad += dout.T @ x
+        if self.bias is not None:
+            self.bias.grad += dout.sum(axis=0)
+        return dout @ w
+
+    def parameters(self) -> list:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if train:
+            self._mask = x > 0.0
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        return dout * self._mask
+
+
+class MaxPool2d(Layer):
+    """Max pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: int = 0, name: str = ""):
+        super().__init__(name)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out, argmax = F.maxpool2d_forward(x, self.kernel_size, self.stride)
+        if train:
+            self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        x_shape, argmax = self._cache
+        return F.maxpool2d_backward(dout, x_shape, argmax, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Layer):
+    """Average pooling with square window."""
+
+    def __init__(self, kernel_size: int, stride: int = 0, name: str = ""):
+        super().__init__(name)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out, _ = F.avgpool2d_forward(x, self.kernel_size, self.stride)
+        if train:
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        return F.avgpool2d_backward(dout, self._x_shape, self.kernel_size, self.stride)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        return dout.reshape(self._x_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, p: float = 0.5, name: str = "", rng=None):
+        super().__init__(name)
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = as_generator(rng)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if not train or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic; used by the DDPG actor's bounded output."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._out = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-x))
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        return dout * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Elementwise hyperbolic tangent."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._out = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        return dout * (1.0 - self._out ** 2)
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization over NCHW channels (Ioffe & Szegedy, 2015).
+
+    Normalizes each channel to zero mean / unit variance over the batch
+    and spatial dimensions during training (tracking running statistics
+    with ``momentum``), and uses the running statistics at inference.
+    Deep normalization-free stacks in this substrate are prone to the
+    dead-ReLU collapse documented in ``repro.models.baselines``; BatchNorm
+    is the standard structural fix and is provided for custom
+    architectures and extension work.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1, name: str = ""):
+        super().__init__(name)
+        if num_features < 1:
+            raise ShapeError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(f"{self.name}.gamma", np.ones(num_features))
+        self.beta = Parameter(f"{self.name}.beta", np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"{self.name}: expected (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if train:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = self.gamma.data[None, :, None, None] * x_hat + self.beta.data[None, :, None, None]
+        if train:
+            self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
+        x_hat, inv_std = self._cache
+        n = dout.shape[0] * dout.shape[2] * dout.shape[3]
+        self.gamma.grad += (dout * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += dout.sum(axis=(0, 2, 3))
+        dx_hat = dout * self.gamma.data[None, :, None, None]
+        # Standard batch-norm backward through the batch statistics.
+        sum_dx_hat = dx_hat.sum(axis=(0, 2, 3), keepdims=True).transpose(1, 0, 2, 3)
+        sum_dx_hat_xhat = (dx_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True).transpose(1, 0, 2, 3)
+        dx = (
+            dx_hat
+            - sum_dx_hat.transpose(1, 0, 2, 3) / n
+            - x_hat * sum_dx_hat_xhat.transpose(1, 0, 2, 3) / n
+        ) * inv_std[None, :, None, None]
+        return dx
+
+    def parameters(self) -> list:
+        return [self.gamma, self.beta]

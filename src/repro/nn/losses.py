@@ -1,0 +1,84 @@
+"""Loss functions, including the joint multi-exit objective.
+
+Multi-exit networks are trained with a weighted sum of per-exit
+cross-entropies (BranchyNet-style).  The default weights slightly favour
+early exits, which is what keeps their accuracy competitive and is the
+pre-condition for the paper's nonuniform compression to have headroom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.mathx import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns dLoss/dlogits
+    (already divided by the batch size).
+    """
+
+    def __init__(self):
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be (N, K), got {logits.shape}")
+        if labels.shape[0] != logits.shape[0]:
+            raise ShapeError("batch size mismatch between logits and labels")
+        logp = log_softmax(logits, axis=1)
+        n = logits.shape[0]
+        loss = -float(np.mean(logp[np.arange(n), labels]))
+        self._cache = (logits, labels)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits, labels = self._cache
+        n, k = logits.shape
+        grad = softmax(logits, axis=1) - one_hot(labels, k)
+        return grad / n
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MultiExitCrossEntropy:
+    """Weighted sum of cross-entropies across all exits.
+
+    ``weights=None`` gives every exit weight 1.  The per-exit losses from
+    the last ``forward`` are kept on ``last_exit_losses`` for logging.
+    """
+
+    def __init__(self, num_exits: int, weights=None):
+        if num_exits < 1:
+            raise ValueError("num_exits must be >= 1")
+        if weights is None:
+            weights = [1.0] * num_exits
+        if len(weights) != num_exits:
+            raise ValueError("need one weight per exit")
+        if any(w < 0 for w in weights):
+            raise ValueError("exit weights must be non-negative")
+        self.weights = [float(w) for w in weights]
+        self._criteria = [CrossEntropyLoss() for _ in range(num_exits)]
+        self.last_exit_losses = [0.0] * num_exits
+
+    def forward(self, logits_list: list, labels: np.ndarray) -> float:
+        if len(logits_list) != len(self._criteria):
+            raise ShapeError("one logits tensor per exit required")
+        total = 0.0
+        for i, (criterion, logits) in enumerate(zip(self._criteria, logits_list)):
+            loss_i = criterion.forward(logits, labels)
+            self.last_exit_losses[i] = loss_i
+            total += self.weights[i] * loss_i
+        return total
+
+    def backward(self) -> list:
+        return [w * c.backward() for w, c in zip(self.weights, self._criteria)]
+
+    def __call__(self, logits_list: list, labels: np.ndarray) -> float:
+        return self.forward(logits_list, labels)

@@ -1,0 +1,210 @@
+r"""Network containers: :class:`Sequential` and :class:`MultiExitNetwork`.
+
+A multi-exit network is a backbone split into segments, with a classifier
+branch attached after each segment (BranchyNet-style [10]).  Exit ``i``
+consumes segments ``0..i`` plus branch ``i``::
+
+    x -> seg0 -> branch0 -> logits_0
+           \-> seg1 -> branch1 -> logits_1
+                  \-> seg2 -> branch2 -> logits_2
+
+The container supports three inference modes used by the runtime:
+
+* ``forward_all`` — all exits at once (training / evaluation);
+* ``forward_to_exit`` — run only as deep as one chosen exit;
+* ``begin_incremental`` — a stateful cursor that runs to an exit and can
+  later *continue* to deeper exits without recomputing shared segments,
+  which is exactly the paper's incremental-inference primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import Layer
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, layers, name: str = ""):
+        super().__init__(name)
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def parameters(self) -> list:
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class IncrementalState:
+    """Cursor for incremental multi-exit inference.
+
+    Holds the deepest computed backbone activation so a later ``continue``
+    only pays for the *marginal* segments and branch — the saved activation
+    corresponds to the checkpointed intermediate result an intermittent
+    runtime would keep in nonvolatile memory.
+    """
+
+    def __init__(self, network: "MultiExitNetwork", x: np.ndarray):
+        self._network = network
+        self._activation = x
+        self._depth = -1  # index of deepest segment already computed
+        self.logits = None
+        self.exit_index = None
+
+    def run_to_exit(self, exit_index: int) -> np.ndarray:
+        """Advance through segments up to ``exit_index`` and run its branch."""
+        net = self._network
+        if not 0 <= exit_index < net.num_exits:
+            raise ConfigError(f"exit index {exit_index} out of range")
+        if exit_index <= self._depth:
+            raise ConfigError(
+                f"cannot run to exit {exit_index}: already at segment {self._depth}"
+            )
+        for seg in range(self._depth + 1, exit_index + 1):
+            self._activation = net.segments[seg].forward(self._activation, train=False)
+        self._depth = exit_index
+        self.exit_index = exit_index
+        self.logits = net.branches[exit_index].forward(self._activation, train=False)
+        return self.logits
+
+    @property
+    def can_continue(self) -> bool:
+        return self._depth < self._network.num_exits - 1
+
+
+class MultiExitNetwork:
+    """Backbone segments with one classifier branch per segment."""
+
+    def __init__(self, segments, branches, name: str = "multi_exit", num_classes: int = 10):
+        if len(segments) != len(branches):
+            raise ConfigError(
+                f"need one branch per segment, got {len(segments)} segments "
+                f"and {len(branches)} branches"
+            )
+        if not segments:
+            raise ConfigError("network needs at least one segment")
+        self.segments = [s if isinstance(s, Sequential) else Sequential(s) for s in segments]
+        self.branches = [b if isinstance(b, Sequential) else Sequential(b) for b in branches]
+        self.name = name
+        self.num_classes = num_classes
+
+    @property
+    def num_exits(self) -> int:
+        return len(self.branches)
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def forward_all(self, x: np.ndarray, train: bool = False) -> list:
+        """Run the whole network; return logits at every exit."""
+        logits = []
+        h = x
+        for seg, branch in zip(self.segments, self.branches):
+            h = seg.forward(h, train=train)
+            logits.append(branch.forward(h, train=train))
+        return logits
+
+    def forward_to_exit(self, x: np.ndarray, exit_index: int) -> np.ndarray:
+        """Run only segments ``0..exit_index`` plus that exit's branch."""
+        if not 0 <= exit_index < self.num_exits:
+            raise ConfigError(f"exit index {exit_index} out of range")
+        h = x
+        for seg in self.segments[: exit_index + 1]:
+            h = seg.forward(h, train=False)
+        return self.branches[exit_index].forward(h, train=False)
+
+    def begin_incremental(self, x: np.ndarray) -> IncrementalState:
+        """Start a stateful incremental inference over ``x``."""
+        return IncrementalState(self, x)
+
+    def predict(self, x: np.ndarray, exit_index: int = -1) -> np.ndarray:
+        """Class predictions at one exit (default: final exit)."""
+        if exit_index < 0:
+            exit_index = self.num_exits + exit_index
+        logits = self.forward_to_exit(x, exit_index)
+        return logits.argmax(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Training support
+    # ------------------------------------------------------------------ #
+    def backward_all(self, dlogits: list) -> np.ndarray:
+        """Backprop gradients from every exit simultaneously.
+
+        ``dlogits[i]`` is dLoss/dlogits at exit ``i`` (zeros allowed).  The
+        gradient that flows into segment ``i``'s output is the sum of its
+        branch gradient and the gradient carried back from deeper segments.
+        """
+        if len(dlogits) != self.num_exits:
+            raise ConfigError("need one gradient per exit")
+        carried = None
+        for i in reversed(range(self.num_exits)):
+            grad_h = self.branches[i].backward(dlogits[i])
+            if carried is not None:
+                grad_h = grad_h + carried
+            carried = self.segments[i].backward(grad_h)
+        return carried
+
+    def parameters(self) -> list:
+        params = []
+        for seg in self.segments:
+            params.extend(seg.parameters())
+        for branch in self.branches:
+            params.extend(branch.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by the compression stack
+    # ------------------------------------------------------------------ #
+    def weighted_layers(self) -> list:
+        """All Conv2d/Linear layers in execution order (backbone then each
+        branch, matching the paper's Fig. 4 layer listing)."""
+        from repro.nn.layers import Conv2d, Linear
+
+        ordered = []
+        for seg in self.segments:
+            ordered.extend(l for l in seg if isinstance(l, (Conv2d, Linear)))
+        for branch in self.branches:
+            ordered.extend(l for l in branch if isinstance(l, (Conv2d, Linear)))
+        return ordered
+
+    def layer_by_name(self, name: str) -> Layer:
+        for layer in self.weighted_layers():
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no weighted layer named {name!r} in {self.name}")
+
+    def exit_layer_names(self, exit_index: int) -> list:
+        """Names of weighted layers that exit ``exit_index`` depends on."""
+        from repro.nn.layers import Conv2d, Linear
+
+        names = []
+        for seg in self.segments[: exit_index + 1]:
+            names.extend(l.name for l in seg if isinstance(l, (Conv2d, Linear)))
+        names.extend(
+            l.name for l in self.branches[exit_index] if isinstance(l, (Conv2d, Linear))
+        )
+        return names

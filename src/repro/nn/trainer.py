@@ -1,0 +1,118 @@
+"""Joint training loop for multi-exit networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import MultiExitCrossEntropy
+from repro.nn.network import MultiExitNetwork
+from repro.nn.optim import SGD, Adam
+from repro.utils.rng import as_generator, batches
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`Trainer`.
+
+    ``exit_weights=None`` weighs every exit equally in the joint loss.
+    ``lr_decay`` multiplies the learning rate once per epoch.
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_decay: float = 0.95
+    optimizer: str = "sgd"  # "sgd" or "adam"
+    exit_weights: list = None
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch curves recorded during training."""
+
+    loss: list = field(default_factory=list)
+    exit_losses: list = field(default_factory=list)      # list of per-exit lists
+    val_exit_accuracy: list = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> list:
+        return self.val_exit_accuracy[-1] if self.val_exit_accuracy else []
+
+
+def evaluate_exit_accuracies(
+    net: MultiExitNetwork, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> list:
+    """Top-1 accuracy of every exit over a dataset (single forward sweep)."""
+    correct = np.zeros(net.num_exits, dtype=np.int64)
+    for idx in batches(len(x), batch_size):
+        logits_list = net.forward_all(x[idx], train=False)
+        labels = y[idx]
+        for i, logits in enumerate(logits_list):
+            correct[i] += int(np.sum(logits.argmax(axis=1) == labels))
+    return [float(c) / len(x) for c in correct]
+
+
+class Trainer:
+    """Trains a :class:`MultiExitNetwork` with the joint cross-entropy."""
+
+    def __init__(self, config: TrainConfig = None):
+        self.config = config or TrainConfig()
+
+    def _make_optimizer(self, net: MultiExitNetwork):
+        cfg = self.config
+        if cfg.optimizer == "sgd":
+            return SGD(
+                net.parameters(),
+                lr=cfg.lr,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+            )
+        if cfg.optimizer == "adam":
+            return Adam(net.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    def fit(
+        self,
+        net: MultiExitNetwork,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        val_x: np.ndarray = None,
+        val_y: np.ndarray = None,
+    ) -> TrainHistory:
+        """Run the full training loop; returns the recorded history."""
+        cfg = self.config
+        rng = as_generator(cfg.seed)
+        criterion = MultiExitCrossEntropy(net.num_exits, cfg.exit_weights)
+        optimizer = self._make_optimizer(net)
+        history = TrainHistory()
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            epoch_exit_losses = np.zeros(net.num_exits)
+            num_batches = 0
+            for idx in batches(len(train_x), cfg.batch_size, rng):
+                optimizer.zero_grad()
+                logits_list = net.forward_all(train_x[idx], train=True)
+                loss = criterion(logits_list, train_y[idx])
+                net.backward_all(criterion.backward())
+                optimizer.step()
+                epoch_loss += loss
+                epoch_exit_losses += criterion.last_exit_losses
+                num_batches += 1
+            history.loss.append(epoch_loss / num_batches)
+            history.exit_losses.append(list(epoch_exit_losses / num_batches))
+            if val_x is not None:
+                accs = evaluate_exit_accuracies(net, val_x, val_y)
+                history.val_exit_accuracy.append(accs)
+                if cfg.verbose:
+                    pretty = ", ".join(f"{a:.3f}" for a in accs)
+                    print(f"epoch {epoch + 1}/{cfg.epochs}: loss={history.loss[-1]:.4f} val=[{pretty}]")
+            elif cfg.verbose:
+                print(f"epoch {epoch + 1}/{cfg.epochs}: loss={history.loss[-1]:.4f}")
+            optimizer.lr *= cfg.lr_decay
+        return history

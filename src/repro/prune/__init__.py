@@ -1,0 +1,9 @@
+"""Channel pruning by input-channel importance (paper Eq. 2)."""
+
+from repro.prune.channel_pruning import (
+    channel_importance,
+    kept_channel_indices,
+    prune_layer_inputs,
+)
+
+__all__ = ["channel_importance", "kept_channel_indices", "prune_layer_inputs"]

@@ -1,0 +1,101 @@
+"""Channel pruning of input channels (paper Section III, Eq. 2).
+
+Given a pruning (preserve) ratio ``alpha_l`` for layer ``l``, the paper
+prunes entire *input channels* of a convolutional or fully-connected layer,
+selected by the sum of absolute weights applied to them::
+
+    s_j = sum_i |W_{i,j}|        (Eq. 2)
+
+The least-important channels are removed so ``c' = ceil(alpha * c)``.
+For fully-connected layers, "channels" are individual input activations.
+
+This module implements pruning as *masking*: the pruned input slices of the
+weight tensor are zeroed in place.  Masking is mathematically identical to
+physically slicing the tensors (the removed channels contribute nothing)
+while keeping the network graph intact — the cost bookkeeping in
+:mod:`repro.compress` accounts for the removed channels analytically,
+including the paper's "two-fold" FLOPs reduction where a producing layer's
+unused output channels are also discounted.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.nn.layers import Conv2d, Linear
+
+
+def channel_importance(weight: np.ndarray, criterion: str = "l1") -> np.ndarray:
+    """Importance score of each input channel of a weight tensor.
+
+    ``weight`` is ``(n, c, k, k)`` for conv or ``(n, c)`` for linear.
+    ``criterion`` selects the reduction: ``"l1"`` (paper Eq. 2), ``"l2"``,
+    used by the ablation study.
+    """
+    w = np.asarray(weight)
+    if w.ndim == 4:
+        per_channel = w.transpose(1, 0, 2, 3).reshape(w.shape[1], -1)
+    elif w.ndim == 2:
+        per_channel = w.T
+    else:
+        raise CompressionError(f"unsupported weight rank {w.ndim}")
+    if criterion == "l1":
+        return np.abs(per_channel).sum(axis=1)
+    if criterion == "l2":
+        return np.sqrt((per_channel ** 2).sum(axis=1))
+    raise CompressionError(f"unknown importance criterion {criterion!r}")
+
+
+def kept_channel_indices(
+    weight: np.ndarray,
+    preserve_ratio: float,
+    criterion: str = "l1",
+    rng=None,
+) -> np.ndarray:
+    """Indices of input channels to keep under ``preserve_ratio``.
+
+    At least one channel is always kept.  ``criterion="random"`` (with an
+    ``rng``) supports the ablation baseline.
+    """
+    if not 0.0 < preserve_ratio <= 1.0:
+        raise CompressionError(f"preserve ratio must be in (0, 1], got {preserve_ratio}")
+    w = np.asarray(weight)
+    c = w.shape[1]
+    keep = max(1, int(math.ceil(preserve_ratio * c)))
+    if keep >= c:
+        return np.arange(c)
+    if criterion == "random":
+        if rng is None:
+            raise CompressionError("random criterion requires an rng")
+        return np.sort(rng.choice(c, size=keep, replace=False))
+    scores = channel_importance(w, criterion)
+    # Stable selection: ties broken by channel index for reproducibility.
+    order = np.lexsort((np.arange(c), -scores))
+    return np.sort(order[:keep])
+
+
+def prune_layer_inputs(
+    layer,
+    preserve_ratio: float,
+    criterion: str = "l1",
+    rng=None,
+) -> np.ndarray:
+    """Zero the pruned input channels of ``layer`` in place.
+
+    Returns the kept-channel index array.  The layer's weight tensor keeps
+    its shape (masking, see module docstring); callers use the returned
+    indices for cost accounting and producer-side cleanup.
+    """
+    if not isinstance(layer, (Conv2d, Linear)):
+        raise CompressionError(f"cannot channel-prune a {type(layer).__name__}")
+    kept = kept_channel_indices(layer.weight.data, preserve_ratio, criterion, rng)
+    mask = np.zeros(layer.weight.data.shape[1], dtype=bool)
+    mask[kept] = True
+    if layer.weight.data.ndim == 4:
+        layer.weight.data[:, ~mask, :, :] = 0.0
+    else:
+        layer.weight.data[:, ~mask] = 0.0
+    return kept

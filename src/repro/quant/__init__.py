@@ -1,0 +1,17 @@
+"""Linear quantization of weights and activations (paper Eq. 3)."""
+
+from repro.quant.linear_quant import (
+    ActivationQuantizer,
+    WeightQuantizer,
+    optimal_weight_scale,
+    quantize_activations,
+    quantize_weights,
+)
+
+__all__ = [
+    "ActivationQuantizer",
+    "WeightQuantizer",
+    "optimal_weight_scale",
+    "quantize_activations",
+    "quantize_weights",
+]

@@ -1,0 +1,152 @@
+"""Linear quantization following the paper's Section III ("Quantization").
+
+Weights (Eq. 3)::
+
+    w' = clamp(round(w / s), -2^(k-1), 2^(k-1) - 1) * s
+
+with the scaling factor ``s`` chosen to minimize ``||w' - w||_2`` via a
+line search, exactly as in HAQ [15] which the paper builds on.
+
+Activations: same procedure but clamped to ``[0, 2^k - 1]`` because the
+network is ReLU-based and activations are non-negative.  A signed variant
+is used for the network input (standardized images are signed).
+
+1-bit weights degenerate under Eq. 3 (the signed range becomes {-1, 0}),
+so, following XNOR-Net [23] which the paper cites for binary filters,
+``bits == 1`` maps weights to ``sign(w) * s`` with the L2-optimal
+``s = mean(|w|)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.mathx import clamp
+
+
+def _check_bits(bits: int) -> None:
+    if not isinstance(bits, (int, np.integer)) or not 1 <= bits <= 32:
+        raise ConfigError(f"bitwidth must be an int in [1, 32], got {bits!r}")
+
+
+def _quantize_signed(w: np.ndarray, bits: int, scale: float) -> np.ndarray:
+    lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return clamp(np.round(w / scale), lo, hi) * scale
+
+
+def optimal_weight_scale(w: np.ndarray, bits: int, num_candidates: int = 40) -> float:
+    """L2-optimal scaling factor for signed linear quantization of ``w``.
+
+    Searches candidate scales between 30% and 120% of the max-based scale,
+    which brackets the optimum for bell-shaped weight distributions.
+    """
+    _check_bits(bits)
+    wmax = float(np.abs(w).max())
+    if wmax == 0.0:
+        return 1.0
+    if bits == 1:
+        return float(np.abs(w).mean())  # XNOR-Net optimal binary scale
+    base = wmax / (2 ** (bits - 1) - 1)
+    best_scale, best_err = base, np.inf
+    for factor in np.linspace(0.3, 1.2, num_candidates):
+        s = base * factor
+        err = float(np.sum((_quantize_signed(w, bits, s) - w) ** 2))
+        if err < best_err:
+            best_scale, best_err = s, err
+    return best_scale
+
+
+def quantize_weights(w: np.ndarray, bits: int, scale: float = None) -> np.ndarray:
+    """Quantize a weight tensor to ``bits`` bits (Eq. 3).
+
+    ``bits >= 32`` is treated as full precision.  When ``scale`` is omitted
+    the L2-optimal scale is computed from ``w`` itself.
+    """
+    _check_bits(bits)
+    if bits >= 32:
+        return np.asarray(w, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    s = optimal_weight_scale(w, bits) if scale is None else float(scale)
+    if s <= 0:
+        raise ConfigError("quantization scale must be positive")
+    if bits == 1:
+        return np.where(w >= 0, s, -s)
+    return _quantize_signed(w, bits, s)
+
+
+def quantize_activations(
+    a: np.ndarray, bits: int, scale: float, signed: bool = False
+) -> np.ndarray:
+    """Quantize activations to ``bits`` bits with a fixed calibrated scale.
+
+    Unsigned range ``[0, 2^k - 1]`` by default (post-ReLU activations);
+    ``signed=True`` uses the symmetric signed range (network input).
+    """
+    _check_bits(bits)
+    if bits >= 32:
+        return np.asarray(a, dtype=np.float64)
+    if scale <= 0:
+        raise ConfigError("activation scale must be positive")
+    if signed:
+        lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    else:
+        lo, hi = 0, 2 ** bits - 1
+    return clamp(np.round(np.asarray(a, dtype=np.float64) / scale), lo, hi) * scale
+
+
+class WeightQuantizer:
+    """Callable weight-quantization hook for Conv2d/Linear layers.
+
+    Recomputes the L2-optimal scale from the current weights on every call,
+    so post-compression fine-tuning (straight-through gradients) keeps the
+    quantization grid matched to the evolving weights.
+    """
+
+    def __init__(self, bits: int):
+        _check_bits(bits)
+        self.bits = int(bits)
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        return quantize_weights(w, self.bits)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WeightQuantizer(bits={self.bits})"
+
+
+class ActivationQuantizer:
+    """Callable activation-quantization hook with one-shot calibration.
+
+    The scale maps the calibrated dynamic range onto the integer grid; it
+    is set from sample activations via :meth:`calibrate` (max-percentile
+    rule) or explicitly.  Uncalibrated quantizers fall back to dynamic
+    per-call max, which mirrors a conservative first deployment.
+    """
+
+    def __init__(self, bits: int, signed: bool = False, percentile: float = 99.9):
+        _check_bits(bits)
+        self.bits = int(bits)
+        self.signed = bool(signed)
+        self.percentile = float(percentile)
+        self.scale = None
+
+    def _levels(self) -> int:
+        return 2 ** (self.bits - 1) - 1 if self.signed else 2 ** self.bits - 1
+
+    def calibrate(self, samples: np.ndarray) -> "ActivationQuantizer":
+        """Set the scale from representative activations; returns self."""
+        ref = np.percentile(np.abs(samples), self.percentile)
+        self.scale = float(ref) / max(1, self._levels()) or 1e-8
+        return self
+
+    def __call__(self, a: np.ndarray) -> np.ndarray:
+        if self.bits >= 32:
+            return a
+        scale = self.scale
+        if scale is None:
+            peak = float(np.abs(a).max())
+            scale = (peak / max(1, self._levels())) if peak > 0 else 1e-8
+        return quantize_activations(a, self.bits, scale, signed=self.signed)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ActivationQuantizer(bits={self.bits}, signed={self.signed})"

@@ -1,0 +1,27 @@
+"""RL-based nonuniform compression search (paper Section III-B)."""
+
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.rl.noise import OUNoise, TruncatedNormalNoise
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.env import CompressionObjective, LayerwiseCompressionEnv
+from repro.rl.search import (
+    NonuniformSearch,
+    RandomSearch,
+    SearchConfig,
+    SearchResult,
+)
+
+__all__ = [
+    "ReplayBuffer",
+    "Transition",
+    "OUNoise",
+    "TruncatedNormalNoise",
+    "DDPGAgent",
+    "DDPGConfig",
+    "CompressionObjective",
+    "LayerwiseCompressionEnv",
+    "NonuniformSearch",
+    "RandomSearch",
+    "SearchConfig",
+    "SearchResult",
+]

@@ -1,0 +1,161 @@
+"""Deep Deterministic Policy Gradient (Lillicrap et al. [16]) in numpy.
+
+The paper's compression search uses two DDPG agents (one for pruning rates,
+one for bitwidths) exploring a continuous action space "because fine-grained
+pruning rate and quantization bitwidth need a large number of discrete
+actions to represent".  Actor outputs are squashed to [0, 1] by a sigmoid
+and mapped to physical knobs by the environment.
+
+Both actor and critic are small MLPs built from :mod:`repro.nn` layers, so
+the whole search runs without any external autograd framework.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import Linear, ReLU, Sigmoid
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.rl.noise import TruncatedNormalNoise
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+from repro.utils.rng import as_generator, spawn
+
+
+@dataclass
+class DDPGConfig:
+    """Hyper-parameters of one DDPG agent."""
+
+    hidden_sizes: tuple = (64, 64)
+    actor_lr: float = 1e-3
+    critic_lr: float = 2e-3
+    gamma: float = 1.0          # episodic reward arrives at the end (Eq. 13)
+    tau: float = 0.01           # soft target-update rate
+    batch_size: int = 64
+    buffer_capacity: int = 20_000
+    updates_per_step: int = 1
+    warmup: int = 200           # transitions before learning starts
+    noise_sigma: float = 0.35
+    noise_decay: float = 0.99
+    noise_sigma_min: float = 0.02
+
+    def __post_init__(self):
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ConfigError("gamma must be in [0, 1]")
+        if not 0.0 < self.tau <= 1.0:
+            raise ConfigError("tau must be in (0, 1]")
+
+
+def _mlp(sizes, final_sigmoid: bool, prefix: str, rng) -> Sequential:
+    layers = []
+    rngs = iter(spawn(rng, len(sizes) - 1))
+    for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        layers.append(Linear(n_in, n_out, name=f"{prefix}.fc{i}", rng=next(rngs)))
+        if i < len(sizes) - 2:
+            layers.append(ReLU())
+    if final_sigmoid:
+        layers.append(Sigmoid())
+    return Sequential(layers, name=prefix)
+
+
+def _soft_update(target: Sequential, source: Sequential, tau: float) -> None:
+    for pt, ps in zip(target.parameters(), source.parameters()):
+        pt.data *= 1.0 - tau
+        pt.data += tau * ps.data
+
+
+class DDPGAgent:
+    """One actor-critic pair with target networks and a replay buffer."""
+
+    def __init__(self, state_dim: int, action_dim: int, config: DDPGConfig = None, rng=None):
+        if state_dim < 1 or action_dim < 1:
+            raise ConfigError("state and action dims must be >= 1")
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self.config = config or DDPGConfig()
+        actor_rng, critic_rng, buf_rng, noise_rng, self._rng = spawn(rng, 5)
+        h = list(self.config.hidden_sizes)
+        self.actor = _mlp([state_dim] + h + [action_dim], True, "actor", actor_rng)
+        self.critic = _mlp([state_dim + action_dim] + h + [1], False, "critic", critic_rng)
+        self.target_actor = copy.deepcopy(self.actor)
+        self.target_critic = copy.deepcopy(self.critic)
+        self._actor_opt = Adam(self.actor.parameters(), lr=self.config.actor_lr)
+        self._critic_opt = Adam(self.critic.parameters(), lr=self.config.critic_lr)
+        self.buffer = ReplayBuffer(self.config.buffer_capacity, rng=buf_rng)
+        self.noise = TruncatedNormalNoise(
+            action_dim,
+            sigma=self.config.noise_sigma,
+            decay=self.config.noise_decay,
+            sigma_min=self.config.noise_sigma_min,
+            rng=noise_rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Action in [0, 1]^A for one state vector."""
+        state = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        action = self.actor.forward(state, train=False)[0]
+        if explore:
+            action = action + self.noise.sample()
+        return np.clip(action, 0.0, 1.0)
+
+    def remember(
+        self, state, action, reward: float, next_state, done: bool
+    ) -> None:
+        self.buffer.push(
+            Transition(
+                np.asarray(state, dtype=np.float64),
+                np.asarray(action, dtype=np.float64),
+                float(reward),
+                np.asarray(next_state, dtype=np.float64),
+                bool(done),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def update(self) -> dict:
+        """One (or more) gradient steps on critic and actor.
+
+        Returns the last step's losses; empty dict before warmup.
+        """
+        cfg = self.config
+        if len(self.buffer) < max(cfg.batch_size, cfg.warmup):
+            return {}
+        stats: dict = {}
+        for _ in range(cfg.updates_per_step):
+            states, actions, rewards, next_states, dones = self.buffer.sample(cfg.batch_size)
+            # ---- critic: regress onto the bootstrapped target (Eq. 13/14)
+            next_actions = self.target_actor.forward(next_states, train=False)
+            next_q = self.target_critic.forward(
+                np.concatenate([next_states, next_actions], axis=1), train=False
+            )[:, 0]
+            targets = rewards + cfg.gamma * (1.0 - dones) * next_q
+            self._critic_opt.zero_grad()
+            q = self.critic.forward(np.concatenate([states, actions], axis=1), train=True)[:, 0]
+            critic_loss = float(np.mean((q - targets) ** 2))
+            dq = (2.0 * (q - targets) / len(q))[:, None]
+            self.critic.backward(dq)
+            self._critic_opt.step()
+            # ---- actor: ascend dQ/da through the policy (Eq. 15)
+            self._actor_opt.zero_grad()
+            policy_actions = self.actor.forward(states, train=True)
+            self.critic.zero_grad()
+            q_pi = self.critic.forward(
+                np.concatenate([states, policy_actions], axis=1), train=True
+            )
+            dinput = self.critic.backward(-np.ones_like(q_pi) / len(q_pi))
+            self.critic.zero_grad()  # discard critic grads from this pass
+            self.actor.backward(dinput[:, self.state_dim:])
+            self._actor_opt.step()
+            _soft_update(self.target_actor, self.actor, cfg.tau)
+            _soft_update(self.target_critic, self.critic, cfg.tau)
+            stats = {"critic_loss": critic_loss, "q_mean": float(np.mean(q))}
+        return stats
+
+    def end_episode(self) -> None:
+        """Anneal exploration noise (called once per search episode)."""
+        self.noise.end_episode()

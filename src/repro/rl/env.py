@@ -1,0 +1,336 @@
+"""Layer-wise compression environment (paper Section III-B).
+
+Two agents walk the network layer by layer.  At layer ``l`` both observe
+the shared state ``O_l`` (Eq. 9) and emit their actions — a pruning rate
+and a weight/activation bitwidth pair.  When the last layer is reached the
+episode ends: the spec is applied, the compressed network is evaluated for
+per-exit accuracy, a fast trace simulation estimates how often each exit
+would actually be selected under the EH power trace and event distribution,
+and the agents are rewarded per Eq. 10-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compress.compressor import CompressedModel, Compressor
+from repro.compress.evaluator import evaluate_exits
+from repro.compress.finetune import FinetuneConfig, finetune_compressed
+from repro.compress.spec import CompressionSpec, LayerCompression
+from repro.data.dataset import Dataset
+from repro.energy.storage import EnergyStorage
+from repro.energy.traces import PowerTrace
+from repro.errors import ConfigError
+from repro.intermittent.mcu import MCUSpec, MSP432
+from repro.nn.flops import profile_network
+from repro.nn.network import MultiExitNetwork
+from repro.runtime.controller import StaticController
+from repro.runtime.policies import GreedyEnergyPolicy
+from repro.sim.profiles import InferenceProfile
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator, SimulatorConfig
+
+
+@dataclass
+class ObjectiveResult:
+    """Everything the reward (and the caller) needs about one candidate."""
+
+    spec: CompressionSpec
+    model: CompressedModel
+    accuracies: list            # Acc_i per exit
+    exit_fractions: list        # p_i per exit (over ALL events)
+    racc: float                 # Eq. 10
+    fmodel_flops: float
+    size_kb: float
+    flops_ok: bool
+    size_ok: bool
+    rprune: float               # Eq. 11
+    rquant: float               # Eq. 12
+
+    @property
+    def feasible(self) -> bool:
+        return self.flops_ok and self.size_ok
+
+
+class CompressionObjective:
+    """Evaluates a spec under the power trace and event distribution.
+
+    ``trace_aware=False`` replaces the selection probabilities ``p_i`` with
+    the uniform ``1/m`` — the ablation showing what the exit-probability
+    weighting in Eq. 10 buys.
+    """
+
+    def __init__(
+        self,
+        net: MultiExitNetwork,
+        val_data: Dataset,
+        trace: PowerTrace,
+        events,
+        flops_target: float,
+        size_target_kb: float,
+        mcu: MCUSpec = MSP432,
+        storage_capacity_mj: float = 2.0,
+        storage_efficiency: float = 0.8,
+        lambda_prune: float = 1.0,
+        lambda_quant: float = 1.0,
+        trace_aware: bool = True,
+        calibration_size: int = 64,
+        input_shape=(3, 32, 32),
+        sim_seed: int = 0,
+        train_data: Dataset = None,
+        finetune_epochs: int = 0,
+        finetune_samples: int = 1500,
+        finetune_lr: float = 0.01,
+    ):
+        if flops_target <= 0 or size_target_kb <= 0:
+            raise ConfigError("targets must be positive")
+        self.net = net
+        self.val_data = val_data
+        self.trace = trace
+        self.events = np.asarray(events, dtype=np.float64)
+        self.flops_target = float(flops_target)
+        self.size_target_kb = float(size_target_kb)
+        self.mcu = mcu
+        self.storage_capacity_mj = float(storage_capacity_mj)
+        self.storage_efficiency = float(storage_efficiency)
+        self.lambda_prune = float(lambda_prune)
+        self.lambda_quant = float(lambda_quant)
+        self.trace_aware = bool(trace_aware)
+        self.input_shape = tuple(input_shape)
+        self.sim_seed = int(sim_seed)
+        if finetune_epochs > 0 and train_data is None:
+            raise ConfigError("finetune_epochs > 0 requires train_data")
+        self.train_data = train_data
+        self.finetune_epochs = int(finetune_epochs)
+        self.finetune_samples = int(finetune_samples)
+        self.finetune_lr = float(finetune_lr)
+        self._compressor = Compressor(input_shape=self.input_shape)
+        self._calibration_x = val_data.x[:calibration_size]
+
+    def _selection_fractions(self, model: CompressedModel, accuracies) -> list:
+        """p_i from a fast profile-mode simulation with the static policy."""
+        profile = InferenceProfile(
+            name="candidate",
+            exit_accuracies=list(accuracies),
+            exit_energy_mj=[self.mcu.inference_energy_mj(f) for f in model.exit_flops],
+            exit_flops=[float(f) for f in model.exit_flops],
+            incremental_energy_mj=[
+                self.mcu.inference_energy_mj(f) for f in model.incremental_exit_flops()
+            ],
+            incremental_flops=[float(f) for f in model.incremental_exit_flops()],
+        )
+        storage = EnergyStorage(
+            self.storage_capacity_mj,
+            self.storage_efficiency,
+            initial_mj=self.storage_capacity_mj / 2,
+        )
+        sim = Simulator(
+            self.trace,
+            profile,
+            StaticController(GreedyEnergyPolicy()),
+            mcu=self.mcu,
+            storage=storage,
+            config=SimulatorConfig(mode="profile", seed=self.sim_seed),
+        )
+        result: SimulationResult = sim.run(self.events)
+        return result.exit_fractions(profile.num_exits)
+
+    def evaluate(self, spec: CompressionSpec) -> ObjectiveResult:
+        """Full evaluation of one candidate spec (Eq. 10-12).
+
+        When ``finetune_epochs > 0`` the candidate gets a short
+        quantization/pruning-aware fine-tune before measurement — at MCU
+        compression ratios the zero-shot accuracy of every candidate is
+        near chance, so a brief adaptation is what makes the reward signal
+        informative (the HAQ recipe the paper builds on).
+        """
+        model = self._compressor.apply(self.net, spec, calibration_x=self._calibration_x)
+        if self.finetune_epochs > 0:
+            n = min(self.finetune_samples, len(self.train_data))
+            finetune_compressed(
+                model,
+                self.train_data.x[:n],
+                self.train_data.y[:n],
+                FinetuneConfig(epochs=self.finetune_epochs, lr=self.finetune_lr, seed=0),
+            )
+        evaluation = evaluate_exits(
+            model, self.val_data, energy_per_mflop_mj=self.mcu.energy_per_mflop_mj
+        )
+        accuracies = evaluation.accuracies
+        if self.trace_aware:
+            fractions = self._selection_fractions(model, accuracies)
+        else:
+            fractions = [1.0 / len(accuracies)] * len(accuracies)
+        racc = float(sum(p * a for p, a in zip(fractions, accuracies)))
+        flops_ok = model.fmodel_flops <= self.flops_target
+        size_ok = model.model_size_kb <= self.size_target_kb
+        rprune = self.lambda_prune * racc if flops_ok else -self.lambda_prune
+        rquant = self.lambda_quant * racc if size_ok else -self.lambda_quant
+        return ObjectiveResult(
+            spec=spec,
+            model=model,
+            accuracies=list(accuracies),
+            exit_fractions=list(fractions),
+            racc=racc,
+            fmodel_flops=model.fmodel_flops,
+            size_kb=model.model_size_kb,
+            flops_ok=flops_ok,
+            size_ok=size_ok,
+            rprune=float(rprune),
+            rquant=float(rquant),
+        )
+
+
+#: Dimensionality of the shared observation O_l (Eq. 9).
+OBSERVATION_DIM = 12
+
+
+@dataclass
+class _LayerInfo:
+    name: str
+    flops: int
+    weights: int
+    is_conv: bool
+    cin: int
+    cout: int
+
+
+class LayerwiseCompressionEnv:
+    """Steps two agents through the network's weighted layers."""
+
+    def __init__(
+        self,
+        objective: CompressionObjective,
+        alpha_bounds=(0.05, 1.0),
+        alpha_step: float = 0.05,
+        weight_bits_bounds=(1, 8),
+        act_bits_bounds=(1, 8),
+    ):
+        self.objective = objective
+        if not 0.0 < alpha_bounds[0] <= alpha_bounds[1] <= 1.0:
+            raise ConfigError("invalid alpha bounds")
+        if alpha_step <= 0:
+            raise ConfigError("alpha_step must be positive")
+        self.alpha_bounds = (float(alpha_bounds[0]), float(alpha_bounds[1]))
+        self.alpha_step = float(alpha_step)
+        self.weight_bits_bounds = (int(weight_bits_bounds[0]), int(weight_bits_bounds[1]))
+        self.act_bits_bounds = (int(act_bits_bounds[0]), int(act_bits_bounds[1]))
+        profile = profile_network(objective.net, objective.input_shape)
+        ordered = [l.name for l in objective.net.weighted_layers()]
+        self.layers = [
+            _LayerInfo(
+                name=lp.name,
+                flops=lp.flops,
+                weights=lp.weight_count,
+                is_conv=(lp.kind == "conv"),
+                cin=lp.in_channels,
+                cout=lp.out_channels,
+            )
+            for lp in sorted(profile.layers, key=lambda lp: ordered.index(lp.name))
+        ]
+        self.total_flops = float(sum(l.flops for l in self.layers))
+        self.total_weights = float(sum(l.weights for l in self.layers))
+        self._max_cin = max(l.cin for l in self.layers)
+        self._max_cout = max(l.cout for l in self.layers)
+        self._max_weights = max(l.weights for l in self.layers)
+        self._reset_state()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def _reset_state(self) -> None:
+        self._index = 0
+        self._choices: list = []          # (alpha, bw, ba) per layer
+        self._flops_reduced = 0.0
+        self._size_reduced_bits = 0.0
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns O_0."""
+        self._reset_state()
+        return self.observation()
+
+    # ------------------------------------------------------------------ #
+    def map_alpha(self, action: float) -> float:
+        """Map an action in [0, 1] to a grid-snapped preserve ratio."""
+        lo, hi = self.alpha_bounds
+        alpha = lo + float(np.clip(action, 0.0, 1.0)) * (hi - lo)
+        snapped = round(alpha / self.alpha_step) * self.alpha_step
+        return float(min(hi, max(lo, snapped)))
+
+    def map_bits(self, action: float, bounds) -> int:
+        """Map an action in [0, 1] to an integer bitwidth."""
+        lo, hi = bounds
+        return int(round(lo + float(np.clip(action, 0.0, 1.0)) * (hi - lo)))
+
+    def observation(self) -> np.ndarray:
+        """O_l per Eq. 9, all entries normalized to [0, 1]."""
+        i = self._index
+        info = self.layers[min(i, self.num_layers - 1)]
+        if self._choices:
+            prev_alpha, prev_bw, prev_ba = self._choices[-1]
+        else:
+            prev_alpha, prev_bw, prev_ba = 1.0, 8, 8
+        flops_remaining = sum(l.flops for l in self.layers[i:])
+        size_remaining = sum(l.weights for l in self.layers[i:]) * 32.0
+        return np.array(
+            [
+                i / max(1, self.num_layers - 1),
+                prev_alpha,
+                prev_bw / 8.0,
+                prev_ba / 8.0,
+                self._flops_reduced / self.total_flops,
+                flops_remaining / self.total_flops,
+                self._size_reduced_bits / (self.total_weights * 32.0),
+                size_remaining / (self.total_weights * 32.0),
+                1.0 if info.is_conv else 0.0,
+                info.cin / self._max_cin,
+                info.cout / self._max_cout,
+                info.weights / self._max_weights,
+            ],
+            dtype=np.float64,
+        )
+
+    def step(self, prune_action, quant_action):
+        """Apply both agents' actions to the current layer.
+
+        ``prune_action`` is a scalar/1-vector in [0, 1]; ``quant_action``
+        is a 2-vector (weight bits, activation bits).  Returns
+        ``(next_observation, done)``.
+        """
+        if self._index >= self.num_layers:
+            raise ConfigError("episode already finished; call reset()")
+        prune_action = np.atleast_1d(np.asarray(prune_action, dtype=np.float64))
+        quant_action = np.atleast_1d(np.asarray(quant_action, dtype=np.float64))
+        if quant_action.size != 2:
+            raise ConfigError("quant agent must emit 2 actions (b^w, b^a)")
+        alpha = self.map_alpha(prune_action[0])
+        bw = self.map_bits(quant_action[0], self.weight_bits_bounds)
+        ba = self.map_bits(quant_action[1], self.act_bits_bounds)
+        info = self.layers[self._index]
+        # Running first-order estimates for the observation only; the exact
+        # accounting happens in the Compressor at episode end.
+        self._flops_reduced += info.flops * (1.0 - alpha)
+        self._size_reduced_bits += info.weights * (32.0 - alpha * bw)
+        self._choices.append((alpha, bw, ba))
+        self._index += 1
+        done = self._index >= self.num_layers
+        return self.observation(), done
+
+    def build_spec(self) -> CompressionSpec:
+        """Spec from the episode's choices (requires a finished episode)."""
+        if self._index < self.num_layers:
+            raise ConfigError("episode not finished")
+        return CompressionSpec(
+            {
+                info.name: LayerCompression(alpha, bw, ba)
+                for info, (alpha, bw, ba) in zip(self.layers, self._choices)
+            }
+        )
+
+    def finalize(self) -> ObjectiveResult:
+        """Evaluate the finished episode's spec (Eq. 10-12)."""
+        return self.objective.evaluate(self.build_spec())

@@ -1,0 +1,58 @@
+"""Exploration noise for continuous-action agents."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_generator
+
+
+class OUNoise:
+    """Ornstein-Uhlenbeck noise (the classic DDPG exploration process)."""
+
+    def __init__(self, dim: int, theta: float = 0.15, sigma: float = 0.3, rng=None):
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        self.dim = int(dim)
+        self.theta = float(theta)
+        self.sigma = float(sigma)
+        self._rng = as_generator(rng)
+        self.state = np.zeros(self.dim)
+
+    def reset(self) -> None:
+        self.state = np.zeros(self.dim)
+
+    def sample(self) -> np.ndarray:
+        self.state = (
+            self.state
+            - self.theta * self.state
+            + self.sigma * self._rng.normal(size=self.dim)
+        )
+        return self.state.copy()
+
+
+class TruncatedNormalNoise:
+    """Decaying i.i.d. Gaussian noise (HAQ/AMC-style exploration).
+
+    ``decay`` multiplies sigma once per episode via :meth:`end_episode`,
+    annealing exploration as the search converges.
+    """
+
+    def __init__(self, dim: int, sigma: float = 0.35, decay: float = 0.99, sigma_min: float = 0.02, rng=None):
+        if dim < 1:
+            raise ConfigError("dim must be >= 1")
+        self.dim = int(dim)
+        self.sigma = float(sigma)
+        self.decay = float(decay)
+        self.sigma_min = float(sigma_min)
+        self._rng = as_generator(rng)
+
+    def reset(self) -> None:  # per-episode state: none
+        pass
+
+    def sample(self) -> np.ndarray:
+        return self._rng.normal(0.0, self.sigma, size=self.dim)
+
+    def end_episode(self) -> None:
+        self.sigma = max(self.sigma_min, self.sigma * self.decay)

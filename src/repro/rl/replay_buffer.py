@@ -1,0 +1,67 @@
+"""Uniform-sampling replay buffer for the DDPG agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform minibatch sampling."""
+
+    def __init__(self, capacity: int, rng=None):
+        if capacity < 1:
+            raise ConfigError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._storage: list = []
+        self._cursor = 0
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int):
+        """Uniformly sample a batch; returns stacked arrays.
+
+        Raises when fewer than ``batch_size`` transitions are stored.
+        """
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if len(self._storage) < batch_size:
+            raise ConfigError(
+                f"buffer holds {len(self._storage)} < batch_size {batch_size}"
+            )
+        idx = self._rng.choice(len(self._storage), size=batch_size, replace=False)
+        batch = [self._storage[i] for i in idx]
+        states = np.stack([t.state for t in batch])
+        actions = np.stack([t.action for t in batch])
+        rewards = np.array([t.reward for t in batch], dtype=np.float64)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.array([t.done for t in batch], dtype=np.float64)
+        return states, actions, rewards, next_states, dones
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._cursor = 0

@@ -1,0 +1,207 @@
+"""Search drivers: two-agent DDPG search and a random-search baseline.
+
+The DDPG search follows the paper (and AMC/HAQ): both agents act at every
+layer; the episode's final reward (Eq. 11/12, one reward per agent) is
+assigned to all of that episode's transitions, with ``done`` on the last.
+The best *feasible* spec seen anywhere during exploration is returned —
+the search artifact is the spec, not the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compress.spec import CompressionSpec, LayerCompression
+from repro.errors import ConfigError
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.env import OBSERVATION_DIM, LayerwiseCompressionEnv, ObjectiveResult
+from repro.utils.rng import as_generator, spawn
+
+
+@dataclass
+class SearchConfig:
+    """Knobs of the nonuniform-compression search."""
+
+    episodes: int = 60
+    seed: int = 0
+    ddpg: DDPGConfig = field(default_factory=DDPGConfig)
+    verbose: bool = False
+
+
+@dataclass
+class EpisodeLog:
+    """Per-episode trace of the search."""
+
+    episode: int
+    racc: float
+    rprune: float
+    rquant: float
+    fmodel_flops: float
+    size_kb: float
+    feasible: bool
+    accuracies: list
+    exit_fractions: list
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    best: ObjectiveResult            # best feasible candidate (by Racc)
+    history: list                    # EpisodeLog per episode
+    episodes: int
+
+    @property
+    def best_spec(self) -> CompressionSpec:
+        return self.best.spec
+
+    def racc_curve(self) -> list:
+        return [h.racc for h in self.history]
+
+
+def _better(candidate: ObjectiveResult, incumbent: ObjectiveResult) -> bool:
+    """Feasibility first, then Racc; infeasible compared by Racc too."""
+    if incumbent is None:
+        return True
+    if candidate.feasible != incumbent.feasible:
+        return candidate.feasible
+    return candidate.racc > incumbent.racc
+
+
+class NonuniformSearch:
+    """The paper's two-agent RL search over pruning rates and bitwidths.
+
+    ``warm_start_specs`` optionally seeds the very first episodes with
+    known-reasonable compression specs (e.g. a hand profile in the Fig. 4
+    layout): their trajectories are replayed through the environment, so
+    the agents' replay buffers start with informative transitions and the
+    best-candidate tracker includes them.  Exploration then proceeds
+    normally and can improve on the seeds.
+    """
+
+    def __init__(
+        self,
+        env: LayerwiseCompressionEnv,
+        config: SearchConfig = None,
+        warm_start_specs=None,
+    ):
+        self.env = env
+        self.config = config or SearchConfig()
+        self.warm_start_specs = list(warm_start_specs or [])
+        prune_rng, quant_rng = spawn(self.config.seed, 2)
+        self.prune_agent = DDPGAgent(OBSERVATION_DIM, 1, self.config.ddpg, rng=prune_rng)
+        self.quant_agent = DDPGAgent(OBSERVATION_DIM, 2, self.config.ddpg, rng=quant_rng)
+
+    def _actions_for_spec(self, spec: CompressionSpec):
+        """Invert the env's action mapping for one spec (for replaying)."""
+        env = self.env
+        alpha_lo, alpha_hi = env.alpha_bounds
+        w_lo, w_hi = env.weight_bits_bounds
+        a_lo, a_hi = env.act_bits_bounds
+        actions = []
+        for info in env.layers:
+            lc = spec[info.name]
+            pa = (lc.preserve_ratio - alpha_lo) / max(1e-9, alpha_hi - alpha_lo)
+            qa_w = (lc.weight_bits - w_lo) / max(1e-9, w_hi - w_lo)
+            qa_a = (lc.act_bits - a_lo) / max(1e-9, a_hi - a_lo)
+            actions.append((np.array([pa]), np.array([qa_w, qa_a])))
+        return actions
+
+    def _play_episode(self, fixed_actions=None):
+        """One episode; ``fixed_actions`` replays a given trajectory."""
+        obs = self.env.reset()
+        steps = []  # (obs, prune_action, quant_action, next_obs, done)
+        done = False
+        index = 0
+        while not done:
+            if fixed_actions is not None:
+                prune_action, quant_action = fixed_actions[index]
+            else:
+                prune_action = self.prune_agent.act(obs)
+                quant_action = self.quant_agent.act(obs)
+            next_obs, done = self.env.step(prune_action, quant_action)
+            steps.append((obs, prune_action, quant_action, next_obs, done))
+            obs = next_obs
+            index += 1
+        return steps, self.env.finalize()
+
+    def run(self) -> SearchResult:
+        """Explore for ``config.episodes`` episodes; returns the best spec."""
+        best: ObjectiveResult = None
+        history: list = []
+        schedule = [("warm", spec) for spec in self.warm_start_specs]
+        schedule += [("explore", None)] * self.config.episodes
+        for episode, (kind, seed_spec) in enumerate(schedule):
+            fixed = self._actions_for_spec(seed_spec) if kind == "warm" else None
+            steps, result = self._play_episode(fixed)
+            # Episodic reward on every transition (AMC-style), done on last.
+            for step_obs, pa, qa, step_next, step_done in steps:
+                self.prune_agent.remember(step_obs, pa, result.rprune, step_next, step_done)
+                self.quant_agent.remember(step_obs, qa, result.rquant, step_next, step_done)
+                self.prune_agent.update()
+                self.quant_agent.update()
+            self.prune_agent.end_episode()
+            self.quant_agent.end_episode()
+            if _better(result, best):
+                best = result
+            history.append(
+                EpisodeLog(
+                    episode=episode,
+                    racc=result.racc,
+                    rprune=result.rprune,
+                    rquant=result.rquant,
+                    fmodel_flops=result.fmodel_flops,
+                    size_kb=result.size_kb,
+                    feasible=result.feasible,
+                    accuracies=result.accuracies,
+                    exit_fractions=result.exit_fractions,
+                )
+            )
+            if self.config.verbose:
+                print(
+                    f"episode {episode:3d}: racc={result.racc:.3f} "
+                    f"flops={result.fmodel_flops / 1e6:.3f}M size={result.size_kb:.1f}KB "
+                    f"feasible={result.feasible}"
+                )
+        if best is None:
+            raise ConfigError("search ran zero episodes")
+        return SearchResult(best=best, history=history, episodes=len(schedule))
+
+
+class RandomSearch:
+    """Uniform random sampling over the same action space (ablation baseline)."""
+
+    def __init__(self, env: LayerwiseCompressionEnv, episodes: int = 60, seed=0):
+        self.env = env
+        self.episodes = int(episodes)
+        self._rng = as_generator(seed)
+
+    def run(self) -> SearchResult:
+        best: ObjectiveResult = None
+        history: list = []
+        for episode in range(self.episodes):
+            self.env.reset()
+            done = False
+            while not done:
+                _, done = self.env.step(
+                    self._rng.random(1), self._rng.random(2)
+                )
+            result = self.env.finalize()
+            if _better(result, best):
+                best = result
+            history.append(
+                EpisodeLog(
+                    episode=episode,
+                    racc=result.racc,
+                    rprune=result.rprune,
+                    rquant=result.rquant,
+                    fmodel_flops=result.fmodel_flops,
+                    size_kb=result.size_kb,
+                    feasible=result.feasible,
+                    accuracies=result.accuracies,
+                    exit_fractions=result.exit_fractions,
+                )
+            )
+        return SearchResult(best=best, history=history, episodes=self.episodes)

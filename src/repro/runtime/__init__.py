@@ -1,0 +1,33 @@
+"""Runtime exit selection and incremental inference (paper Section IV)."""
+
+from repro.runtime.state import RuntimeState
+from repro.runtime.qlearning import QTable, discretize
+from repro.runtime.policies import (
+    ExitPolicy,
+    GreedyEnergyPolicy,
+    FixedExitPolicy,
+    OraclePolicy,
+    StaticLUTPolicy,
+)
+from repro.runtime.incremental import IncrementalDecider, NeverContinue
+from repro.runtime.controller import (
+    Controller,
+    QLearningController,
+    StaticController,
+)
+
+__all__ = [
+    "RuntimeState",
+    "QTable",
+    "discretize",
+    "ExitPolicy",
+    "GreedyEnergyPolicy",
+    "FixedExitPolicy",
+    "OraclePolicy",
+    "StaticLUTPolicy",
+    "IncrementalDecider",
+    "NeverContinue",
+    "Controller",
+    "QLearningController",
+    "StaticController",
+]

@@ -1,0 +1,140 @@
+"""Runtime controllers: the two sequential decisions per event.
+
+A controller owns (1) exit selection when an event fires and (2) the
+incremental continue/stop rule at the chosen exit.  The simulator calls:
+
+* :meth:`Controller.select_exit` with the runtime state;
+* :meth:`Controller.report_event` once the event resolves, with the reward
+  (realized correctness; 0 for a miss) — learning controllers use this to
+  update their tables across the event sequence;
+* :meth:`Controller.end_episode` when a trace run finishes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.runtime.incremental import CONTINUE, ContinueRule, IncrementalDecider, NeverContinue
+from repro.runtime.policies import ExitPolicy
+from repro.runtime.qlearning import QTable, discretize
+from repro.runtime.state import RuntimeState
+
+
+class Controller:
+    """Base controller: wires a continue rule, no learning for exits."""
+
+    def __init__(self, continue_rule: ContinueRule = None):
+        self.continue_rule = continue_rule or NeverContinue()
+        self._incremental_trajectory = []
+
+    # ---------------- exit selection ---------------- #
+    def select_exit(self, state: RuntimeState, exit_energies_mj) -> int:
+        raise NotImplementedError
+
+    def report_event(self, reward: float) -> None:
+        """Reward feedback for the last selected event (0/1 correctness)."""
+        rule = self.continue_rule
+        rule.observe_trajectory(self._incremental_trajectory, reward)
+        self._incremental_trajectory = []
+
+    def end_episode(self) -> None:
+        """Episode boundary (one pass over a trace)."""
+        self._incremental_trajectory = []
+
+    # ---------------- incremental inference ---------------- #
+    def decide_continue(
+        self, confidence_entropy: float, state_energy_fraction: float, affordable: bool
+    ) -> bool:
+        """Continue to the next exit?  Records the decision for learning."""
+        action = self.continue_rule.decide(
+            confidence_entropy, state_energy_fraction, affordable
+        )
+        inc_state = self.continue_rule.state_of(confidence_entropy, state_energy_fraction)
+        if inc_state is not None:
+            self._incremental_trajectory.append((inc_state, action))
+        return action == CONTINUE
+
+
+class StaticController(Controller):
+    """Wraps a fixed :class:`ExitPolicy` (e.g. the static LUT baseline)."""
+
+    def __init__(self, policy: ExitPolicy, continue_rule: ContinueRule = None):
+        super().__init__(continue_rule)
+        if not isinstance(policy, ExitPolicy):
+            raise ConfigError("policy must be an ExitPolicy")
+        self.policy = policy
+
+    def select_exit(self, state: RuntimeState, exit_energies_mj) -> int:
+        return self.policy.select(state, exit_energies_mj)
+
+
+class QLearningController(Controller):
+    """Paper Section IV: Q-learning over (E, P) states with exits as actions.
+
+    The temporal credit assignment runs across the *event sequence*: the
+    transition stored for event ``j`` bootstraps on the state observed at
+    event ``j+1``, so the controller learns that draining the capacitor now
+    lowers the value of the states future events will see.
+    """
+
+    def __init__(
+        self,
+        num_exits: int,
+        energy_bins: int = 10,
+        power_bins: int = 5,
+        alpha: float = 0.2,
+        gamma: float = 0.9,
+        epsilon: float = 0.15,
+        epsilon_decay: float = 0.95,
+        continue_rule: ContinueRule = None,
+        rng=None,
+    ):
+        super().__init__(continue_rule)
+        if num_exits < 1:
+            raise ConfigError("need at least one exit")
+        self.num_exits = int(num_exits)
+        self.energy_bins = int(energy_bins)
+        self.power_bins = int(power_bins)
+        self.qtable = QTable(
+            state_shape=(energy_bins, power_bins),
+            num_actions=num_exits,
+            alpha=alpha,
+            gamma=gamma,
+            epsilon=epsilon,
+            epsilon_decay=epsilon_decay,
+            rng=rng,
+        )
+        self._pending = None  # (state_bins, action) awaiting reward/next state
+        self._pending_reward = None
+
+    def _bins_of(self, state: RuntimeState) -> tuple:
+        return (
+            discretize(state.energy_fraction, self.energy_bins),
+            discretize(state.charge_fraction, self.power_bins),
+        )
+
+    def select_exit(self, state: RuntimeState, exit_energies_mj) -> int:
+        bins = self._bins_of(state)
+        if self._pending is not None and self._pending_reward is not None:
+            prev_bins, prev_action = self._pending
+            self.qtable.update(prev_bins, prev_action, self._pending_reward, bins)
+            self._pending = None
+            self._pending_reward = None
+        action = self.qtable.select_action(bins)
+        self._pending = (bins, action)
+        return action
+
+    def report_event(self, reward: float) -> None:
+        super().report_event(reward)
+        if self._pending is not None:
+            self._pending_reward = float(reward)
+
+    def end_episode(self) -> None:
+        super().end_episode()
+        if self._pending is not None and self._pending_reward is not None:
+            bins, action = self._pending
+            self.qtable.update(bins, action, self._pending_reward, None)
+        self._pending = None
+        self._pending_reward = None
+        self.qtable.decay_epsilon()
+        if isinstance(self.continue_rule, IncrementalDecider):
+            self.continue_rule.decay_epsilon()

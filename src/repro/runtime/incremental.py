@@ -1,0 +1,110 @@
+"""The second runtime decision: continue to the next exit or stop?
+
+Paper Section IV: "If the confidence of the result is low and the
+remaining energy is high, the algorithm can decide to propagate the input
+further to the next exit for higher accuracy. ... We use another Q-table
+to make the decision."  Confidence is the normalized entropy of the
+current exit's softmax output (lower entropy = more confident).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.runtime.qlearning import QTable, discretize
+
+STOP = 0
+CONTINUE = 1
+
+
+class ContinueRule:
+    """Interface for the continue/stop decision."""
+
+    def decide(self, confidence_entropy: float, energy_fraction: float, affordable: bool) -> int:
+        raise NotImplementedError
+
+    def observe_trajectory(self, trajectory, final_reward: float) -> None:
+        """Learning hook; default no-op for static rules."""
+
+    def state_of(self, confidence_entropy: float, energy_fraction: float):
+        """Discretized state; static rules return None."""
+        return None
+
+
+class NeverContinue(ContinueRule):
+    """Always accept the selected exit's result (incremental inference off)."""
+
+    def decide(self, confidence_entropy: float, energy_fraction: float, affordable: bool) -> int:
+        return STOP
+
+
+class ThresholdContinue(ContinueRule):
+    """Fixed-threshold rule from Fig. 1(a): continue while entropy is high.
+
+    Continues when the normalized entropy exceeds ``entropy_threshold``
+    and the marginal inference is affordable.
+    """
+
+    def __init__(self, entropy_threshold: float = 0.5):
+        if not 0.0 <= entropy_threshold <= 1.0:
+            raise ConfigError("entropy threshold must be in [0, 1]")
+        self.entropy_threshold = entropy_threshold
+
+    def decide(self, confidence_entropy: float, energy_fraction: float, affordable: bool) -> int:
+        if not affordable:
+            return STOP
+        return CONTINUE if confidence_entropy > self.entropy_threshold else STOP
+
+
+class IncrementalDecider(ContinueRule):
+    """Q-learned continue/stop rule over (confidence, energy) states."""
+
+    def __init__(
+        self,
+        confidence_bins: int = 6,
+        energy_bins: int = 8,
+        alpha: float = 0.2,
+        gamma: float = 0.9,
+        epsilon: float = 0.1,
+        epsilon_decay: float = 0.99,
+        rng=None,
+    ):
+        self.confidence_bins = int(confidence_bins)
+        self.energy_bins = int(energy_bins)
+        self.qtable = QTable(
+            state_shape=(confidence_bins, energy_bins),
+            num_actions=2,
+            alpha=alpha,
+            gamma=gamma,
+            epsilon=epsilon,
+            epsilon_decay=epsilon_decay,
+            rng=rng,
+        )
+
+    def state_of(self, confidence_entropy: float, energy_fraction: float):
+        return (
+            discretize(confidence_entropy, self.confidence_bins),
+            discretize(energy_fraction, self.energy_bins),
+        )
+
+    def decide(self, confidence_entropy: float, energy_fraction: float, affordable: bool) -> int:
+        if not affordable:
+            return STOP
+        return self.qtable.select_action(self.state_of(confidence_entropy, energy_fraction))
+
+    def observe_trajectory(self, trajectory, final_reward: float) -> None:
+        """Credit a finished event's decision chain.
+
+        ``trajectory`` is a list of (state, action) pairs for this event,
+        in order.  Intermediate continues earn 0 and bootstrap onto the
+        next decision state; the final decision earns the event's realized
+        correctness.
+        """
+        if not trajectory:
+            return
+        for (state, action), (next_state, _) in zip(trajectory[:-1], trajectory[1:]):
+            self.qtable.update(state, action, 0.0, next_state)
+        last_state, last_action = trajectory[-1]
+        self.qtable.update(last_state, last_action, final_reward, None)
+
+    def decay_epsilon(self) -> None:
+        self.qtable.decay_epsilon()

@@ -1,0 +1,139 @@
+"""Exit-selection policies.
+
+A policy maps the runtime state (available energy, charging conditions) to
+an exit index, given the per-exit energy costs of the deployed network.
+``-1`` means "skip this event" (no exit affordable).
+
+:class:`StaticLUTPolicy` is the paper's static baseline: the exit choice is
+frozen at compression time into a lookup table over energy levels, using
+the simple rule "select the deepest exit whose energy cost does not exceed
+currently available energy" (Section III-A).  The runtime Q-learning
+controller in :mod:`repro.runtime.controller` is what the paper compares
+against it (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runtime.qlearning import discretize
+from repro.runtime.state import RuntimeState
+
+
+class ExitPolicy:
+    """Interface: pick an exit for the current event."""
+
+    def select(self, state: RuntimeState, exit_energies_mj) -> int:
+        raise NotImplementedError
+
+
+class FixedExitPolicy(ExitPolicy):
+    """Always exit at a fixed index (used for single-exit baselines).
+
+    Skips the event when the exit is unaffordable.
+    """
+
+    def __init__(self, exit_index: int):
+        if exit_index < 0:
+            raise ConfigError("exit index must be non-negative")
+        self.exit_index = exit_index
+
+    def select(self, state: RuntimeState, exit_energies_mj) -> int:
+        if state.energy_mj >= exit_energies_mj[self.exit_index]:
+            return self.exit_index
+        return -1
+
+
+class GreedyEnergyPolicy(ExitPolicy):
+    """Deepest exit affordable right now, optionally keeping a reserve.
+
+    ``reserve_fraction`` holds back a fraction of the storage capacity for
+    future events — the hand-tuned version of the behaviour Q-learning
+    discovers automatically.
+    """
+
+    def __init__(self, reserve_fraction: float = 0.0):
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ConfigError("reserve_fraction must be in [0, 1)")
+        self.reserve_fraction = reserve_fraction
+
+    def select(self, state: RuntimeState, exit_energies_mj) -> int:
+        budget = state.energy_mj - self.reserve_fraction * state.capacity_mj
+        choice = -1
+        for i, cost in enumerate(exit_energies_mj):
+            if cost <= budget:
+                choice = i
+        return choice
+
+
+class StaticLUTPolicy(ExitPolicy):
+    """Energy-level lookup table frozen at compression time.
+
+    The table is built once from the exit energy costs (greedy deepest-
+    affordable rule evaluated at each quantized energy level) and never
+    adapts — exactly the "static LUT" the paper's runtime adaptation is
+    measured against.
+    """
+
+    def __init__(self, exit_energies_mj, capacity_mj: float, num_levels: int = 32):
+        if num_levels < 2:
+            raise ConfigError("need at least 2 energy levels")
+        if capacity_mj <= 0:
+            raise ConfigError("capacity must be positive")
+        self.capacity_mj = float(capacity_mj)
+        self.num_levels = int(num_levels)
+        self.exit_energies_mj = [float(e) for e in exit_energies_mj]
+        self.table = np.full(num_levels, -1, dtype=np.int64)
+        for level in range(num_levels):
+            # Energy at the conservative (lower) edge of the bin.
+            energy = level / num_levels * capacity_mj
+            for i, cost in enumerate(self.exit_energies_mj):
+                if cost <= energy:
+                    self.table[level] = i
+
+    def select(self, state: RuntimeState, exit_energies_mj) -> int:
+        level = discretize(state.energy_mj, self.num_levels, 0.0, self.capacity_mj)
+        choice = int(self.table[level])
+        # Guard against bin-edge optimism: never pick an unaffordable exit.
+        while choice >= 0 and exit_energies_mj[choice] > state.energy_mj:
+            choice -= 1
+        return choice
+
+
+class OraclePolicy(ExitPolicy):
+    """Clairvoyant upper-bound policy for analysis (not deployable).
+
+    Knows the full event schedule and future harvest in advance and plans
+    greedily with that knowledge: it spends down to the deepest exit only
+    when the energy that would remain still covers the cheapest exit for
+    every event expected before the storage refills.  Used to bound how
+    much headroom is left above the learned runtime policies.
+    """
+
+    def __init__(self, exit_energies_mj, event_times, trace, storage_capacity_mj: float, efficiency: float = 0.8):
+        self.exit_energies_mj = [float(e) for e in exit_energies_mj]
+        self.event_times = sorted(float(t) for t in event_times)
+        self.trace = trace
+        self.capacity_mj = float(storage_capacity_mj)
+        self.efficiency = float(efficiency)
+
+    def _upcoming_events(self, t: float, horizon: float) -> int:
+        return sum(1 for e in self.event_times if t < e <= t + horizon)
+
+    def select(self, state: RuntimeState, exit_energies_mj) -> int:
+        cheapest = min(exit_energies_mj)
+        # Energy expected to arrive before the next few events, from the
+        # actual (future) trace — the oracle's unfair advantage.
+        horizon = 120.0
+        inflow = self.trace.energy_between(state.time, state.time + horizon) * self.efficiency
+        demand = self._upcoming_events(state.time, horizon) * cheapest
+        # Spendable now = current charge plus the net balance of what the
+        # future will deliver vs. what upcoming events will need.  A
+        # shortfall shrinks the budget (reserve energy for those events).
+        budget = state.energy_mj + inflow - demand
+        choice = -1
+        for i, cost in enumerate(exit_energies_mj):
+            if cost <= min(budget, state.energy_mj):
+                choice = i
+        return choice

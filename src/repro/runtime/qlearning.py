@@ -1,0 +1,108 @@
+"""Tabular Q-learning (Watkins & Dayan [12], paper Eq. 16).
+
+The paper stresses that the runtime learner must be lightweight enough for
+an MCU: "It only needs a lookup table (LUT) with state-action pairs as the
+entries, and the learning process is updating the LUT."  This module is
+that LUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_generator
+
+
+def discretize(value: float, num_bins: int, lo: float = 0.0, hi: float = 1.0) -> int:
+    """Map a continuous value in ``[lo, hi]`` onto ``num_bins`` buckets."""
+    if num_bins < 1:
+        raise ConfigError("num_bins must be >= 1")
+    if hi <= lo:
+        raise ConfigError("need hi > lo")
+    frac = (value - lo) / (hi - lo)
+    return int(min(num_bins - 1, max(0, int(frac * num_bins))))
+
+
+class QTable:
+    """A dense Q-value table over a discrete state grid.
+
+    ``state_shape`` is the per-dimension bin count, e.g. ``(10, 5)`` for 10
+    energy levels x 5 charging-efficiency levels; ``num_actions`` is the
+    number of exits (or 2 for the continue/stop decision).
+    """
+
+    def __init__(
+        self,
+        state_shape,
+        num_actions: int,
+        alpha: float = 0.2,
+        gamma: float = 0.9,
+        epsilon: float = 0.1,
+        epsilon_decay: float = 1.0,
+        epsilon_min: float = 0.01,
+        optimistic_init: float = 0.0,
+        rng=None,
+    ):
+        self.state_shape = tuple(int(s) for s in state_shape)
+        if any(s < 1 for s in self.state_shape):
+            raise ConfigError("state dimensions must be >= 1")
+        if num_actions < 1:
+            raise ConfigError("num_actions must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError("alpha must be in (0, 1]")
+        if not 0.0 <= gamma <= 1.0:
+            raise ConfigError("gamma must be in [0, 1]")
+        self.num_actions = int(num_actions)
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.epsilon = float(epsilon)
+        self.epsilon_decay = float(epsilon_decay)
+        self.epsilon_min = float(epsilon_min)
+        self.table = np.full(self.state_shape + (num_actions,), float(optimistic_init))
+        self._rng = as_generator(rng)
+
+    def _check_state(self, state) -> tuple:
+        state = tuple(int(s) for s in state)
+        if len(state) != len(self.state_shape):
+            raise ConfigError(f"state {state} has wrong rank for {self.state_shape}")
+        for s, bound in zip(state, self.state_shape):
+            if not 0 <= s < bound:
+                raise ConfigError(f"state {state} outside grid {self.state_shape}")
+        return state
+
+    def q_values(self, state) -> np.ndarray:
+        return self.table[self._check_state(state)]
+
+    def best_action(self, state) -> int:
+        """Greedy action: argmax_a Q(s, a), ties broken by lowest index."""
+        return int(np.argmax(self.q_values(state)))
+
+    def select_action(self, state) -> int:
+        """Epsilon-greedy action selection."""
+        if self._rng.random() < self.epsilon:
+            return int(self._rng.integers(self.num_actions))
+        return self.best_action(state)
+
+    def update(self, state, action: int, reward: float, next_state=None) -> float:
+        """Apply Eq. 16; ``next_state=None`` marks a terminal transition.
+
+        Returns the new Q(s, a).
+        """
+        state = self._check_state(state)
+        if not 0 <= action < self.num_actions:
+            raise ConfigError(f"action {action} out of range")
+        bootstrap = 0.0 if next_state is None else float(np.max(self.q_values(next_state)))
+        key = state + (action,)
+        td_error = reward + self.gamma * bootstrap - self.table[key]
+        self.table[key] += self.alpha * td_error
+        return float(self.table[key])
+
+    def decay_epsilon(self) -> None:
+        """Anneal exploration (called once per episode)."""
+        self.epsilon = max(self.epsilon_min, self.epsilon * self.epsilon_decay)
+
+    @property
+    def size(self) -> int:
+        """Number of LUT entries (the paper's 'negligible overhead')."""
+        return int(self.table.size)

@@ -1,0 +1,36 @@
+"""The observable state a runtime policy sees when an event fires.
+
+Paper Section IV: "the state set S contains the current available energy E
+and the charging efficiency P" — both directly observable on the device
+(capacitor voltage and recent harvest rate).  Nothing about the future
+trace or event stream is exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeState:
+    """Snapshot of the device's energy situation at an event."""
+
+    time: float               # event time (s)
+    energy_mj: float          # stored energy E
+    capacity_mj: float        # storage capacity (for normalization)
+    charge_power_mw: float    # recent harvest rate P ("charging efficiency")
+    peak_power_mw: float      # normalization reference for P
+
+    @property
+    def energy_fraction(self) -> float:
+        """E normalized to [0, 1] by the storage capacity."""
+        if self.capacity_mj <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.energy_mj / self.capacity_mj))
+
+    @property
+    def charge_fraction(self) -> float:
+        """P normalized to [0, 1] by the trace's peak power."""
+        if self.peak_power_mw <= 0:
+            return 0.0
+        return min(1.0, max(0.0, self.charge_power_mw / self.peak_power_mw))

@@ -1,0 +1,142 @@
+"""Simulation results and the paper's figures of merit.
+
+The headline metric is **IEpmJ** — interesting events correctly processed
+per milliJoule of harvested energy (paper Eq. 1).  ``E_total`` is the
+energy the *environment* offered over the simulated window (a property of
+the trace, not of the policy), so maximizing IEpmJ is exactly maximizing
+the average accuracy over all events, missed events counting as wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Reasons an event can be missed.
+MISS_BUSY = "busy"          # device still processing a previous event
+MISS_ENERGY = "energy"      # no exit affordable / inference incomplete
+
+
+@dataclass
+class EventRecord:
+    """Outcome of one event."""
+
+    time: float
+    exit_index: int = -1          # final exit used; -1 for missed events
+    first_exit_index: int = -1    # exit first selected (before incremental)
+    correct: bool = False
+    latency_s: float = 0.0
+    energy_mj: float = 0.0
+    confidence_entropy: float = 1.0
+    continued: int = 0            # number of incremental continuations
+    missed: bool = False
+    miss_reason: str = ""
+    power_cycles: int = 1
+
+    @property
+    def processed(self) -> bool:
+        return not self.missed
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one trace run."""
+
+    records: list                 # EventRecord per event, in time order
+    total_env_energy_mj: float    # energy offered by the trace (E_total)
+    total_consumed_mj: float      # energy actually drawn from storage
+    duration_s: float
+    profile_name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    # ---------------- counts ---------------- #
+    @property
+    def num_events(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_processed(self) -> int:
+        return sum(1 for r in self.records if r.processed)
+
+    @property
+    def num_missed(self) -> int:
+        return sum(1 for r in self.records if r.missed)
+
+    @property
+    def num_correct(self) -> int:
+        return sum(1 for r in self.records if r.processed and r.correct)
+
+    # ---------------- paper metrics ---------------- #
+    @property
+    def iepmj(self) -> float:
+        """Interesting Events per milliJoule (Eq. 1)."""
+        if self.total_env_energy_mj <= 0:
+            return 0.0
+        return self.num_correct / self.total_env_energy_mj
+
+    @property
+    def average_accuracy(self) -> float:
+        """Accuracy over ALL events; missed events count as wrong."""
+        if not self.records:
+            return 0.0
+        return self.num_correct / self.num_events
+
+    @property
+    def processed_accuracy(self) -> float:
+        """Accuracy over processed events only (paper Section V-C)."""
+        processed = self.num_processed
+        if processed == 0:
+            return 0.0
+        return self.num_correct / processed
+
+    # ---------------- latency ---------------- #
+    @property
+    def mean_latency_s(self) -> float:
+        """Per-event latency: event occurrence to end of inference."""
+        lats = [r.latency_s for r in self.records if r.processed]
+        return float(np.mean(lats)) if lats else 0.0
+
+    @property
+    def mean_inference_energy_mj(self) -> float:
+        vals = [r.energy_mj for r in self.records if r.processed]
+        return float(np.mean(vals)) if vals else 0.0
+
+    # ---------------- exit usage ---------------- #
+    def exit_counts(self, num_exits: int) -> list:
+        """Processed-event count per final exit (Fig. 7(b))."""
+        counts = [0] * num_exits
+        for r in self.records:
+            if r.processed and 0 <= r.exit_index < num_exits:
+                counts[r.exit_index] += 1
+        return counts
+
+    def exit_fractions(self, num_exits: int) -> list:
+        """Fraction of ALL events resolved at each exit (the paper's p_i)."""
+        if not self.records:
+            return [0.0] * num_exits
+        return [c / self.num_events for c in self.exit_counts(num_exits)]
+
+    def miss_counts(self) -> dict:
+        """Missed events grouped by reason."""
+        out: dict = {}
+        for r in self.records:
+            if r.missed:
+                out[r.miss_reason] = out.get(r.miss_reason, 0) + 1
+        return out
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for benches/EXPERIMENTS.md)."""
+        return {
+            "profile": self.profile_name,
+            "events": self.num_events,
+            "processed": self.num_processed,
+            "missed": self.num_missed,
+            "correct": self.num_correct,
+            "iepmj": self.iepmj,
+            "average_accuracy": self.average_accuracy,
+            "processed_accuracy": self.processed_accuracy,
+            "mean_latency_s": self.mean_latency_s,
+            "total_env_energy_mj": self.total_env_energy_mj,
+            "total_consumed_mj": self.total_consumed_mj,
+        }

@@ -1,0 +1,267 @@
+"""Event-driven simulator for EH-powered inference (paper Section II).
+
+The simulator ties together a power trace, an energy store, an MCU cost
+model, an inference profile, and a runtime controller, and plays a stream
+of events against them:
+
+* **single-cycle execution** (the paper's approach): when an event fires,
+  the controller picks an exit the stored energy can complete in this
+  power cycle; the result may then be refined by incremental inference.
+* **intermittent execution** (the SONIC baseline [9]): the single exit's
+  full inference runs across however many power cycles it takes; events
+  arriving while the device is busy are lost, which is what tanks the
+  baselines' IEpmJ under weak harvesting.
+
+Correctness per event comes from either a *real* forward pass through the
+attached network on a sampled dataset item (``mode="dataset"``) or a
+Bernoulli draw from the measured per-exit accuracies (``mode="profile"``,
+used in the RL search inner loop).  Profile mode couples exits through a
+shared per-event difficulty draw, so a deeper exit is correct whenever a
+shallower one would have been — matching the monotone-accuracy structure
+real multi-exit networks show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.storage import EnergyStorage
+from repro.energy.traces import PowerTrace
+from repro.errors import ConfigError, SimulationError
+from repro.intermittent.execution import IntermittentExecutionEngine
+from repro.intermittent.mcu import MCUSpec, MSP432
+from repro.runtime.controller import Controller
+from repro.runtime.state import RuntimeState
+from repro.sim.profiles import InferenceProfile
+from repro.sim.results import MISS_BUSY, MISS_ENERGY, EventRecord, SimulationResult
+from repro.utils.mathx import normalized_entropy, softmax
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs of one simulation run."""
+
+    mode: str = "profile"              # "profile" or "dataset"
+    execution: str = "single-cycle"    # "single-cycle" or "intermittent"
+    power_window_s: float = 30.0       # observation window for P
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in ("profile", "dataset"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.execution not in ("single-cycle", "intermittent"):
+            raise ConfigError(f"unknown execution {self.execution!r}")
+        if self.power_window_s <= 0:
+            raise ConfigError("power window must be positive")
+
+
+class Simulator:
+    """Replays an event stream against one deployed inference profile."""
+
+    def __init__(
+        self,
+        trace: PowerTrace,
+        profile: InferenceProfile,
+        controller: Controller,
+        mcu: MCUSpec = MSP432,
+        storage: EnergyStorage = None,
+        dataset=None,
+        config: SimulatorConfig = None,
+    ):
+        self.trace = trace
+        self.profile = profile
+        self.controller = controller
+        self.mcu = mcu
+        self.storage = storage or EnergyStorage(
+            capacity_mj=2.0, efficiency=0.8, initial_mj=1.0
+        )
+        self.dataset = dataset
+        self.config = config or SimulatorConfig()
+        if self.config.mode == "dataset":
+            if dataset is None:
+                raise ConfigError("dataset mode requires a dataset")
+            if profile.net is None:
+                raise ConfigError("dataset mode requires profile.net")
+        self._rng = as_generator(self.config.seed)
+        self._peak_power = float(np.max(trace.samples_mw))
+        self._engine = IntermittentExecutionEngine(trace, mcu)
+
+    # ------------------------------------------------------------------ #
+    # correctness / confidence sampling
+    # ------------------------------------------------------------------ #
+    def _sample_entropy(self, correct: bool) -> float:
+        """Profile-mode surrogate for result confidence.
+
+        Correct results concentrate at low normalized entropy, incorrect
+        ones at high entropy — the separation that makes entropy a usable
+        continue/stop signal in the first place (BranchyNet [10]).
+        """
+        if correct:
+            return float(self._rng.beta(2.0, 8.0))
+        return float(self._rng.beta(5.0, 3.0))
+
+    def _begin_event_inference(self, exit_index: int):
+        """First result at the selected exit.
+
+        Returns (correct, entropy, continuation) where ``continuation``
+        advances to deeper exits; its concrete type depends on the mode.
+        """
+        if self.config.mode == "dataset":
+            i = int(self._rng.integers(len(self.dataset)))
+            x = self.dataset.x[i:i + 1]
+            label = int(self.dataset.y[i])
+            cursor = self.profile.net.begin_incremental(x)
+            logits = cursor.run_to_exit(exit_index)
+            probs = softmax(logits, axis=1)[0]
+            correct = int(np.argmax(probs)) == label
+            return correct, float(normalized_entropy(probs[None, :])[0]), (cursor, label)
+        difficulty = float(self._rng.random())
+        correct = difficulty < self.profile.exit_accuracies[exit_index]
+        return correct, self._sample_entropy(correct), difficulty
+
+    def _continue_inference(self, continuation, exit_index: int):
+        """Result after continuing to ``exit_index``."""
+        if self.config.mode == "dataset":
+            cursor, label = continuation
+            logits = cursor.run_to_exit(exit_index)
+            probs = softmax(logits, axis=1)[0]
+            correct = int(np.argmax(probs)) == label
+            return correct, float(normalized_entropy(probs[None, :])[0]), (cursor, label)
+        difficulty = continuation
+        correct = difficulty < self.profile.exit_accuracies[exit_index]
+        return correct, self._sample_entropy(correct), difficulty
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, events, reset_storage: bool = True) -> SimulationResult:
+        """Replay ``events`` (sorted times) over the trace once.
+
+        Controller learning state persists across calls, so repeated runs
+        implement the paper's learning episodes (Fig. 7(a)).
+        """
+        events = np.asarray(events, dtype=np.float64)
+        if events.size and (np.any(np.diff(events) < 0) or events[0] < 0):
+            raise SimulationError("events must be sorted and non-negative")
+        if reset_storage:
+            self.storage.reset()
+        duration = self.trace.duration
+        records: list = []
+        t_charged = 0.0
+        busy_until = 0.0
+
+        def advance(t: float) -> None:
+            nonlocal t_charged
+            if t < t_charged:
+                return
+            self.storage.charge(self.trace.energy_between(t_charged, t))
+            self.storage.leak(t - t_charged)
+            t_charged = t
+
+        for te in events:
+            te = float(te)
+            if te < busy_until:
+                records.append(
+                    EventRecord(time=te, missed=True, miss_reason=MISS_BUSY)
+                )
+                continue
+            advance(te)
+            if self.config.execution == "intermittent":
+                record, busy_until = self._run_intermittent_event(te, duration)
+                t_charged = busy_until if record.processed or record.miss_reason == MISS_ENERGY else t_charged
+                records.append(record)
+                continue
+            record, busy_until = self._run_single_cycle_event(te)
+            records.append(record)
+
+        advance(duration)
+        self.controller.end_episode()
+        return SimulationResult(
+            records=records,
+            total_env_energy_mj=self.trace.energy_between(0.0, duration),
+            total_consumed_mj=self.storage.total_drawn_mj,
+            duration_s=duration,
+            profile_name=self.profile.name,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_single_cycle_event(self, te: float):
+        """The paper's execution model: guaranteed result this power cycle."""
+        state = RuntimeState(
+            time=te,
+            energy_mj=self.storage.level_mj,
+            capacity_mj=self.storage.capacity_mj,
+            charge_power_mw=self.trace.mean_power(te, self.config.power_window_s),
+            peak_power_mw=self._peak_power,
+        )
+        k = self.controller.select_exit(state, self.profile.exit_energy_mj)
+        if k < 0 or k >= self.profile.num_exits or not self.storage.can_afford(
+            self.profile.exit_energy_mj[k]
+        ):
+            self.controller.report_event(0.0)
+            return EventRecord(time=te, missed=True, miss_reason=MISS_ENERGY), te
+
+        first_k = k
+        energy_spent = self.profile.exit_energy_mj[k]
+        self.storage.draw(energy_spent)
+        busy = self.mcu.inference_time_s(self.profile.exit_flops[k])
+        correct, entropy, continuation = self._begin_event_inference(k)
+        continued = 0
+        while k < self.profile.num_exits - 1:
+            marginal = self.profile.incremental_energy_mj[k]
+            affordable = self.storage.can_afford(marginal)
+            if not self.controller.decide_continue(
+                entropy, self.storage.fraction_full, affordable
+            ):
+                break
+            self.storage.draw(marginal)
+            energy_spent += marginal
+            busy += self.mcu.inference_time_s(self.profile.incremental_flops[k])
+            k += 1
+            continued += 1
+            correct, entropy, continuation = self._continue_inference(continuation, k)
+        self.controller.report_event(1.0 if correct else 0.0)
+        record = EventRecord(
+            time=te,
+            exit_index=k,
+            first_exit_index=first_k,
+            correct=bool(correct),
+            latency_s=busy,
+            energy_mj=energy_spent,
+            confidence_entropy=entropy,
+            continued=continued,
+        )
+        return record, te + busy
+
+    # ------------------------------------------------------------------ #
+    def _run_intermittent_event(self, te: float, duration: float):
+        """SONIC-style baseline: one fixed inference across power cycles."""
+        k = self.profile.num_exits - 1  # single-exit nets: their only exit
+        energy_needed = self.profile.exit_energy_mj[k]
+        run = self._engine.run_inference(energy_needed, te, self.storage, deadline=duration)
+        if not run.completed:
+            return (
+                EventRecord(
+                    time=te,
+                    missed=True,
+                    miss_reason=MISS_ENERGY,
+                    latency_s=run.latency_s,
+                    power_cycles=run.power_cycles,
+                ),
+                run.finish_time,
+            )
+        correct, entropy, _ = self._begin_event_inference(k)
+        record = EventRecord(
+            time=te,
+            exit_index=k,
+            first_exit_index=k,
+            correct=bool(correct),
+            latency_s=run.latency_s,
+            energy_mj=run.energy_consumed_mj + run.overhead_energy_mj,
+            confidence_entropy=entropy,
+            power_cycles=run.power_cycles,
+        )
+        return record, run.finish_time

@@ -1,0 +1,25 @@
+"""Shared low-level helpers: seeded RNG plumbing and numerics."""
+
+from repro.utils.rng import as_generator, spawn, seed_sequence
+from repro.utils.mathx import (
+    softmax,
+    log_softmax,
+    entropy,
+    normalized_entropy,
+    clamp,
+    one_hot,
+    moving_average,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "seed_sequence",
+    "softmax",
+    "log_softmax",
+    "entropy",
+    "normalized_entropy",
+    "clamp",
+    "one_hot",
+    "moving_average",
+]

@@ -1,0 +1,72 @@
+"""Numerically careful math helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def entropy(probs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shannon entropy (nats) of a probability vector along ``axis``."""
+    p = np.clip(probs, _EPS, 1.0)
+    return -np.sum(p * np.log(p), axis=axis)
+
+
+def normalized_entropy(probs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Entropy divided by ``log(K)`` so the result lies in ``[0, 1]``.
+
+    This is the confidence measure used by the runtime incremental-inference
+    decision: 0 means a one-hot (fully confident) distribution, 1 means
+    uniform (no information).
+    """
+    k = probs.shape[axis]
+    if k <= 1:
+        return np.zeros(np.sum(probs, axis=axis).shape)
+    return entropy(probs, axis=axis) / np.log(k)
+
+
+def clamp(x, lo, hi):
+    """Truncate ``x`` into ``[lo, hi]`` (paper Eq. 3's ``clamp``)."""
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as one-hot rows."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("label out of range for num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Trailing moving average with a ramp-up for the first ``window`` items."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if values.size == 0:
+        return values
+    cumsum = np.cumsum(values)
+    out = np.empty_like(values)
+    for i in range(values.size):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out

@@ -1,0 +1,285 @@
+"""Cached reference artifacts: datasets, trained networks, searched specs.
+
+Training numpy CNNs and running the RL compression search take minutes, so
+the zoo trains each reference artifact once and caches it under
+``.artifacts/`` (override with the ``REPRO_ARTIFACTS`` environment
+variable).  Everything is deterministic in the seeds, so a cache delete
+reproduces identical artifacts.
+
+The dataset itself is regenerated on the fly (cheap and deterministic);
+only network weights, measured accuracies, and searched compression specs
+are cached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.compress.spec import CompressionSpec
+from repro.data.dataset import DatasetSplits
+from repro.data.synthetic import SyntheticConfig, make_cifar_like
+from repro.errors import ConfigError
+from repro.experiment import PAPER, PaperExperiment
+from repro.models import (
+    make_lenet_cifar,
+    make_multi_exit_lenet,
+    make_sonic_net,
+    make_sparse_net,
+)
+from repro.nn.io import load_weights, save_weights
+from repro.nn.network import MultiExitNetwork
+from repro.nn.trainer import TrainConfig, Trainer, evaluate_exit_accuracies
+from repro.rl.env import CompressionObjective, LayerwiseCompressionEnv
+from repro.rl.search import NonuniformSearch, SearchConfig
+
+#: Difficulty calibrated so the multi-exit LeNet lands in the paper's
+#: accuracy regime (~0.65-0.75 per exit) with a clear early-exit gap.
+DATASET_CONFIG = SyntheticConfig(
+    noise_std=2.0, grating_strength=0.5, occlusion_prob=0.5, max_shift=5
+)
+DATASET_SEED = 7
+
+#: Heuristic warm-start spec in the paper's Fig. 4 layout: convolutions at
+#: high bitwidths with moderate pruning (they dominate FLOPs), the two
+#: large FC branch layers at 1 bit (they dominate weight size).  Meets the
+#: 1.15M-FLOP / 16 KB budget (1.076M / 15.9 KB); the search seeds its
+#: replay with this trajectory and explores from there.
+HEURISTIC_SPEC_LAYOUT = {
+    "Conv1": (0.66, 8, 8),
+    "ConvB1": (0.5, 8, 8),
+    "Conv2": (0.55, 6, 8),
+    "ConvB2": (0.6, 8, 8),
+    "Conv3": (0.6, 6, 8),
+    "Conv4": (0.55, 6, 8),
+    "FC-B1": (0.6, 4, 8),
+    "FC-B21": (0.45, 1, 8),
+    "FC-B22": (0.6, 4, 8),
+    "FC-B31": (0.45, 1, 8),
+    "FC-B32": (0.6, 4, 8),
+}
+
+
+def heuristic_spec() -> CompressionSpec:
+    """The warm-start spec as a :class:`CompressionSpec`."""
+    from repro.compress.spec import LayerCompression
+
+    return CompressionSpec(
+        {name: LayerCompression(*knobs) for name, knobs in HEURISTIC_SPEC_LAYOUT.items()}
+    )
+
+
+_TRAIN_RECIPES = {
+    "multi_exit_lenet": dict(maker=make_multi_exit_lenet, epochs=10, train_size=4000, lr=0.01),
+    "sonic_net": dict(maker=make_sonic_net, epochs=10, train_size=4000, lr=0.01),
+    "sparse_net": dict(maker=make_sparse_net, epochs=6, train_size=2500, lr=0.003),
+    "lenet_cifar": dict(maker=make_lenet_cifar, epochs=10, train_size=4000, lr=0.01),
+}
+
+
+def artifact_dir() -> str:
+    """Cache directory (created on demand)."""
+    root = os.environ.get("REPRO_ARTIFACTS")
+    if not root:
+        root = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), ".artifacts")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def get_dataset(seed: int = DATASET_SEED, config: SyntheticConfig = None) -> DatasetSplits:
+    """The calibrated synthetic CIFAR-10 substitute (deterministic)."""
+    return make_cifar_like(
+        num_train=4000,
+        num_val=1000,
+        num_test=1000,
+        config=config or DATASET_CONFIG,
+        seed=seed,
+    )
+
+
+def _meta_path(name: str) -> str:
+    return os.path.join(artifact_dir(), f"{name}.meta.json")
+
+
+def _weights_path(name: str) -> str:
+    return os.path.join(artifact_dir(), f"{name}.weights.npz")
+
+
+def get_trained_network(name: str, verbose: bool = False):
+    """A trained reference network plus its measured per-exit accuracies.
+
+    ``name`` is one of ``multi_exit_lenet``, ``sonic_net``, ``sparse_net``,
+    ``lenet_cifar``.  Returns ``(net, test_accuracies)``.
+    """
+    if name not in _TRAIN_RECIPES:
+        raise ConfigError(f"unknown network {name!r}; choose from {sorted(_TRAIN_RECIPES)}")
+    recipe = _TRAIN_RECIPES[name]
+    net: MultiExitNetwork = recipe["maker"](seed=3)
+    weights_file, meta_file = _weights_path(name), _meta_path(name)
+    if os.path.exists(weights_file) and os.path.exists(meta_file):
+        load_weights(net, weights_file)
+        with open(meta_file) as fh:
+            meta = json.load(fh)
+        return net, meta["test_accuracies"]
+    splits = get_dataset()
+    train_size = min(recipe["train_size"], len(splits.train))
+    config = TrainConfig(
+        epochs=recipe["epochs"],
+        batch_size=64,
+        lr=recipe["lr"],
+        seed=11,
+        verbose=verbose,
+    )
+    Trainer(config).fit(
+        net,
+        splits.train.x[:train_size],
+        splits.train.y[:train_size],
+        splits.val.x,
+        splits.val.y,
+    )
+    test_accuracies = evaluate_exit_accuracies(net, splits.test.x, splits.test.y)
+    save_weights(net, weights_file)
+    with open(meta_file, "w") as fh:
+        json.dump(
+            {
+                "name": name,
+                "epochs": recipe["epochs"],
+                "train_size": train_size,
+                "test_accuracies": test_accuracies,
+            },
+            fh,
+            indent=2,
+        )
+    return net, test_accuracies
+
+
+def get_nonuniform_spec(
+    experiment: PaperExperiment = PAPER,
+    episodes: int = 16,
+    seed: int = 0,
+    finetune_epochs: int = 1,
+    verbose: bool = False,
+):
+    """The searched nonuniform compression spec for the multi-exit LeNet.
+
+    Runs the two-agent DDPG search once (minutes) and caches the winning
+    spec plus its evaluation summary.  Returns ``(spec, summary_dict)``.
+    """
+    cache_name = f"nonuniform_spec_e{episodes}_s{seed}_ft{finetune_epochs}_ws"
+    spec_file = os.path.join(artifact_dir(), f"{cache_name}.json")
+    meta_file = _meta_path(cache_name)
+    if os.path.exists(spec_file) and os.path.exists(meta_file):
+        with open(meta_file) as fh:
+            return CompressionSpec.from_json(spec_file), json.load(fh)
+    net, _ = get_trained_network("multi_exit_lenet")
+    splits = get_dataset()
+    trace = experiment.make_trace()
+    events = experiment.make_events(trace)
+    objective = CompressionObjective(
+        net=net,
+        val_data=splits.val,
+        trace=trace,
+        events=events,
+        flops_target=experiment.flops_target,
+        size_target_kb=experiment.size_target_kb,
+        mcu=experiment.mcu,
+        storage_capacity_mj=experiment.storage_capacity_mj,
+        storage_efficiency=experiment.storage_efficiency,
+        train_data=splits.train,
+        finetune_epochs=finetune_epochs,
+    )
+    env = LayerwiseCompressionEnv(objective)
+    search = NonuniformSearch(
+        env,
+        SearchConfig(episodes=episodes, seed=seed, verbose=verbose),
+        warm_start_specs=[heuristic_spec()],
+    )
+    result = search.run()
+    best = result.best
+    summary = {
+        "racc": best.racc,
+        "accuracies": best.accuracies,
+        "exit_fractions": best.exit_fractions,
+        "fmodel_flops": best.fmodel_flops,
+        "size_kb": best.size_kb,
+        "feasible": best.feasible,
+        "episodes": episodes,
+    }
+    best.spec.to_json(spec_file)
+    with open(meta_file, "w") as fh:
+        json.dump(summary, fh, indent=2)
+    return best.spec, summary
+
+
+def get_deployed_model(
+    experiment: PaperExperiment = PAPER,
+    episodes: int = 16,
+    seed: int = 0,
+    finetune_epochs: int = 8,
+    verbose: bool = False,
+):
+    """The fully deployed network: searched spec, applied, and fine-tuned.
+
+    Compresses the trained multi-exit LeNet with the cached RL-searched
+    spec and runs the post-compression fine-tune (see
+    :mod:`repro.compress.finetune`).  The fine-tuned weights are cached.
+    Returns ``(CompressedModel, test_accuracies)``.
+    """
+    from repro.compress import Compressor, FinetuneConfig, finetune_compressed
+    from repro.nn.io import load_state_dict, state_dict
+    import numpy as np
+
+    searched_spec, _ = get_nonuniform_spec(
+        experiment, episodes=episodes, seed=seed, verbose=verbose
+    )
+    net, _ = get_trained_network("multi_exit_lenet")
+    splits = get_dataset()
+    cache_name = f"deployed_e{episodes}_s{seed}_f{finetune_epochs}_v2"
+    weights_file = os.path.join(artifact_dir(), f"{cache_name}.weights.npz")
+    meta_file = _meta_path(cache_name)
+    spec_file = os.path.join(artifact_dir(), f"{cache_name}.spec.json")
+    if os.path.exists(weights_file) and os.path.exists(meta_file) and os.path.exists(spec_file):
+        spec = CompressionSpec.from_json(spec_file)
+        model = Compressor().apply(net, spec, calibration_x=splits.val.x[:64])
+        with np.load(weights_file) as archive:
+            load_state_dict(model.net, dict(archive.items()))
+        model.apply_masks()
+        with open(meta_file) as fh:
+            return model, json.load(fh)["test_accuracies"]
+
+    # Finalist re-evaluation: the in-loop 1-epoch fine-tune ranks noisily
+    # at MCU compression ratios, so the search winner and the heuristic
+    # warm-start both get the full fine-tune; the better validator ships.
+    finalists = [("searched", searched_spec)]
+    if searched_spec.to_dict() != heuristic_spec().to_dict():
+        finalists.append(("heuristic", heuristic_spec()))
+    best = None
+    for label, spec in finalists:
+        candidate = Compressor().apply(net, spec, calibration_x=splits.val.x[:64])
+        finetune_compressed(
+            candidate,
+            splits.train.x,
+            splits.train.y,
+            FinetuneConfig(epochs=finetune_epochs, verbose=verbose),
+            val_x=splits.val.x,
+            val_y=splits.val.y,
+        )
+        from repro.nn.trainer import evaluate_exit_accuracies
+
+        val_accs = evaluate_exit_accuracies(candidate.net, splits.val.x, splits.val.y)
+        score = float(np.mean(val_accs))
+        if verbose:
+            print(f"finalist {label}: val accs {[f'{a:.3f}' for a in val_accs]}")
+        if best is None or score > best[0]:
+            best = (score, label, spec, candidate)
+    _, label, spec, model = best
+    from repro.nn.trainer import evaluate_exit_accuracies
+
+    accs = evaluate_exit_accuracies(model.net, splits.test.x, splits.test.y)
+    np.savez(weights_file, **state_dict(model.net))
+    spec.to_json(spec_file)
+    with open(meta_file, "w") as fh:
+        json.dump(
+            {"name": cache_name, "winner": label, "test_accuracies": accs}, fh, indent=2
+        )
+    return model, accs

@@ -1,0 +1,91 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import bar_chart, compare_to_paper, learning_curve, sparkline, sweep
+from repro.errors import ConfigError
+from repro.sim.results import EventRecord, SimulationResult
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("== T ==")
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0}, width=8)
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart({})
+        with pytest.raises(ConfigError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ConfigError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestSparkline:
+    def test_length_preserved_when_short(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_compressed_when_long(self):
+        assert len(sparkline(range(500), width=50)) == 50
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert list(line) == sorted(line, key=line.index)  # order preserved
+        assert line[0] != line[-1]
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestLearningCurve:
+    def test_renders_metric(self):
+        results = [
+            SimulationResult(
+                [EventRecord(time=0.0, exit_index=0, correct=(i > 2))],
+                1.0, 0.1, 10.0,
+            )
+            for i in range(6)
+        ]
+        out = learning_curve(results)
+        assert "average_accuracy" in out
+        assert "0.000 -> 1.000" in out
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        results = sweep(lambda a, b: a * b, {"a": [1, 2], "b": [10, 20]})
+        assert len(results) == 4
+        assert ({"a": 2, "b": 10}, 20) in results
+
+    def test_deterministic_order(self):
+        r1 = sweep(lambda a, b: (a, b), {"b": [1, 2], "a": [3]})
+        r2 = sweep(lambda a, b: (a, b), {"a": [3], "b": [1, 2]})
+        assert r1 == r2
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep(lambda: None, {})
+
+
+class TestCompareToPaper:
+    def test_ratio_column(self):
+        out = compare_to_paper({"iepmj": 0.9}, {"iepmj": 0.45})
+        assert "2.00" in out
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_to_paper({"a": 1}, {"b": 2})

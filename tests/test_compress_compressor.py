@@ -1,0 +1,186 @@
+"""Compressor tests: masking, cost bookkeeping, consumer-graph cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.compress import CompressionSpec, Compressor, LayerCompression, make_uniform_spec
+from repro.errors import CompressionError
+from repro.nn import profile_network
+from tests.conftest import make_tiny_two_exit
+
+
+@pytest.fixture
+def compressor():
+    return Compressor(input_shape=(2, 8, 8))
+
+
+@pytest.fixture
+def identity_spec(tiny_net):
+    return CompressionSpec.identity([l.name for l in tiny_net.weighted_layers()])
+
+
+class TestIdentitySpec:
+    def test_output_unchanged(self, tiny_net, compressor, identity_spec, rng):
+        model = compressor.apply(tiny_net, identity_spec)
+        x = rng.normal(size=(2, 2, 8, 8))
+        for k in range(2):
+            np.testing.assert_allclose(
+                model.net.forward_to_exit(x, k), tiny_net.forward_to_exit(x, k)
+            )
+
+    def test_costs_unchanged(self, tiny_net, compressor, identity_spec):
+        model = compressor.apply(tiny_net, identity_spec)
+        prof = profile_network(tiny_net, (2, 8, 8))
+        np.testing.assert_allclose(model.exit_flops, prof.exit_flops)
+        assert model.model_size_bits == prof.model_size_bits()
+
+    def test_original_net_never_modified(self, tiny_net, compressor, rng):
+        spec = make_uniform_spec(tiny_net, 0.5, 2, 2)
+        x = rng.normal(size=(2, 2, 8, 8))
+        before = tiny_net.forward_to_exit(x, 1)
+        compressor.apply(tiny_net, spec, calibration_x=x)
+        np.testing.assert_allclose(tiny_net.forward_to_exit(x, 1), before)
+
+
+class TestPruningBookkeeping:
+    def test_kept_counts_match_spec(self, tiny_net, compressor):
+        spec = make_uniform_spec(tiny_net, 0.5)
+        model = compressor.apply(tiny_net, spec)
+        for record in model.records:
+            assert record.kept_in == max(1, int(np.ceil(0.5 * record.in_channels)))
+
+    def test_flops_decrease_monotonically_with_alpha(self, tiny_net, compressor):
+        totals = []
+        for alpha in (1.0, 0.75, 0.5, 0.25):
+            model = compressor.apply(tiny_net, make_uniform_spec(tiny_net, alpha))
+            totals.append(sum(r.flops_effective for r in model.records))
+        assert totals == sorted(totals, reverse=True)
+
+    def test_producer_cleanup_two_fold_reduction(self):
+        """In a conv->conv chain, pruning the consumer's inputs must also
+        shrink the producer's effective outputs (the paper's two-fold rule)."""
+        from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+        from repro.nn.network import MultiExitNetwork, Sequential
+
+        net = MultiExitNetwork(
+            segments=[
+                Sequential([Conv2d(2, 8, 3, padding=1, name="p.c1", rng=0), ReLU(),
+                            Conv2d(8, 4, 3, padding=1, name="p.c2", rng=1), ReLU()])
+            ],
+            branches=[Sequential([Flatten(), Linear(4 * 8 * 8, 5, name="p.f", rng=2)])],
+        )
+        spec = CompressionSpec(
+            {
+                "p.c1": LayerCompression(),
+                "p.c2": LayerCompression(preserve_ratio=0.5),
+                "p.f": LayerCompression(),
+            }
+        )
+        model = Compressor(input_shape=(2, 8, 8)).apply(net, spec)
+        assert model.record("p.c2").kept_in == 4
+        assert model.record("p.c1").kept_out == 4  # shrunk by its only consumer
+        # FLOPs of the producer scale by kept_out / out_channels.
+        rec = model.record("p.c1")
+        assert rec.flops_effective == pytest.approx(rec.flops_orig * 0.5)
+
+    def test_flatten_consumer_keeps_producer_outputs(self, compressor):
+        """A conv feeding a Linear through Flatten keeps all its outputs
+        unless an entire channel block is pruned (opaque consumer)."""
+        net = make_tiny_two_exit(seed=0)
+        spec = CompressionSpec(
+            {
+                "t.c1": LayerCompression(),
+                "t.c2": LayerCompression(preserve_ratio=0.3),
+                "t.f1": LayerCompression(),
+                "t.f2": LayerCompression(),
+            }
+        )
+        model = compressor.apply(net, spec)
+        assert model.record("t.c2").kept_in == 1  # ceil(0.3 * 3)
+        assert model.record("t.c1").kept_out == 3  # t.f1 (flatten) keeps all blocks
+
+    def test_logits_layers_keep_all_outputs(self, tiny_net, compressor):
+        model = compressor.apply(tiny_net, make_uniform_spec(tiny_net, 0.3))
+        assert model.record("t.f1").kept_out == 5
+        assert model.record("t.f2").kept_out == 5
+
+    def test_exit_flops_sum_layer_contributions(self, tiny_net, compressor):
+        model = compressor.apply(tiny_net, make_uniform_spec(tiny_net, 0.5))
+        eff = {r.name: r.flops_effective for r in model.records}
+        exit0 = eff["t.c1"] + eff["t.f1"]
+        np.testing.assert_allclose(model.exit_flops[0], exit0)
+
+    def test_missing_layer_in_spec_raises(self, tiny_net, compressor):
+        spec = CompressionSpec({"t.c1": LayerCompression()})
+        with pytest.raises(CompressionError):
+            compressor.apply(tiny_net, spec)
+
+
+class TestQuantizationBookkeeping:
+    def test_size_uses_bitwidths(self, tiny_net, compressor):
+        full = compressor.apply(tiny_net, make_uniform_spec(tiny_net, 1.0, 32, 32))
+        quant = compressor.apply(tiny_net, make_uniform_spec(tiny_net, 1.0, 8, 32))
+        # Weights at 8/32 of the size; biases unchanged at 32-bit.
+        weight_bits_full = sum(r.weight_count_effective * 32 for r in full.records)
+        weight_bits_quant = sum(r.weight_count_effective * 8 for r in quant.records)
+        assert quant.model_size_bits - (full.model_size_bits - weight_bits_full) == pytest.approx(
+            weight_bits_quant
+        )
+
+    def test_quantizers_attached_only_when_compressed(self, tiny_net, compressor):
+        spec = CompressionSpec(
+            {
+                "t.c1": LayerCompression(1.0, 8, 8),
+                "t.c2": LayerCompression(1.0, 32, 32),
+                "t.f1": LayerCompression(1.0, 4, 32),
+                "t.f2": LayerCompression(1.0, 32, 4),
+            }
+        )
+        model = compressor.apply(tiny_net, spec)
+        by_name = {l.name: l for l in model.net.weighted_layers()}
+        assert by_name["t.c1"].weight_quantizer is not None
+        assert by_name["t.c1"].input_quantizer is not None
+        assert by_name["t.c2"].weight_quantizer is None
+        assert by_name["t.c2"].input_quantizer is None
+        assert by_name["t.f1"].weight_quantizer is not None
+        assert by_name["t.f1"].input_quantizer is None
+        assert by_name["t.f2"].weight_quantizer is None
+        assert by_name["t.f2"].input_quantizer is not None
+
+    def test_first_layer_quantizer_is_signed(self, tiny_net, compressor, rng):
+        spec = make_uniform_spec(tiny_net, 1.0, 32, 8)
+        model = compressor.apply(tiny_net, spec, calibration_x=rng.normal(size=(8, 2, 8, 8)))
+        by_name = {l.name: l for l in model.net.weighted_layers()}
+        assert by_name["t.c1"].input_quantizer.signed
+        assert not by_name["t.c2"].input_quantizer.signed
+
+    def test_calibration_sets_scales(self, tiny_net, compressor, rng):
+        spec = make_uniform_spec(tiny_net, 1.0, 32, 8)
+        x = rng.normal(size=(8, 2, 8, 8))
+        model = compressor.apply(tiny_net, spec, calibration_x=x)
+        for layer in model.net.weighted_layers():
+            assert layer.input_quantizer.scale is not None
+
+    def test_8bit_output_close_to_full_precision(self, tiny_net, compressor, rng):
+        x = rng.normal(size=(4, 2, 8, 8))
+        spec = make_uniform_spec(tiny_net, 1.0, 8, 8)
+        model = compressor.apply(tiny_net, spec, calibration_x=x)
+        full = tiny_net.forward_to_exit(x, 1)
+        quant = model.net.forward_to_exit(x, 1)
+        # 8-bit linear quantization should track fp closely at this scale.
+        assert np.abs(full - quant).max() < 0.25 * np.abs(full).max() + 0.1
+
+
+class TestIncrementalFlops:
+    def test_marginal_cost_less_than_restart(self, tiny_net, compressor):
+        model = compressor.apply(tiny_net, make_uniform_spec(tiny_net, 0.6, 8, 8))
+        inc = model.incremental_exit_flops()
+        assert len(inc) == 1
+        assert 0 < inc[0] < model.exit_flops[1]
+
+    def test_identity_matches_static_profile(self, tiny_net, compressor, identity_spec):
+        from repro.nn.flops import incremental_flops
+
+        model = compressor.apply(tiny_net, identity_spec)
+        prof = profile_network(tiny_net, (2, 8, 8))
+        np.testing.assert_allclose(model.incremental_exit_flops(), incremental_flops(prof))

@@ -1,0 +1,100 @@
+"""Post-compression fine-tuning tests."""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    Compressor,
+    FinetuneConfig,
+    finetune_compressed,
+    make_uniform_spec,
+)
+from repro.compress.evaluator import evaluate_exits
+from repro.data import Dataset
+
+
+@pytest.fixture
+def compressed(tiny_net, tiny_dataset):
+    spec = make_uniform_spec(tiny_net, 0.6, 4, 8)
+    calib = tiny_dataset.val.x[:32, :2, :8, :8]
+    return Compressor(input_shape=(2, 8, 8)).apply(tiny_net, spec, calibration_x=calib)
+
+
+@pytest.fixture
+def small_data(tiny_dataset):
+    x = tiny_dataset.train.x[:120, :2, :8, :8]
+    y = tiny_dataset.train.y[:120] % 5
+    return Dataset(x, y)
+
+
+class TestMaskPreservation:
+    def test_pruned_channels_stay_zero(self, compressed, small_data):
+        finetune_compressed(
+            compressed, small_data.x, small_data.y, FinetuneConfig(epochs=2, seed=0)
+        )
+        for name, mask in compressed.masks.items():
+            layer = compressed.net.layer_by_name(name)
+            assert np.all(layer.weight.data[~mask] == 0.0)
+
+    def test_kept_weights_actually_change(self, compressed, small_data):
+        before = {
+            name: compressed.net.layer_by_name(name).weight.data.copy()
+            for name in compressed.masks
+        }
+        finetune_compressed(
+            compressed, small_data.x, small_data.y, FinetuneConfig(epochs=1, seed=0)
+        )
+        moved = any(
+            not np.allclose(before[name], compressed.net.layer_by_name(name).weight.data)
+            for name in compressed.masks
+        )
+        assert moved
+
+    def test_quantizers_stay_attached(self, compressed, small_data):
+        finetune_compressed(
+            compressed, small_data.x, small_data.y, FinetuneConfig(epochs=1, seed=0)
+        )
+        for layer in compressed.net.weighted_layers():
+            assert layer.weight_quantizer is not None
+
+
+class TestAccuracyRecovery:
+    def test_finetune_improves_compressed_accuracy(self, compressed, small_data, tiny_dataset):
+        test = Dataset(tiny_dataset.test.x[:80, :2, :8, :8], tiny_dataset.test.y[:80] % 5)
+        before = np.mean(evaluate_exits(compressed, test).accuracies)
+        finetune_compressed(
+            compressed, small_data.x, small_data.y, FinetuneConfig(epochs=4, lr=0.01, seed=0)
+        )
+        after = np.mean(evaluate_exits(compressed, test).accuracies)
+        assert after >= before - 0.02  # never materially worse, usually better
+
+    def test_history_returned_with_validation(self, compressed, small_data):
+        history = finetune_compressed(
+            compressed,
+            small_data.x,
+            small_data.y,
+            FinetuneConfig(epochs=2, seed=0),
+            val_x=small_data.x,
+            val_y=small_data.y,
+        )
+        assert len(history) == 2
+        assert len(history[0]) == compressed.num_exits
+
+    def test_no_validation_returns_empty_history(self, compressed, small_data):
+        history = finetune_compressed(
+            compressed, small_data.x, small_data.y, FinetuneConfig(epochs=1, seed=0)
+        )
+        assert history == []
+
+    def test_deterministic(self, tiny_net, tiny_dataset, small_data):
+        outs = []
+        for _ in range(2):
+            spec = make_uniform_spec(tiny_net, 0.6, 4, 8)
+            model = Compressor(input_shape=(2, 8, 8)).apply(
+                tiny_net, spec, calibration_x=tiny_dataset.val.x[:32, :2, :8, :8]
+            )
+            finetune_compressed(
+                model, small_data.x, small_data.y, FinetuneConfig(epochs=1, seed=7)
+            )
+            outs.append(model.net.weighted_layers()[0].weight.data.copy())
+        np.testing.assert_allclose(outs[0], outs[1])

@@ -1,0 +1,70 @@
+"""CompressionSpec container tests."""
+
+import pytest
+
+from repro.compress import CompressionSpec, LayerCompression
+from repro.errors import CompressionError
+
+
+class TestLayerCompression:
+    def test_defaults_are_identity(self):
+        assert LayerCompression().is_identity
+
+    def test_validation(self):
+        with pytest.raises(CompressionError):
+            LayerCompression(preserve_ratio=0.0)
+        with pytest.raises(CompressionError):
+            LayerCompression(preserve_ratio=1.5)
+        with pytest.raises(CompressionError):
+            LayerCompression(weight_bits=0)
+        with pytest.raises(CompressionError):
+            LayerCompression(act_bits=64)
+        with pytest.raises(CompressionError):
+            LayerCompression(weight_bits=4.5)
+
+    def test_not_identity_when_compressed(self):
+        assert not LayerCompression(preserve_ratio=0.5).is_identity
+        assert not LayerCompression(weight_bits=8).is_identity
+
+
+class TestCompressionSpec:
+    def test_lookup(self):
+        spec = CompressionSpec({"a": LayerCompression(0.5, 8, 8)})
+        assert spec["a"].preserve_ratio == 0.5
+        assert "a" in spec
+        assert "b" not in spec
+        with pytest.raises(CompressionError):
+            spec["b"]
+
+    def test_identity_constructor(self):
+        spec = CompressionSpec.identity(["x", "y"])
+        assert spec["x"].is_identity and spec["y"].is_identity
+
+    def test_uniform_constructor(self):
+        spec = CompressionSpec.uniform(["x", "y"], 0.6, 4, 8)
+        assert spec["x"] == spec["y"] == LayerCompression(0.6, 4, 8)
+
+    def test_weight_bitwidths_map(self):
+        spec = CompressionSpec(
+            {"a": LayerCompression(1.0, 8, 32), "b": LayerCompression(1.0, 2, 32)}
+        )
+        assert spec.weight_bitwidths() == {"a": 8, "b": 2}
+
+    def test_rejects_non_layercompression_values(self):
+        with pytest.raises(CompressionError):
+            CompressionSpec({"a": (0.5, 8, 8)})
+
+    def test_dict_roundtrip(self):
+        spec = CompressionSpec(
+            {"a": LayerCompression(0.45, 3, 7), "b": LayerCompression(1.0, 32, 32)}
+        )
+        again = CompressionSpec.from_dict(spec.to_dict())
+        assert again["a"] == spec["a"]
+        assert again["b"] == spec["b"]
+
+    def test_json_roundtrip(self, tmp_path):
+        spec = CompressionSpec.uniform(["Conv1", "FC-B1"], 0.35, 5, 6)
+        path = str(tmp_path / "spec.json")
+        spec.to_json(path)
+        again = CompressionSpec.from_json(path)
+        assert again.to_dict() == spec.to_dict()

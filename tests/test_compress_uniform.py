@@ -1,0 +1,48 @@
+"""Uniform-compression baseline tests."""
+
+import pytest
+
+from repro.compress import Compressor, fit_uniform_spec, make_uniform_spec
+from repro.errors import CompressionError
+from repro.nn import profile_network
+
+
+class TestMakeUniformSpec:
+    def test_covers_every_weighted_layer(self, tiny_net):
+        spec = make_uniform_spec(tiny_net, 0.5, 8, 8)
+        for layer in tiny_net.weighted_layers():
+            assert layer.name in spec
+
+    def test_same_setting_everywhere(self, tiny_net):
+        spec = make_uniform_spec(tiny_net, 0.4, 3, 5)
+        settings = {spec[n] for n in spec.layer_names()}
+        assert len(settings) == 1
+
+
+class TestFitUniformSpec:
+    def test_meets_both_targets(self, lenet):
+        spec = fit_uniform_spec(lenet, flops_target=1.15e6, size_target_kb=16.0)
+        model = Compressor().apply(lenet, spec)
+        assert model.fmodel_flops <= 1.15e6
+        assert model.model_size_kb <= 16.0
+
+    def test_gentlest_feasible_alpha(self, lenet):
+        """A noticeably larger alpha must violate the FLOPs target."""
+        spec = fit_uniform_spec(lenet, flops_target=1.15e6, size_target_kb=16.0)
+        alpha = spec[spec.layer_names()[0]].preserve_ratio
+        looser = make_uniform_spec(lenet, min(1.0, alpha + 0.1), 8, 8)
+        model = Compressor().apply(lenet, looser)
+        assert model.fmodel_flops > 1.15e6
+
+    def test_loose_targets_mean_no_pruning(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        spec = fit_uniform_spec(
+            lenet, flops_target=prof.total_flops * 2, size_target_kb=1e6
+        )
+        assert spec[spec.layer_names()[0]].preserve_ratio == 1.0
+
+    def test_impossible_targets_raise(self, tiny_net):
+        with pytest.raises(CompressionError):
+            fit_uniform_spec(
+                tiny_net, flops_target=1.0, size_target_kb=1e-4, input_shape=(2, 8, 8)
+            )

@@ -1,0 +1,107 @@
+"""Dataset container and synthetic generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticConfig, make_cifar_like
+from repro.errors import ShapeError
+
+
+class TestDataset:
+    def test_validates_rank(self):
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((4, 3, 8)), np.zeros(4, dtype=int))
+
+    def test_validates_alignment(self):
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((4, 3, 8, 8)), np.zeros(5, dtype=int))
+
+    def test_subset(self):
+        ds = Dataset(np.arange(4 * 3 * 2 * 2, dtype=float).reshape(4, 3, 2, 2), np.arange(4))
+        sub = ds.subset([1, 3])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.y, [1, 3])
+
+    def test_subset_is_a_copy(self):
+        ds = Dataset(np.zeros((4, 1, 2, 2)), np.zeros(4, dtype=int))
+        sub = ds.subset([0])
+        sub.x += 1.0
+        assert ds.x.sum() == 0
+
+    def test_sample_without_replacement(self):
+        ds = Dataset(np.zeros((10, 1, 2, 2)), np.arange(10))
+        sample = ds.sample(10, rng=0)
+        assert sorted(sample.y.tolist()) == list(range(10))
+
+    def test_sample_too_many_raises(self):
+        ds = Dataset(np.zeros((3, 1, 2, 2)), np.arange(3))
+        with pytest.raises(ValueError):
+            ds.sample(4, rng=0)
+
+    def test_properties(self):
+        ds = Dataset(np.zeros((6, 3, 8, 8)), np.array([0, 1, 2, 0, 1, 2]))
+        assert ds.image_shape == (3, 8, 8)
+        assert ds.num_classes == 3
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_dtypes(self, tiny_dataset):
+        assert tiny_dataset.train.x.shape == (200, 3, 32, 32)
+        assert tiny_dataset.val.x.shape == (80, 3, 32, 32)
+        assert tiny_dataset.test.x.shape == (80, 3, 32, 32)
+        assert tiny_dataset.train.y.dtype == np.int64
+
+    def test_deterministic_in_seed(self):
+        a = make_cifar_like(num_train=20, num_val=10, num_test=10, seed=3)
+        b = make_cifar_like(num_train=20, num_val=10, num_test=10, seed=3)
+        np.testing.assert_array_equal(a.train.x, b.train.x)
+        np.testing.assert_array_equal(a.test.y, b.test.y)
+
+    def test_different_seeds_differ(self):
+        a = make_cifar_like(num_train=20, num_val=10, num_test=10, seed=3)
+        b = make_cifar_like(num_train=20, num_val=10, num_test=10, seed=4)
+        assert not np.allclose(a.train.x, b.train.x)
+
+    def test_standardized(self, tiny_dataset):
+        assert abs(tiny_dataset.train.x.mean()) < 0.05
+        assert abs(tiny_dataset.train.x.std() - 1.0) < 0.05
+
+    def test_all_classes_present(self, tiny_dataset):
+        assert set(tiny_dataset.train.y.tolist()) == set(range(10))
+
+    def test_noise_controls_class_separability(self):
+        """Within-class distance should grow with the noise knob."""
+        def within_class_spread(noise):
+            splits = make_cifar_like(
+                num_train=100, num_val=10, num_test=10,
+                config=SyntheticConfig(noise_std=noise, max_shift=0, occlusion_prob=0.0),
+                seed=5,
+            )
+            x, y = splits.train.x, splits.train.y
+            spreads = []
+            for cls in range(10):
+                imgs = x[y == cls]
+                if len(imgs) > 1:
+                    spreads.append(imgs.std(axis=0).mean())
+            return np.mean(spreads)
+
+        assert within_class_spread(0.2) < within_class_spread(2.0)
+
+    def test_splits_share_prototypes(self):
+        """Train/test must be the same task: a class mean in train should be
+        closer to the same class's test mean than to other classes'."""
+        splits = make_cifar_like(
+            num_train=300, num_val=10, num_test=300,
+            config=SyntheticConfig(noise_std=0.5, max_shift=0, occlusion_prob=0.0),
+            seed=6,
+        )
+        hits = 0
+        for cls in range(10):
+            train_mean = splits.train.x[splits.train.y == cls].mean(axis=0).ravel()
+            dists = []
+            for other in range(10):
+                test_imgs = splits.test.x[splits.test.y == other]
+                dists.append(np.linalg.norm(test_imgs.mean(axis=0).ravel() - train_mean))
+            if int(np.argmin(dists)) == cls:
+                hits += 1
+        assert hits >= 8

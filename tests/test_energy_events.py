@@ -1,0 +1,76 @@
+"""Event-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.energy import burst_events, poisson_events, uniform_random_events
+from repro.errors import ConfigError
+
+
+class TestUniformRandomEvents:
+    def test_count_range_and_order(self):
+        events = uniform_random_events(100, 500.0, rng=0)
+        assert len(events) == 100
+        assert np.all(events >= 0) and np.all(events < 500.0)
+        assert np.all(np.diff(events) >= 0)
+
+    def test_deterministic(self):
+        a = uniform_random_events(20, 100.0, rng=5)
+        b = uniform_random_events(20, 100.0, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_events(self):
+        assert len(uniform_random_events(0, 10.0, rng=0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            uniform_random_events(-1, 10.0)
+        with pytest.raises(ConfigError):
+            uniform_random_events(5, 0.0)
+
+    def test_roughly_uniform_spread(self):
+        events = uniform_random_events(2000, 100.0, rng=1)
+        first_half = np.sum(events < 50.0)
+        assert 850 < first_half < 1150
+
+
+class TestPoissonEvents:
+    def test_rate_matches(self):
+        events = poisson_events(0.5, 4000.0, rng=0)
+        assert len(events) == pytest.approx(2000, rel=0.1)
+
+    def test_sorted_in_range(self):
+        events = poisson_events(0.1, 100.0, rng=1)
+        assert np.all(np.diff(events) >= 0)
+        assert np.all((events >= 0) & (events < 100.0))
+
+    def test_zero_rate(self):
+        assert len(poisson_events(0.0, 100.0, rng=0)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            poisson_events(-1.0, 10.0)
+        with pytest.raises(ConfigError):
+            poisson_events(1.0, -10.0)
+
+
+class TestBurstEvents:
+    def test_count(self):
+        events = burst_events(5, 4, 1000.0, rng=0)
+        assert len(events) == 20
+
+    def test_clustering(self):
+        """Bursty gaps must be far more skewed than uniform gaps."""
+        bursty = burst_events(5, 10, 10_000.0, burst_span=5.0, rng=0)
+        gaps = np.diff(bursty)
+        assert np.median(gaps) < np.mean(gaps) / 5
+
+    def test_within_duration(self):
+        events = burst_events(3, 5, 50.0, burst_span=30.0, rng=2)
+        assert np.all((events >= 0) & (events < 50.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            burst_events(-1, 2, 10.0)
+        with pytest.raises(ConfigError):
+            burst_events(1, 2, 10.0, burst_span=0.0)

@@ -1,0 +1,134 @@
+"""Power-trace tests, including property-based energy accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    PowerTrace,
+    constant_trace,
+    kinetic_trace,
+    rf_trace,
+    solar_trace,
+    trace_from_csv,
+    trace_from_samples,
+)
+from repro.errors import ConfigError, EnergyError
+
+
+class TestPowerTrace:
+    def test_interpolation(self):
+        trace = PowerTrace([0.0, 2.0, 4.0], dt=1.0)
+        assert trace.power(0.5) == 1.0
+        assert trace.power(1.5) == 3.0
+
+    def test_clipping_outside_range(self):
+        trace = PowerTrace([1.0, 3.0], dt=1.0)
+        assert trace.power(-5.0) == 1.0
+        assert trace.power(100.0) == 3.0
+
+    def test_energy_between_trapezoid(self):
+        trace = PowerTrace([0.0, 2.0], dt=2.0)  # ramp over 2 s
+        assert trace.energy_between(0.0, 2.0) == pytest.approx(2.0)
+
+    def test_total_energy_constant_power(self):
+        trace = constant_trace(0.5, duration=100.0, dt=1.0)
+        assert trace.total_energy_mj == pytest.approx(50.0)
+
+    @given(
+        st.floats(0, 50), st.floats(0, 50), st.floats(0, 50)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_energy_additivity(self, a, b, c):
+        trace = solar_trace(duration=50.0, dt=0.5, seed=1)
+        t0, t1, t2 = sorted((a, b, c))
+        total = trace.energy_between(t0, t2)
+        split = trace.energy_between(t0, t1) + trace.energy_between(t1, t2)
+        assert total == pytest.approx(split, abs=1e-9)
+
+    def test_energy_reversed_interval_raises(self):
+        trace = constant_trace(1.0, 10.0)
+        with pytest.raises(EnergyError):
+            trace.energy_between(5.0, 1.0)
+
+    def test_mean_power_window(self):
+        trace = constant_trace(0.8, duration=100.0)
+        assert trace.mean_power(50.0, window=10.0) == pytest.approx(0.8)
+
+    def test_scaled(self):
+        trace = constant_trace(1.0, 10.0)
+        assert trace.scaled(0.5).power(5.0) == pytest.approx(0.5)
+        with pytest.raises(EnergyError):
+            trace.scaled(-1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(EnergyError):
+            PowerTrace([1.0, -0.1], dt=1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            PowerTrace([1.0], dt=1.0)
+        with pytest.raises(ConfigError):
+            PowerTrace([1.0, 2.0], dt=0.0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("maker", [solar_trace, kinetic_trace, rf_trace])
+    def test_nonnegative_and_deterministic(self, maker):
+        t1 = maker(duration=500.0, seed=3)
+        t2 = maker(duration=500.0, seed=3)
+        assert np.all(t1.samples_mw >= 0)
+        np.testing.assert_array_equal(t1.samples_mw, t2.samples_mw)
+
+    def test_solar_has_diurnal_shape(self):
+        trace = solar_trace(duration=43200.0, dt=60.0, seed=0)
+        edges = trace.power(0.0) + trace.power(43200.0)
+        noon = np.max(trace.samples_mw)
+        assert noon > 10 * max(edges, 1e-6)
+
+    def test_solar_is_bimodal_under_clouds(self):
+        """Clear vs deep-occlusion periods must both occupy real time."""
+        trace = solar_trace(duration=43200.0, seed=0)
+        mid = trace.samples_mw[10000:30000]
+        peak = np.percentile(mid, 98)
+        clear_frac = np.mean(mid > 0.6 * peak)
+        dark_frac = np.mean(mid < 0.15 * peak)
+        assert clear_frac > 0.1
+        assert dark_frac > 0.2
+
+    def test_kinetic_has_bursts(self):
+        trace = kinetic_trace(duration=2000.0, seed=1)
+        assert trace.samples_mw.max() > 5 * np.median(trace.samples_mw)
+
+    def test_duration_property(self):
+        assert constant_trace(1.0, duration=60.0, dt=0.5).duration == pytest.approx(60.0)
+
+
+class TestCSV:
+    def test_two_column_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        times = np.arange(5) * 2.0
+        powers = np.array([0.1, 0.2, 0.3, 0.2, 0.1])
+        np.savetxt(path, np.column_stack([times, powers]), delimiter=",")
+        trace = trace_from_csv(str(path))
+        assert trace.dt == pytest.approx(2.0)
+        np.testing.assert_allclose(trace.samples_mw, powers)
+
+    def test_single_column_needs_dt(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        np.savetxt(path, np.array([0.1, 0.2, 0.3]), delimiter=",")
+        with pytest.raises(ConfigError):
+            trace_from_csv(str(path))
+        trace = trace_from_csv(str(path), dt=0.5)
+        assert trace.duration == pytest.approx(1.0)
+
+    def test_nonuniform_grid_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        np.savetxt(path, np.array([[0.0, 1.0], [1.0, 1.0], [3.0, 1.0]]), delimiter=",")
+        with pytest.raises(ConfigError):
+            trace_from_csv(str(path))
+
+    def test_from_samples(self):
+        trace = trace_from_samples([0.0, 1.0], dt=1.0, name="x")
+        assert trace.name == "x"

@@ -1,0 +1,109 @@
+"""Canonical experiment config and zoo caching tests."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiment import PAPER, PaperExperiment
+from repro import zoo
+
+
+class TestPaperExperiment:
+    def test_targets_match_figure4_caption(self):
+        assert PAPER.flops_target == pytest.approx(1.15e6)
+        assert PAPER.size_target_kb == pytest.approx(16.0)
+        assert PAPER.num_events == 500
+
+    def test_trace_is_deterministic(self):
+        t1, t2 = PAPER.make_trace(), PAPER.make_trace()
+        np.testing.assert_array_equal(t1.samples_mw, t2.samples_mw)
+
+    def test_events_span_trace(self):
+        trace = PAPER.make_trace()
+        events = PAPER.make_events(trace)
+        assert len(events) == 500
+        assert events[-1] <= trace.duration
+
+    def test_storage_fits_deepest_exit(self):
+        # The capacitor must be able to fund the full-depth compressed exit
+        # (~1.6 mJ), otherwise exit 3 could never be selected.
+        storage = PAPER.make_storage()
+        assert storage.capacity_mj >= 1.7
+
+    def test_mcu_is_msp432_class(self):
+        assert PAPER.mcu.energy_per_mflop_mj == pytest.approx(1.5)
+
+
+class TestZoo:
+    def test_dataset_deterministic(self):
+        a = zoo.get_dataset()
+        b = zoo.get_dataset()
+        np.testing.assert_array_equal(a.test.x, b.test.x)
+
+    def test_artifact_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "cache"))
+        path = zoo.artifact_dir()
+        assert path == str(tmp_path / "cache")
+        assert os.path.isdir(path)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigError):
+            zoo.get_trained_network("resnet50")
+
+    def test_training_cached_roundtrip(self, tmp_path, monkeypatch):
+        """Train a throwaway tiny recipe once; the second call must hit cache."""
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        monkeypatch.setitem(
+            zoo._TRAIN_RECIPES,
+            "tiny_test_net",
+            dict(maker=lambda seed=3: __import__("tests.conftest", fromlist=["x"]).make_tiny_two_exit(seed),
+                 epochs=1, train_size=0, lr=0.01),
+        )
+        # train_size=0 -> min(0, len) = 0 rows would break; use a tiny slice.
+        zoo._TRAIN_RECIPES["tiny_test_net"]["train_size"] = 16
+
+        # The tiny net expects 2x8x8 inputs, so intercept get_dataset too.
+        from repro.data import Dataset, DatasetSplits
+
+        full = zoo.get_dataset()
+
+        def small_dataset(*args, **kwargs):
+            def cut(ds):
+                return Dataset(ds.x[:16, :2, :8, :8], ds.y[:16] % 5)
+            return DatasetSplits(cut(full.train), cut(full.val), cut(full.test))
+
+        monkeypatch.setattr(zoo, "get_dataset", small_dataset)
+        net1, acc1 = zoo.get_trained_network("tiny_test_net")
+        assert os.path.exists(os.path.join(str(tmp_path), "tiny_test_net.weights.npz"))
+        net2, acc2 = zoo.get_trained_network("tiny_test_net")
+        assert acc1 == acc2
+        w1 = net1.weighted_layers()[0].weight.data
+        w2 = net2.weighted_layers()[0].weight.data
+        np.testing.assert_allclose(w1, w2)
+
+    def test_meta_file_contents(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        from tests.conftest import make_tiny_two_exit
+        from repro.data import Dataset, DatasetSplits
+
+        monkeypatch.setitem(
+            zoo._TRAIN_RECIPES,
+            "tiny_meta_net",
+            dict(maker=lambda seed=3: make_tiny_two_exit(seed), epochs=1, train_size=16, lr=0.01),
+        )
+        full = zoo.get_dataset()
+
+        def small_dataset(*args, **kwargs):
+            def cut(ds):
+                return Dataset(ds.x[:16, :2, :8, :8], ds.y[:16] % 5)
+            return DatasetSplits(cut(full.train), cut(full.val), cut(full.test))
+
+        monkeypatch.setattr(zoo, "get_dataset", small_dataset)
+        zoo.get_trained_network("tiny_meta_net")
+        with open(os.path.join(str(tmp_path), "tiny_meta_net.meta.json")) as fh:
+            meta = json.load(fh)
+        assert meta["name"] == "tiny_meta_net"
+        assert len(meta["test_accuracies"]) == 2

@@ -1,0 +1,121 @@
+"""BatchNorm2d tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import BatchNorm2d
+from tests.test_nn_layers import check_layer_gradients
+
+
+class TestForward:
+    def test_normalizes_training_batch(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.normal(size=(8, 4, 6, 6)) * 3.0 + 5.0
+        out = bn.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_gamma_beta_affect_output(self, rng):
+        bn = BatchNorm2d(2)
+        bn.gamma.data[:] = 2.0
+        bn.beta.data[:] = 1.0
+        x = rng.normal(size=(4, 2, 3, 3))
+        out = bn.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 1.0, atol=1e-9)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(3, momentum=0.2)
+        for _ in range(100):
+            bn.forward(rng.normal(size=(16, 3, 4, 4)) * 2.0 + 3.0, train=True)
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.3)
+        np.testing.assert_allclose(bn.running_var, 4.0, atol=0.8)
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(50):
+            bn.forward(rng.normal(size=(16, 2, 4, 4)), train=True)
+        # A wildly shifted eval batch must NOT be renormalized to zero mean.
+        x = rng.normal(size=(4, 2, 4, 4)) + 100.0
+        out = bn.forward(x, train=False)
+        assert out.mean() > 10.0
+
+    def test_shape_validation(self, rng):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ShapeError):
+            bn.forward(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ShapeError):
+            bn.forward(rng.normal(size=(4, 3)))
+        with pytest.raises(ShapeError):
+            BatchNorm2d(0)
+
+
+class TestBackward:
+    def test_gradients_numerically(self, rng):
+        bn = BatchNorm2d(2)
+        # check_layer_gradients uses forward(train=False) for the loss probe,
+        # which would freeze statistics; probe manually with train=True.
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = bn.forward(x, train=True)
+        dout = rng.normal(size=out.shape)
+        bn.zero_grad()
+        dx = bn.backward(dout)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (2, 1, 3, 3), (1, 0, 2, 1)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            fp = float(np.sum(bn.forward(xp, train=True) * dout))
+            fm = float(np.sum(bn.forward(xm, train=True) * dout))
+            np.testing.assert_allclose(dx[idx], (fp - fm) / (2 * eps), rtol=1e-4, atol=1e-8)
+
+    def test_parameter_gradients(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = bn.forward(x, train=True)
+        dout = rng.normal(size=out.shape)
+        bn.zero_grad()
+        bn.backward(dout)
+        eps = 1e-6
+        for p in (bn.gamma, bn.beta):
+            i = 1
+            orig = p.data[i]
+            p.data[i] = orig + eps
+            fp = float(np.sum(bn.forward(x, train=True) * dout))
+            p.data[i] = orig - eps
+            fm = float(np.sum(bn.forward(x, train=True) * dout))
+            p.data[i] = orig
+            np.testing.assert_allclose(p.grad[i], (fp - fm) / (2 * eps), rtol=1e-4)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            BatchNorm2d(2).backward(rng.normal(size=(1, 2, 2, 2)))
+
+    def test_trains_inside_a_network(self, rng):
+        """A conv+BN+ReLU stack must train end to end."""
+        from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+        from repro.nn.losses import MultiExitCrossEntropy
+        from repro.nn.network import MultiExitNetwork, Sequential
+        from repro.nn.optim import SGD
+
+        net = MultiExitNetwork(
+            segments=[Sequential([
+                Conv2d(2, 4, 3, padding=1, name="c", rng=0),
+                BatchNorm2d(4, name="bn"),
+                ReLU(),
+            ])],
+            branches=[Sequential([Flatten(), Linear(4 * 6 * 6, 3, name="f", rng=1)])],
+            num_classes=3,
+        )
+        x = rng.normal(size=(30, 2, 6, 6))
+        y = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64) + 1
+        y[x.std(axis=(1, 2, 3)) > 1.05] = 0
+        crit = MultiExitCrossEntropy(1)
+        opt = SGD(net.parameters(), lr=0.05)
+        losses = []
+        for _ in range(60):
+            opt.zero_grad()
+            losses.append(crit(net.forward_all(x, train=True), y))
+            net.backward_all(crit.backward())
+            opt.step()
+        assert losses[-1] < losses[0] * 0.7

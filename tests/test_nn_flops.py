@@ -1,0 +1,110 @@
+"""Static FLOPs/size profiling tests, including the paper's constants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import (
+    MULTI_EXIT_LENET_LAYERS,
+    PAPER_EXIT_FLOPS,
+    make_multi_exit_lenet,
+    make_sonic_net,
+    make_sparse_net,
+    make_lenet_cifar,
+)
+from repro.nn.flops import incremental_flops, profile_network
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.network import MultiExitNetwork, Sequential
+
+
+class TestLayerProfiles:
+    def test_conv_macs_formula(self):
+        net = MultiExitNetwork(
+            segments=[Sequential([Conv2d(3, 8, 5, name="c", rng=0)])],
+            branches=[Sequential([Flatten(), Linear(8 * 28 * 28, 10, name="f", rng=1)])],
+        )
+        prof = profile_network(net, (3, 32, 32))
+        conv = prof.layer("c")
+        assert conv.flops == 8 * 3 * 25 * 28 * 28
+        assert conv.out_shape == (8, 28, 28)
+
+    def test_linear_macs_formula(self):
+        net = MultiExitNetwork(
+            segments=[Sequential([Flatten()])],
+            branches=[Sequential([Linear(48, 10, name="f", rng=0)])],
+        )
+        prof = profile_network(net, (3, 4, 4))
+        assert prof.layer("f").flops == 480
+
+    def test_channel_mismatch_detected(self):
+        net = MultiExitNetwork(
+            segments=[Sequential([Conv2d(4, 8, 3, name="c", rng=0)])],
+            branches=[Sequential([Flatten(), Linear(10, 10, name="f", rng=1)])],
+        )
+        with pytest.raises(ShapeError):
+            profile_network(net, (3, 8, 8))
+
+    def test_weight_bits_accounting(self):
+        net = MultiExitNetwork(
+            segments=[Sequential([Conv2d(1, 2, 3, name="c", rng=0)])],
+            branches=[Sequential([Flatten(), Linear(2 * 6 * 6, 4, name="f", rng=1)])],
+        )
+        prof = profile_network(net, (1, 8, 8))
+        fp32 = prof.model_size_bits()
+        mixed = prof.model_size_bits({"c": 8, "f": 4})
+        weights_c, weights_f = 2 * 1 * 9, 72 * 4
+        assert fp32 == (weights_c + weights_f) * 32 + (2 + 4) * 32
+        assert mixed == weights_c * 8 + weights_f * 4 + (2 + 4) * 32
+
+
+class TestMultiExitLenetProfile:
+    """Section V-A constants: the model must match the paper's cost profile."""
+
+    def test_exit_flops_match_paper_within_2_percent(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        for measured, paper in zip(prof.exit_flops, PAPER_EXIT_FLOPS):
+            assert abs(measured - paper) / paper < 0.02
+
+    def test_exit_flops_monotonically_increase(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        assert prof.exit_flops[0] < prof.exit_flops[1] < prof.exit_flops[2]
+
+    def test_layer_names_match_figure4(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        assert {lp.name for lp in prof.layers} == set(MULTI_EXIT_LENET_LAYERS)
+
+    def test_model_exceeds_mcu_storage_uncompressed(self, lenet):
+        # The premise of the paper: the fp32 model cannot fit in 16 KB.
+        prof = profile_network(lenet, (3, 32, 32))
+        assert prof.model_size_kb() > 100.0
+
+    def test_exit_dependency_sets_nest(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        backbone0 = set(prof.exits[0].layer_names) - {"ConvB1", "FC-B1"}
+        assert backbone0 <= set(prof.exits[1].layer_names)
+
+    def test_incremental_cheaper_than_full_restart(self, lenet):
+        prof = profile_network(lenet, (3, 32, 32))
+        inc = incremental_flops(prof)
+        assert len(inc) == 2
+        # Continuing must cost less than running the deeper exit from scratch.
+        assert inc[0] < prof.exit_flops[1]
+        assert inc[1] < prof.exit_flops[2]
+
+
+class TestBaselineProfiles:
+    @pytest.mark.parametrize(
+        "maker,target,tolerance",
+        [
+            (make_sonic_net, 2.0e6, 0.05),
+            (make_sparse_net, 11.4e6, 0.05),
+            (make_lenet_cifar, 0.23e6, 0.10),
+        ],
+    )
+    def test_flops_near_paper_values(self, maker, target, tolerance):
+        prof = profile_network(maker(), (3, 32, 32))
+        assert abs(prof.total_flops - target) / target < tolerance
+
+    def test_baselines_are_single_exit(self):
+        for maker in (make_sonic_net, make_sparse_net, make_lenet_cifar):
+            assert maker().num_exits == 1

@@ -1,0 +1,74 @@
+"""Weight serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn.io import load_state_dict, load_weights, save_weights, state_dict
+from tests.conftest import make_tiny_two_exit
+
+
+class TestStateDict:
+    def test_contains_every_parameter(self, tiny_net):
+        state = state_dict(tiny_net)
+        assert len(state) == len(tiny_net.parameters())
+
+    def test_returns_copies(self, tiny_net):
+        state = state_dict(tiny_net)
+        name = next(iter(state))
+        state[name] += 100.0
+        param = {p.name: p for p in tiny_net.parameters()}[name]
+        assert not np.allclose(param.data, state[name])
+
+
+class TestLoadStateDict:
+    def test_roundtrip(self, tiny_net, rng):
+        other = make_tiny_two_exit(seed=9)
+        x = rng.normal(size=(2, 2, 8, 8))
+        assert not np.allclose(
+            tiny_net.forward_to_exit(x, 1), other.forward_to_exit(x, 1)
+        )
+        load_state_dict(other, state_dict(tiny_net))
+        np.testing.assert_allclose(
+            tiny_net.forward_to_exit(x, 1), other.forward_to_exit(x, 1)
+        )
+
+    def test_strict_missing_raises(self, tiny_net):
+        state = state_dict(tiny_net)
+        state.pop(next(iter(state)))
+        with pytest.raises(SerializationError):
+            load_state_dict(tiny_net, state, strict=True)
+
+    def test_non_strict_partial_load(self, tiny_net):
+        state = state_dict(tiny_net)
+        removed = next(iter(state))
+        state.pop(removed)
+        load_state_dict(tiny_net, state, strict=False)  # must not raise
+
+    def test_shape_mismatch_raises(self, tiny_net):
+        state = state_dict(tiny_net)
+        name = next(iter(state))
+        state[name] = np.zeros((1, 1))
+        with pytest.raises(SerializationError):
+            load_state_dict(tiny_net, state, strict=False)
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tiny_net, tmp_path, rng):
+        path = str(tmp_path / "weights.npz")
+        save_weights(tiny_net, path)
+        other = make_tiny_two_exit(seed=42)
+        load_weights(other, path)
+        x = rng.normal(size=(2, 2, 8, 8))
+        np.testing.assert_allclose(
+            tiny_net.forward_to_exit(x, 1), other.forward_to_exit(x, 1)
+        )
+
+    def test_missing_file_raises(self, tiny_net, tmp_path):
+        with pytest.raises(SerializationError):
+            load_weights(tiny_net, str(tmp_path / "absent.npz"))
+
+    def test_creates_directories(self, tiny_net, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "w.npz")
+        save_weights(tiny_net, path)
+        load_weights(tiny_net, path)

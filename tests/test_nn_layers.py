@@ -1,0 +1,185 @@
+"""Layer-level tests: shapes, gradients, hooks, and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+
+def check_layer_gradients(layer, x, rng, atol=1e-6):
+    """Numerical gradient check for input and all parameters."""
+    out = layer.forward(x, train=True)
+    dout = rng.normal(size=out.shape)
+    layer.zero_grad()
+    dx = layer.backward(dout)
+    eps = 1e-6
+
+    def loss(xx):
+        return float(np.sum(layer.forward(xx, train=False) * dout))
+
+    flat_idx = rng.choice(x.size, size=min(5, x.size), replace=False)
+    for i in flat_idx:
+        xp, xm = x.copy().ravel(), x.copy().ravel()
+        xp[i] += eps
+        xm[i] -= eps
+        num = (loss(xp.reshape(x.shape)) - loss(xm.reshape(x.shape))) / (2 * eps)
+        np.testing.assert_allclose(dx.ravel()[i], num, atol=atol, rtol=1e-4)
+    for p in layer.parameters():
+        idx = rng.choice(p.data.size, size=min(4, p.data.size), replace=False)
+        for i in idx:
+            orig = p.data.ravel()[i]
+            p.data.ravel()[i] = orig + eps
+            lp = loss(x)
+            p.data.ravel()[i] = orig - eps
+            lm = loss(x)
+            p.data.ravel()[i] = orig
+            np.testing.assert_allclose(
+                p.grad.ravel()[i], (lp - lm) / (2 * eps), atol=atol, rtol=1e-4
+            )
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter("w", np.ones((2, 2)))
+        p.grad += 3.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_size(self):
+        assert Parameter("w", np.ones((3, 4))).size == 12
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 5, padding=2, rng=0)
+        out = layer.forward(rng.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_gradients(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 2, 5, 5)), rng)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2d(2, 3, 3, rng=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(1, 3, 3, 3)))
+
+    def test_weight_quantizer_hook_applied(self, rng):
+        layer = Conv2d(2, 3, 3, rng=0)
+        x = rng.normal(size=(1, 2, 5, 5))
+        base = layer.forward(x)
+        layer.weight_quantizer = lambda w: np.zeros_like(w)
+        quantized = layer.forward(x)
+        assert not np.allclose(base, quantized)
+        np.testing.assert_allclose(quantized, layer.bias.data[None, :, None, None] * np.ones_like(quantized))
+
+    def test_input_quantizer_hook_applied(self, rng):
+        layer = Conv2d(2, 3, 3, bias=False, rng=0)
+        layer.input_quantizer = lambda a: np.zeros_like(a)
+        out = layer.forward(rng.normal(size=(1, 2, 5, 5)))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ShapeError):
+            Conv2d(0, 3, 3)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(10, 4, rng=0)
+        assert layer.forward(rng.normal(size=(3, 10))).shape == (3, 4)
+
+    def test_gradients(self, rng):
+        layer = Linear(6, 4, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(3, 6)), rng)
+
+    def test_feature_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(6, 4, rng=0).forward(rng.normal(size=(3, 7)))
+
+    def test_rank_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Linear(6, 4, rng=0).forward(rng.normal(size=(3, 6, 1)))
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_gradients(self, rng):
+        check_layer_gradients(ReLU(), rng.normal(size=(3, 4)) + 0.1, rng)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(5, 5)) * 10)
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_sigmoid_gradients(self, rng):
+        check_layer_gradients(Sigmoid(), rng.normal(size=(3, 4)), rng)
+
+    def test_tanh_gradients(self, rng):
+        check_layer_gradients(Tanh(), rng.normal(size=(3, 4)), rng)
+
+
+class TestPoolingLayers:
+    def test_maxpool_gradients(self, rng):
+        check_layer_gradients(MaxPool2d(2), rng.normal(size=(2, 2, 4, 4)), rng)
+
+    def test_avgpool_gradients(self, rng):
+        check_layer_gradients(AvgPool2d(2), rng.normal(size=(2, 2, 4, 4)), rng)
+
+    def test_default_stride_equals_kernel(self):
+        assert MaxPool2d(3).stride == 3
+        assert MaxPool2d(3, stride=1).stride == 1
+
+
+class TestFlatten:
+    def test_shape(self, rng):
+        out = Flatten().forward(rng.normal(size=(2, 3, 4, 4)))
+        assert out.shape == (2, 48)
+
+    def test_backward_restores_shape(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        layer.forward(x, train=True)
+        assert layer.backward(rng.normal(size=(2, 48))).shape == x.shape
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(Dropout(0.5, rng=0).forward(x, train=False), x)
+
+    def test_scales_kept_units(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((1, 1000))
+        out = layer.forward(x, train=True)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Expected keep fraction near 0.5.
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_zero_probability_is_identity(self, rng):
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(Dropout(0.0, rng=0).forward(x, train=True), x)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

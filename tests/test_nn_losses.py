@@ -1,0 +1,89 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import CrossEntropyLoss, MultiExitCrossEntropy
+from repro.utils.mathx import softmax
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        np.testing.assert_allclose(loss(logits, labels), np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert loss(logits, np.array([1, 2])) < 1e-6
+
+    def test_gradient_formula(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, 5)
+        loss(logits, labels)
+        grad = loss.backward()
+        expected = softmax(logits, axis=1)
+        expected[np.arange(5), labels] -= 1.0
+        np.testing.assert_allclose(grad, expected / 5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 6))
+        loss(logits, rng.integers(0, 6, 3))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss()(rng.normal(size=(3,)), np.array([0]))
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss()(rng.normal(size=(3, 2)), np.array([0]))
+
+
+class TestMultiExitCrossEntropy:
+    def test_weighted_sum(self, rng):
+        logits = [rng.normal(size=(4, 3)) for _ in range(2)]
+        labels = rng.integers(0, 3, 4)
+        joint = MultiExitCrossEntropy(2, [1.0, 0.5])
+        total = joint(logits, labels)
+        individual = [CrossEntropyLoss()(l, labels) for l in logits]
+        np.testing.assert_allclose(total, individual[0] + 0.5 * individual[1])
+
+    def test_last_exit_losses_recorded(self, rng):
+        logits = [rng.normal(size=(4, 3)) for _ in range(3)]
+        labels = rng.integers(0, 3, 4)
+        joint = MultiExitCrossEntropy(3)
+        joint(logits, labels)
+        assert len(joint.last_exit_losses) == 3
+        assert all(l > 0 for l in joint.last_exit_losses)
+
+    def test_backward_scales_by_weight(self, rng):
+        logits = [rng.normal(size=(2, 3)) for _ in range(2)]
+        labels = rng.integers(0, 3, 2)
+        joint = MultiExitCrossEntropy(2, [1.0, 0.0])
+        joint(logits, labels)
+        grads = joint.backward()
+        np.testing.assert_allclose(grads[1], 0.0)
+        assert np.abs(grads[0]).max() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiExitCrossEntropy(0)
+        with pytest.raises(ValueError):
+            MultiExitCrossEntropy(2, [1.0])
+        with pytest.raises(ValueError):
+            MultiExitCrossEntropy(2, [1.0, -1.0])
+
+    def test_logits_count_checked(self, rng):
+        joint = MultiExitCrossEntropy(2)
+        with pytest.raises(ShapeError):
+            joint([rng.normal(size=(2, 3))], rng.integers(0, 3, 2))

@@ -1,0 +1,138 @@
+"""Multi-exit network container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import MultiExitCrossEntropy
+from repro.nn.network import MultiExitNetwork, Sequential
+from tests.conftest import make_tiny_two_exit
+
+
+@pytest.fixture
+def x(rng):
+    return rng.normal(size=(4, 2, 8, 8))
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 5, size=4)
+
+
+class TestConstruction:
+    def test_segment_branch_count_mismatch(self):
+        with pytest.raises(ConfigError):
+            MultiExitNetwork(segments=[Sequential([])], branches=[])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigError):
+            MultiExitNetwork(segments=[], branches=[])
+
+    def test_plain_lists_wrapped(self):
+        net = MultiExitNetwork(
+            segments=[[Linear(4, 4, name="a", rng=0), ReLU()]],
+            branches=[[Linear(4, 2, name="b", rng=1)]],
+        )
+        assert isinstance(net.segments[0], Sequential)
+
+
+class TestForward:
+    def test_forward_all_returns_one_logits_per_exit(self, tiny_net, x):
+        logits = tiny_net.forward_all(x)
+        assert len(logits) == 2
+        assert all(l.shape == (4, 5) for l in logits)
+
+    def test_forward_to_exit_matches_forward_all(self, tiny_net, x):
+        logits = tiny_net.forward_all(x)
+        for k in range(tiny_net.num_exits):
+            np.testing.assert_allclose(tiny_net.forward_to_exit(x, k), logits[k])
+
+    def test_forward_to_exit_bounds(self, tiny_net, x):
+        with pytest.raises(ConfigError):
+            tiny_net.forward_to_exit(x, 2)
+
+    def test_predict_uses_final_exit_by_default(self, tiny_net, x):
+        pred = tiny_net.predict(x)
+        np.testing.assert_array_equal(pred, tiny_net.forward_to_exit(x, 1).argmax(axis=1))
+
+
+class TestIncrementalInference:
+    def test_matches_direct_forward(self, tiny_net, x):
+        cursor = tiny_net.begin_incremental(x)
+        logits0 = cursor.run_to_exit(0)
+        np.testing.assert_allclose(logits0, tiny_net.forward_to_exit(x, 0))
+        logits1 = cursor.run_to_exit(1)
+        np.testing.assert_allclose(logits1, tiny_net.forward_to_exit(x, 1))
+
+    def test_cannot_go_backwards(self, tiny_net, x):
+        cursor = tiny_net.begin_incremental(x)
+        cursor.run_to_exit(1)
+        with pytest.raises(ConfigError):
+            cursor.run_to_exit(0)
+
+    def test_can_continue_flag(self, tiny_net, x):
+        cursor = tiny_net.begin_incremental(x)
+        cursor.run_to_exit(0)
+        assert cursor.can_continue
+        cursor.run_to_exit(1)
+        assert not cursor.can_continue
+
+    def test_skipping_an_exit_is_allowed(self, tiny_net, x):
+        cursor = tiny_net.begin_incremental(x)
+        logits = cursor.run_to_exit(1)  # straight to the final exit
+        np.testing.assert_allclose(logits, tiny_net.forward_to_exit(x, 1))
+
+
+class TestBackwardAll:
+    def test_joint_gradient_matches_numerical(self, x, labels):
+        net = make_tiny_two_exit(seed=1)
+        criterion = MultiExitCrossEntropy(2, [1.0, 0.5])
+
+        def loss_value():
+            return criterion(net.forward_all(x, train=True), labels)
+
+        loss_value()
+        net.zero_grad()
+        net.backward_all(criterion.backward())
+        rng = np.random.default_rng(2)
+        eps = 1e-6
+        for p in net.parameters()[:4]:
+            i = int(rng.integers(p.data.size))
+            orig = p.data.ravel()[i]
+            p.data.ravel()[i] = orig + eps
+            lp = loss_value()
+            p.data.ravel()[i] = orig - eps
+            lm = loss_value()
+            p.data.ravel()[i] = orig
+            np.testing.assert_allclose(
+                p.grad.ravel()[i], (lp - lm) / (2 * eps), rtol=1e-4, atol=1e-7
+            )
+
+    def test_wrong_gradient_count_raises(self, tiny_net, x, labels):
+        criterion = MultiExitCrossEntropy(2)
+        criterion(tiny_net.forward_all(x, train=True), labels)
+        with pytest.raises(ConfigError):
+            tiny_net.backward_all(criterion.backward()[:1])
+
+
+class TestIntrospection:
+    def test_weighted_layers_order(self, tiny_net):
+        names = [l.name for l in tiny_net.weighted_layers()]
+        assert names == ["t.c1", "t.c2", "t.f1", "t.f2"]
+
+    def test_layer_by_name(self, tiny_net):
+        assert tiny_net.layer_by_name("t.c2").name == "t.c2"
+        with pytest.raises(KeyError):
+            tiny_net.layer_by_name("missing")
+
+    def test_exit_layer_names(self, tiny_net):
+        assert tiny_net.exit_layer_names(0) == ["t.c1", "t.f1"]
+        assert tiny_net.exit_layer_names(1) == ["t.c1", "t.c2", "t.f2"]
+
+    def test_zero_grad_clears_all(self, tiny_net, x, labels):
+        criterion = MultiExitCrossEntropy(2)
+        criterion(tiny_net.forward_all(x, train=True), labels)
+        tiny_net.backward_all(criterion.backward())
+        tiny_net.zero_grad()
+        assert all((p.grad == 0).all() for p in tiny_net.parameters())

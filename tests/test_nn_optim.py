@@ -1,0 +1,77 @@
+"""Optimizer tests on analytically simple objectives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_step(params, optimizer, steps=200):
+    """Minimize sum of squares; returns the final loss."""
+    for _ in range(steps):
+        optimizer.zero_grad()
+        for p in params:
+            p.grad += 2.0 * p.data
+        optimizer.step()
+    return sum(float(np.sum(p.data ** 2)) for p in params)
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = Parameter("w", np.array([3.0, -2.0]))
+        assert quadratic_step([p], SGD([p], lr=0.05, momentum=0.0)) < 1e-8
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter("a", np.array([5.0]))
+        p2 = Parameter("b", np.array([5.0]))
+        loss_plain = quadratic_step([p1], SGD([p1], lr=0.01, momentum=0.0), steps=50)
+        loss_momentum = quadratic_step([p2], SGD([p2], lr=0.01, momentum=0.9), steps=50)
+        assert loss_momentum < loss_plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter("w", np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.zero_grad()  # gradient stays zero; only decay acts
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_single_step_matches_formula(self):
+        p = Parameter("w", np.array([2.0]))
+        opt = SGD([p], lr=0.5, momentum=0.0)
+        p.grad[:] = 3.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.5 * 3.0])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter("w", np.zeros(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = Parameter("w", np.array([3.0, -2.0]))
+        assert quadratic_step([p], Adam([p], lr=0.05), steps=500) < 1e-6
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |step 1| == lr regardless of gradient scale.
+        p = Parameter("w", np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad[:] = 12345.0
+        opt.step()
+        np.testing.assert_allclose(abs(p.data[0]), 0.1, rtol=1e-6)
+
+    def test_zero_grad(self):
+        p = Parameter("w", np.zeros(3))
+        opt = Adam([p])
+        p.grad += 1.0
+        opt.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter("w", np.zeros(1))], lr=-1.0)

@@ -1,0 +1,87 @@
+"""Training-loop tests on a small learnable task."""
+
+import numpy as np
+import pytest
+
+from repro.nn.trainer import TrainConfig, Trainer, evaluate_exit_accuracies
+from tests.conftest import make_tiny_two_exit
+
+
+class TestEvaluateExitAccuracies:
+    def test_untrained_near_chance(self, tiny_net, tiny_dataset):
+        x = tiny_dataset.test.x[:40, :2, :8, :8]
+        y = tiny_dataset.test.y[:40] % 5
+        accs = evaluate_exit_accuracies(tiny_net, x, y)
+        assert len(accs) == 2
+        assert all(0.0 <= a <= 0.6 for a in accs)
+
+    def test_batched_equals_unbatched(self, tiny_net, rng):
+        x = rng.normal(size=(30, 2, 8, 8))
+        y = rng.integers(0, 5, 30)
+        a1 = evaluate_exit_accuracies(tiny_net, x, y, batch_size=7)
+        a2 = evaluate_exit_accuracies(tiny_net, x, y, batch_size=30)
+        assert a1 == a2
+
+
+class TestTrainer:
+    def test_loss_decreases_and_accuracy_improves(self, tiny_dataset):
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        x = tiny_dataset.train.x[:150, :2, :8, :8]
+        y = tiny_dataset.train.y[:150]
+        config = TrainConfig(epochs=6, batch_size=32, lr=0.02, seed=0)
+        history = Trainer(config).fit(net, x, y, x, y)
+        assert history.loss[-1] < history.loss[0]
+        assert max(history.final_val_accuracy) > 0.3  # well above 10% chance
+
+    def test_history_shapes(self, tiny_dataset):
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        x = tiny_dataset.train.x[:60, :2, :8, :8]
+        y = tiny_dataset.train.y[:60]
+        history = Trainer(TrainConfig(epochs=2, batch_size=16, seed=0)).fit(net, x, y, x, y)
+        assert len(history.loss) == 2
+        assert len(history.exit_losses[0]) == 2
+        assert len(history.val_exit_accuracy) == 2
+
+    def test_no_validation_data(self, tiny_dataset):
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        x = tiny_dataset.train.x[:40, :2, :8, :8]
+        y = tiny_dataset.train.y[:40]
+        history = Trainer(TrainConfig(epochs=1, batch_size=16, seed=0)).fit(net, x, y)
+        assert history.val_exit_accuracy == []
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        x = tiny_dataset.train.x[:40, :2, :8, :8]
+        y = tiny_dataset.train.y[:40]
+        losses = []
+        for _ in range(2):
+            net = make_tiny_two_exit(seed=4, num_classes=10)
+            history = Trainer(TrainConfig(epochs=2, batch_size=16, seed=5)).fit(net, x, y)
+            losses.append(history.loss)
+        np.testing.assert_allclose(losses[0], losses[1])
+
+    def test_adam_optimizer_path(self, tiny_dataset):
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        x = tiny_dataset.train.x[:40, :2, :8, :8]
+        y = tiny_dataset.train.y[:40]
+        config = TrainConfig(epochs=2, batch_size=16, lr=1e-3, optimizer="adam", seed=0)
+        history = Trainer(config).fit(net, x, y)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_unknown_optimizer_raises(self, tiny_dataset):
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        with pytest.raises(ValueError):
+            Trainer(TrainConfig(optimizer="rmsprop")).fit(
+                net, tiny_dataset.train.x[:8, :2, :8, :8], tiny_dataset.train.y[:8]
+            )
+
+    def test_exit_weights_bias_training(self, tiny_dataset):
+        # Zero weight on exit 1 must leave its private branch untouched.
+        net = make_tiny_two_exit(seed=4, num_classes=10)
+        before = net.layer_by_name("t.f2").weight.data.copy()
+        x = tiny_dataset.train.x[:40, :2, :8, :8]
+        y = tiny_dataset.train.y[:40]
+        config = TrainConfig(
+            epochs=1, batch_size=16, exit_weights=[1.0, 0.0], weight_decay=0.0, seed=0
+        )
+        Trainer(config).fit(net, x, y)
+        np.testing.assert_allclose(net.layer_by_name("t.f2").weight.data, before)

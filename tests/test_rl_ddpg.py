@@ -1,0 +1,111 @@
+"""DDPG agent tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl import DDPGAgent, DDPGConfig
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        hidden_sizes=(16, 16),
+        batch_size=16,
+        warmup=16,
+        buffer_capacity=1000,
+        noise_sigma=0.2,
+    )
+    kwargs.update(overrides)
+    return DDPGConfig(**kwargs)
+
+
+class TestActing:
+    def test_action_in_unit_box(self):
+        agent = DDPGAgent(4, 2, small_config(), rng=0)
+        for _ in range(20):
+            a = agent.act(np.random.default_rng(0).normal(size=4), explore=True)
+            assert a.shape == (2,)
+            assert np.all((a >= 0) & (a <= 1))
+
+    def test_deterministic_without_exploration(self):
+        agent = DDPGAgent(4, 2, small_config(), rng=0)
+        s = np.ones(4)
+        np.testing.assert_array_equal(agent.act(s, explore=False), agent.act(s, explore=False))
+
+    def test_exploration_adds_noise(self):
+        agent = DDPGAgent(4, 2, small_config(), rng=0)
+        s = np.ones(4)
+        base = agent.act(s, explore=False)
+        noisy = [agent.act(s, explore=True) for _ in range(10)]
+        assert any(not np.allclose(n, base) for n in noisy)
+
+
+class TestUpdate:
+    def test_no_update_before_warmup(self):
+        agent = DDPGAgent(2, 1, small_config(warmup=100), rng=0)
+        agent.remember(np.zeros(2), np.zeros(1), 0.0, np.zeros(2), False)
+        assert agent.update() == {}
+
+    def test_critic_loss_decreases_on_fixed_problem(self):
+        """Critic must learn a constant reward signal."""
+        agent = DDPGAgent(2, 1, small_config(gamma=0.0, critic_lr=5e-3), rng=0)
+        rng = np.random.default_rng(1)
+        for _ in range(64):
+            s = rng.normal(size=2)
+            a = rng.random(1)
+            agent.remember(s, a, 1.0, rng.normal(size=2), True)
+        losses = []
+        for _ in range(150):
+            stats = agent.update()
+            losses.append(stats["critic_loss"])
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) / 2
+
+    def test_actor_moves_toward_rewarded_actions(self):
+        """Reward = action value: the actor should drift upward."""
+        agent = DDPGAgent(2, 1, small_config(gamma=0.0, actor_lr=3e-3), rng=0)
+        rng = np.random.default_rng(1)
+        state = np.ones(2)
+        before = agent.act(state, explore=False)[0]
+        for _ in range(64):
+            a = rng.random(1)
+            agent.remember(state, a, float(a[0]), state, True)
+        for _ in range(300):
+            agent.update()
+        after = agent.act(state, explore=False)[0]
+        assert after > before or after > 0.9
+
+    def test_target_networks_track_slowly(self):
+        agent = DDPGAgent(2, 1, small_config(tau=0.01), rng=0)
+        rng = np.random.default_rng(1)
+        target_before = [p.data.copy() for p in agent.target_critic.parameters()]
+        for _ in range(32):
+            agent.remember(rng.normal(size=2), rng.random(1), 1.0, rng.normal(size=2), True)
+        agent.update()
+        for p_before, p_now, p_live in zip(
+            target_before, agent.target_critic.parameters(), agent.critic.parameters()
+        ):
+            # Target moved, but less than the live network.
+            target_delta = np.abs(p_now.data - p_before).max()
+            live_delta = np.abs(p_live.data - p_before).max()
+            if live_delta > 1e-9:
+                assert target_delta < live_delta
+
+    def test_end_episode_decays_noise(self):
+        agent = DDPGAgent(2, 1, small_config(noise_decay=0.5), rng=0)
+        sigma = agent.noise.sigma
+        agent.end_episode()
+        assert agent.noise.sigma == pytest.approx(sigma * 0.5)
+
+
+class TestValidation:
+    def test_dims(self):
+        with pytest.raises(ConfigError):
+            DDPGAgent(0, 1)
+        with pytest.raises(ConfigError):
+            DDPGAgent(1, 0)
+
+    def test_config(self):
+        with pytest.raises(ConfigError):
+            DDPGConfig(gamma=1.5)
+        with pytest.raises(ConfigError):
+            DDPGConfig(tau=0.0)

@@ -1,0 +1,148 @@
+"""Compression-search environment tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.energy import constant_trace, uniform_random_events
+from repro.errors import ConfigError
+from repro.rl.env import OBSERVATION_DIM, CompressionObjective, LayerwiseCompressionEnv
+
+
+@pytest.fixture
+def objective(tiny_net, tiny_dataset):
+    data = Dataset(tiny_dataset.val.x[:40, :2, :8, :8], tiny_dataset.val.y[:40] % 5)
+    trace = constant_trace(0.02, 500.0)
+    events = uniform_random_events(20, trace.duration, rng=1)
+    return CompressionObjective(
+        net=tiny_net,
+        val_data=data,
+        trace=trace,
+        events=events,
+        flops_target=3_500,
+        size_target_kb=0.6,
+        input_shape=(2, 8, 8),
+    )
+
+
+@pytest.fixture
+def env(objective):
+    return LayerwiseCompressionEnv(objective)
+
+
+class TestObservation:
+    def test_dimension_matches_eq9(self, env):
+        obs = env.reset()
+        assert obs.shape == (OBSERVATION_DIM,)
+
+    def test_normalized_to_unit_interval(self, env):
+        obs = env.reset()
+        done = False
+        while not done:
+            assert np.all(obs >= 0.0) and np.all(obs <= 1.0)
+            obs, done = env.step([0.5], [0.5, 0.5])
+
+    def test_layer_index_advances(self, env):
+        obs0 = env.reset()
+        obs1, _ = env.step([0.5], [0.5, 0.5])
+        assert obs1[0] > obs0[0]
+
+    def test_reflects_previous_actions(self, env):
+        env.reset()
+        obs, _ = env.step([0.0], [0.0, 1.0])  # alpha -> min, bw -> 1, ba -> 8
+        assert obs[1] == pytest.approx(env.alpha_bounds[0])
+        assert obs[2] == pytest.approx(1 / 8)
+        assert obs[3] == pytest.approx(1.0)
+
+
+class TestActionMapping:
+    def test_alpha_snaps_to_grid(self, env):
+        # Paper: pruning rate in [0.05, 1.0] with step 0.05.
+        for action in np.linspace(0, 1, 17):
+            alpha = env.map_alpha(action)
+            assert 0.05 <= alpha <= 1.0
+            assert round(alpha / 0.05, 6) == pytest.approx(round(alpha / 0.05), abs=1e-6)
+
+    def test_bits_cover_full_range(self, env):
+        bits = {env.map_bits(a, (1, 8)) for a in np.linspace(0, 1, 50)}
+        assert bits == set(range(1, 9))
+
+    def test_extremes(self, env):
+        assert env.map_alpha(0.0) == pytest.approx(0.05)
+        assert env.map_alpha(1.0) == pytest.approx(1.0)
+        assert env.map_bits(0.0, (1, 8)) == 1
+        assert env.map_bits(1.0, (1, 8)) == 8
+
+
+class TestEpisodeFlow:
+    def test_episode_length_is_layer_count(self, env):
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, done = env.step([0.5], [0.5, 0.5])
+            steps += 1
+        assert steps == env.num_layers == 4
+
+    def test_step_after_done_raises(self, env):
+        env.reset()
+        done = False
+        while not done:
+            _, done = env.step([0.5], [0.5, 0.5])
+        with pytest.raises(ConfigError):
+            env.step([0.5], [0.5, 0.5])
+
+    def test_build_spec_requires_finished_episode(self, env):
+        env.reset()
+        env.step([0.5], [0.5, 0.5])
+        with pytest.raises(ConfigError):
+            env.build_spec()
+
+    def test_quant_action_arity_checked(self, env):
+        env.reset()
+        with pytest.raises(ConfigError):
+            env.step([0.5], [0.5])
+
+    def test_spec_covers_all_layers(self, env, tiny_net):
+        env.reset()
+        done = False
+        while not done:
+            _, done = env.step([1.0], [1.0, 1.0])
+        spec = env.build_spec()
+        for layer in tiny_net.weighted_layers():
+            assert layer.name in spec
+
+
+class TestObjective:
+    def run_episode(self, env, alpha_action, bits_action):
+        env.reset()
+        done = False
+        while not done:
+            _, done = env.step([alpha_action], [bits_action, bits_action])
+        return env.finalize()
+
+    def test_identity_episode_infeasible_for_tight_targets(self, env):
+        result = self.run_episode(env, 1.0, 1.0)  # no pruning, 8-bit
+        assert not result.flops_ok          # identity exit-2 path is ~3.97k FLOPs
+        assert result.rprune == -1.0
+
+    def test_heavy_compression_feasible(self, env):
+        result = self.run_episode(env, 0.0, 0.1)
+        assert result.flops_ok and result.size_ok
+        assert result.rprune == pytest.approx(result.racc)
+        assert result.rquant == pytest.approx(result.racc)
+
+    def test_racc_is_probability_weighted(self, env):
+        result = self.run_episode(env, 0.5, 1.0)
+        expected = sum(p * a for p, a in zip(result.exit_fractions, result.accuracies))
+        assert result.racc == pytest.approx(expected)
+
+    def test_trace_unaware_uses_uniform_weights(self, objective, env):
+        objective.trace_aware = False
+        result = self.run_episode(env, 0.5, 1.0)
+        assert result.exit_fractions == pytest.approx([0.5, 0.5])
+
+    def test_fractions_are_valid_probabilities(self, env):
+        result = self.run_episode(env, 0.5, 0.8)
+        assert all(0.0 <= p <= 1.0 for p in result.exit_fractions)
+        assert sum(result.exit_fractions) <= 1.0 + 1e-9

@@ -1,0 +1,94 @@
+"""Replay buffer and exploration-noise tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rl import OUNoise, ReplayBuffer, Transition, TruncatedNormalNoise
+
+
+def transition(i):
+    return Transition(
+        state=np.array([float(i)]),
+        action=np.array([0.5]),
+        reward=float(i),
+        next_state=np.array([float(i + 1)]),
+        done=False,
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(10, rng=0)
+        for i in range(5):
+            buf.push(transition(i))
+        assert len(buf) == 5
+
+    def test_ring_overwrite(self):
+        buf = ReplayBuffer(3, rng=0)
+        for i in range(7):
+            buf.push(transition(i))
+        assert len(buf) == 3
+        states, _, rewards, _, _ = buf.sample(3)
+        assert set(rewards.tolist()) == {4.0, 5.0, 6.0}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(10, rng=0)
+        for i in range(8):
+            buf.push(transition(i))
+        states, actions, rewards, next_states, dones = buf.sample(4)
+        assert states.shape == (4, 1)
+        assert actions.shape == (4, 1)
+        assert rewards.shape == (4,)
+        assert dones.shape == (4,)
+
+    def test_sample_too_early_raises(self):
+        buf = ReplayBuffer(10, rng=0)
+        buf.push(transition(0))
+        with pytest.raises(ConfigError):
+            buf.sample(2)
+
+    def test_clear(self):
+        buf = ReplayBuffer(5, rng=0)
+        buf.push(transition(0))
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReplayBuffer(0)
+
+
+class TestOUNoise:
+    def test_temporal_correlation(self):
+        noise = OUNoise(1, theta=0.05, sigma=0.1, rng=0)
+        samples = np.array([noise.sample()[0] for _ in range(500)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.5  # strongly correlated by construction
+
+    def test_reset_zeroes_state(self):
+        noise = OUNoise(2, rng=0)
+        noise.sample()
+        noise.reset()
+        assert (noise.state == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OUNoise(0)
+
+
+class TestTruncatedNormalNoise:
+    def test_decay(self):
+        noise = TruncatedNormalNoise(1, sigma=0.4, decay=0.5, sigma_min=0.05, rng=0)
+        noise.end_episode()
+        assert noise.sigma == pytest.approx(0.2)
+        for _ in range(10):
+            noise.end_episode()
+        assert noise.sigma == pytest.approx(0.05)
+
+    def test_scale_follows_sigma(self):
+        noise = TruncatedNormalNoise(1, sigma=1.0, rng=0)
+        big = np.std([noise.sample()[0] for _ in range(2000)])
+        noise.sigma = 0.01
+        small = np.std([noise.sample()[0] for _ in range(2000)])
+        assert big > 10 * small

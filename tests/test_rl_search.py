@@ -1,0 +1,79 @@
+"""Search driver tests (short budgets)."""
+
+import pytest
+
+from repro.data import Dataset
+from repro.energy import constant_trace, uniform_random_events
+from repro.rl import (
+    CompressionObjective,
+    LayerwiseCompressionEnv,
+    NonuniformSearch,
+    RandomSearch,
+    SearchConfig,
+)
+from repro.rl.ddpg import DDPGConfig
+
+
+@pytest.fixture
+def env(tiny_net, tiny_dataset):
+    data = Dataset(tiny_dataset.val.x[:30, :2, :8, :8], tiny_dataset.val.y[:30] % 5)
+    trace = constant_trace(0.02, 300.0)
+    events = uniform_random_events(12, trace.duration, rng=1)
+    objective = CompressionObjective(
+        net=tiny_net,
+        val_data=data,
+        trace=trace,
+        events=events,
+        flops_target=3_500,
+        size_target_kb=0.6,
+        input_shape=(2, 8, 8),
+    )
+    return LayerwiseCompressionEnv(objective)
+
+
+def small_search_config(episodes):
+    return SearchConfig(
+        episodes=episodes,
+        seed=0,
+        ddpg=DDPGConfig(hidden_sizes=(16, 16), batch_size=8, warmup=8),
+    )
+
+
+class TestNonuniformSearch:
+    def test_returns_history_per_episode(self, env):
+        result = NonuniformSearch(env, small_search_config(5)).run()
+        assert len(result.history) == 5
+        assert result.episodes == 5
+        assert len(result.racc_curve()) == 5
+
+    def test_best_spec_is_complete(self, env, tiny_net):
+        result = NonuniformSearch(env, small_search_config(4)).run()
+        for layer in tiny_net.weighted_layers():
+            assert layer.name in result.best_spec
+
+    def test_feasible_preferred_over_infeasible(self, env):
+        result = NonuniformSearch(env, small_search_config(8)).run()
+        if any(h.feasible for h in result.history):
+            assert result.best.feasible
+
+    def test_deterministic_given_seed(self, env, tiny_net, tiny_dataset):
+        curves = []
+        for _ in range(2):
+            result = NonuniformSearch(env, small_search_config(3)).run()
+            curves.append(result.racc_curve())
+        # NOTE: env is shared but stateless across episodes after reset().
+        assert curves[0] == curves[1]
+
+
+class TestRandomSearch:
+    def test_runs_and_tracks_best(self, env):
+        result = RandomSearch(env, episodes=6, seed=0).run()
+        assert len(result.history) == 6
+        assert result.best.racc >= max(
+            h.racc for h in result.history if h.feasible == result.best.feasible
+        ) - 1e-12
+
+    def test_deterministic(self, env):
+        a = RandomSearch(env, episodes=3, seed=5).run().racc_curve()
+        b = RandomSearch(env, episodes=3, seed=5).run().racc_curve()
+        assert a == b

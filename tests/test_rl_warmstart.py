@@ -1,0 +1,80 @@
+"""Warm-started search tests."""
+
+import pytest
+
+from repro.compress import CompressionSpec, LayerCompression
+from repro.data import Dataset
+from repro.energy import constant_trace, uniform_random_events
+from repro.rl import (
+    CompressionObjective,
+    LayerwiseCompressionEnv,
+    NonuniformSearch,
+    SearchConfig,
+)
+from repro.rl.ddpg import DDPGConfig
+
+
+@pytest.fixture
+def env(tiny_net, tiny_dataset):
+    data = Dataset(tiny_dataset.val.x[:30, :2, :8, :8], tiny_dataset.val.y[:30] % 5)
+    trace = constant_trace(0.02, 300.0)
+    events = uniform_random_events(12, trace.duration, rng=1)
+    objective = CompressionObjective(
+        net=tiny_net,
+        val_data=data,
+        trace=trace,
+        events=events,
+        flops_target=3_500,
+        size_target_kb=0.6,
+        input_shape=(2, 8, 8),
+    )
+    return LayerwiseCompressionEnv(objective)
+
+
+def seed_spec():
+    """A feasible hand spec for the tiny 2-exit network."""
+    return CompressionSpec(
+        {
+            "t.c1": LayerCompression(1.0, 8, 8),
+            "t.c2": LayerCompression(0.65, 4, 8),
+            "t.f1": LayerCompression(0.5, 2, 8),
+            "t.f2": LayerCompression(0.5, 2, 8),
+        }
+    )
+
+
+def config(episodes):
+    return SearchConfig(
+        episodes=episodes, seed=0, ddpg=DDPGConfig(hidden_sizes=(16, 16), batch_size=8, warmup=8)
+    )
+
+
+class TestWarmStart:
+    def test_warm_episode_counted_in_history(self, env):
+        search = NonuniformSearch(env, config(2), warm_start_specs=[seed_spec()])
+        result = search.run()
+        assert len(result.history) == 3  # 1 warm + 2 exploration
+        assert result.episodes == 3
+
+    def test_best_at_least_as_good_as_seed(self, env):
+        seed_result = env.objective.evaluate(seed_spec())
+        search = NonuniformSearch(env, config(3), warm_start_specs=[seed_spec()])
+        result = search.run()
+        if seed_result.feasible:
+            assert result.best.feasible
+            assert result.best.racc >= seed_result.racc - 1e-9
+
+    def test_seed_trajectory_replayed_exactly(self, env):
+        """The warm episode's logged spec must equal the seed spec."""
+        search = NonuniformSearch(env, config(1), warm_start_specs=[seed_spec()])
+        search.run()
+        actions = search._actions_for_spec(seed_spec())
+        env.reset()
+        for prune_action, quant_action in actions:
+            env.step(prune_action, quant_action)
+        rebuilt = env.build_spec()
+        assert rebuilt.to_dict() == seed_spec().to_dict()
+
+    def test_no_warm_start_behaves_as_before(self, env):
+        result = NonuniformSearch(env, config(2)).run()
+        assert len(result.history) == 2

@@ -1,0 +1,75 @@
+"""Continue/stop decision tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.incremental import (
+    CONTINUE,
+    STOP,
+    IncrementalDecider,
+    NeverContinue,
+    ThresholdContinue,
+)
+
+
+class TestNeverContinue:
+    def test_always_stops(self):
+        rule = NeverContinue()
+        assert rule.decide(1.0, 1.0, True) == STOP
+        assert rule.decide(0.0, 0.0, False) == STOP
+
+    def test_state_is_none(self):
+        assert NeverContinue().state_of(0.5, 0.5) is None
+
+
+class TestThresholdContinue:
+    def test_continues_on_low_confidence(self):
+        rule = ThresholdContinue(entropy_threshold=0.5)
+        assert rule.decide(0.8, 0.5, True) == CONTINUE
+        assert rule.decide(0.2, 0.5, True) == STOP
+
+    def test_never_continues_when_unaffordable(self):
+        rule = ThresholdContinue(entropy_threshold=0.0)
+        assert rule.decide(1.0, 1.0, False) == STOP
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThresholdContinue(entropy_threshold=1.5)
+
+
+class TestIncrementalDecider:
+    def test_state_discretization(self):
+        decider = IncrementalDecider(confidence_bins=4, energy_bins=4)
+        assert decider.state_of(0.0, 0.0) == (0, 0)
+        assert decider.state_of(1.0, 1.0) == (3, 3)
+
+    def test_unaffordable_forces_stop(self):
+        decider = IncrementalDecider(epsilon=1.0, rng=0)  # would explore
+        assert decider.decide(0.9, 0.9, affordable=False) == STOP
+
+    def test_trajectory_credits_final_reward(self):
+        decider = IncrementalDecider(epsilon=0.0, rng=0)
+        s0, s1 = (3, 3), (1, 3)
+        decider.observe_trajectory([(s0, CONTINUE), (s1, STOP)], final_reward=1.0)
+        assert decider.qtable.table[s1 + (STOP,)] > 0.0
+
+    def test_empty_trajectory_is_noop(self):
+        decider = IncrementalDecider(rng=0)
+        before = decider.qtable.table.copy()
+        decider.observe_trajectory([], final_reward=1.0)
+        assert (decider.qtable.table == before).all()
+
+    def test_learns_to_continue_when_rewarded(self):
+        """Continuing always yields 1, stopping always 0 -> learn continue."""
+        decider = IncrementalDecider(epsilon=0.3, rng=0)
+        state = decider.state_of(0.9, 0.9)
+        for _ in range(300):
+            action = decider.decide(0.9, 0.9, affordable=True)
+            decider.observe_trajectory([(state, action)], float(action == CONTINUE))
+        decider.qtable.epsilon = 0.0
+        assert decider.decide(0.9, 0.9, affordable=True) == CONTINUE
+
+    def test_epsilon_decays(self):
+        decider = IncrementalDecider(epsilon=0.4, epsilon_decay=0.5, rng=0)
+        decider.decay_epsilon()
+        assert decider.qtable.epsilon == pytest.approx(0.2)

@@ -1,0 +1,63 @@
+"""OraclePolicy tests."""
+
+import numpy as np
+
+from repro.energy import constant_trace, uniform_random_events
+from repro.runtime import GreedyEnergyPolicy, OraclePolicy, StaticController
+from repro.runtime.state import RuntimeState
+from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+from repro.energy import EnergyStorage
+
+ENERGIES = [0.2, 0.8, 1.6]
+
+
+def make_profile():
+    return InferenceProfile(
+        "p", [0.6, 0.7, 0.8], ENERGIES,
+        [e / 1.5 * 1e6 for e in ENERGIES], [0.7, 0.9],
+        [0.7 / 1.5 * 1e6, 0.9 / 1.5 * 1e6],
+    )
+
+
+def state(energy_mj, t=0.0):
+    return RuntimeState(t, energy_mj, 2.0, 0.01, 0.03)
+
+
+class TestOraclePolicy:
+    def test_never_picks_unaffordable(self):
+        trace = constant_trace(0.05, 1000.0)
+        events = uniform_random_events(20, 1000.0, rng=0)
+        oracle = OraclePolicy(ENERGIES, events, trace, 2.0)
+        for e in (0.1, 0.3, 1.0, 2.0):
+            choice = oracle.select(state(e), ENERGIES)
+            assert choice == -1 or ENERGIES[choice] <= e
+
+    def test_reserves_for_dense_future_events(self):
+        """With many imminent events and no inflow, the oracle must not
+        drain the storage on a deep exit the way plain greedy would."""
+        trace = constant_trace(0.0, 1000.0)
+        burst = np.linspace(10.0, 60.0, 12)  # 12 events in the next minute
+        oracle = OraclePolicy(ENERGIES, burst, trace, 2.0)
+        greedy = GreedyEnergyPolicy()
+        s = state(2.0, t=5.0)
+        assert greedy.select(s, ENERGIES) == 2
+        assert oracle.select(s, ENERGIES) < 2
+
+    def test_spends_freely_with_strong_inflow(self):
+        trace = constant_trace(1.0, 1000.0)  # inflow dwarfs any demand
+        events = uniform_random_events(5, 1000.0, rng=0)
+        oracle = OraclePolicy(ENERGIES, events, trace, 2.0)
+        assert oracle.select(state(2.0, t=5.0), ENERGIES) == 2
+
+    def test_runs_inside_simulator(self, short_trace, short_events):
+        profile = make_profile()
+        oracle = OraclePolicy(
+            profile.exit_energy_mj, short_events, short_trace, 2.0
+        )
+        sim = Simulator(
+            short_trace, profile, StaticController(oracle),
+            storage=EnergyStorage(2.0, 0.8, initial_mj=1.0),
+            config=SimulatorConfig(seed=3),
+        )
+        result = sim.run(short_events)
+        assert result.num_processed > 0

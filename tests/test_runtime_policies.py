@@ -1,0 +1,92 @@
+"""Exit-selection policy tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import (
+    FixedExitPolicy,
+    GreedyEnergyPolicy,
+    StaticLUTPolicy,
+)
+from repro.runtime.state import RuntimeState
+
+ENERGIES = [0.2, 0.8, 1.6]  # per-exit costs in mJ
+
+
+def state(energy_mj, capacity=2.0, power=0.01):
+    return RuntimeState(
+        time=0.0,
+        energy_mj=energy_mj,
+        capacity_mj=capacity,
+        charge_power_mw=power,
+        peak_power_mw=0.03,
+    )
+
+
+class TestRuntimeState:
+    def test_fractions(self):
+        s = state(1.0)
+        assert s.energy_fraction == pytest.approx(0.5)
+        assert s.charge_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_fractions_clamped(self):
+        s = RuntimeState(0.0, 5.0, 2.0, 1.0, 0.03)
+        assert s.energy_fraction == 1.0
+        assert s.charge_fraction == 1.0
+
+
+class TestGreedyEnergyPolicy:
+    def test_picks_deepest_affordable(self):
+        policy = GreedyEnergyPolicy()
+        assert policy.select(state(0.1), ENERGIES) == -1
+        assert policy.select(state(0.3), ENERGIES) == 0
+        assert policy.select(state(1.0), ENERGIES) == 1
+        assert policy.select(state(2.0), ENERGIES) == 2
+
+    def test_reserve_holds_back_energy(self):
+        policy = GreedyEnergyPolicy(reserve_fraction=0.5)  # keep 1.0 mJ of 2.0
+        assert policy.select(state(1.5), ENERGIES) == 0   # budget 0.5
+        assert policy.select(state(2.0), ENERGIES) == 1   # budget 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GreedyEnergyPolicy(reserve_fraction=1.0)
+
+
+class TestFixedExitPolicy:
+    def test_fixed_exit_when_affordable(self):
+        policy = FixedExitPolicy(1)
+        assert policy.select(state(1.0), ENERGIES) == 1
+
+    def test_skip_when_unaffordable(self):
+        policy = FixedExitPolicy(2)
+        assert policy.select(state(1.0), ENERGIES) == -1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FixedExitPolicy(-1)
+
+
+class TestStaticLUTPolicy:
+    def test_matches_greedy_up_to_quantization(self):
+        lut = StaticLUTPolicy(ENERGIES, capacity_mj=2.0, num_levels=256)
+        greedy = GreedyEnergyPolicy()
+        for e in [0.0, 0.15, 0.25, 0.5, 0.81, 1.2, 1.61, 2.0]:
+            assert lut.select(state(e), ENERGIES) == greedy.select(state(e), ENERGIES)
+
+    def test_never_selects_unaffordable(self):
+        lut = StaticLUTPolicy(ENERGIES, capacity_mj=2.0, num_levels=4)
+        for e in [0.0, 0.19, 0.79, 1.59]:
+            choice = lut.select(state(e), ENERGIES)
+            assert choice == -1 or ENERGIES[choice] <= e
+
+    def test_table_is_monotone(self):
+        lut = StaticLUTPolicy(ENERGIES, capacity_mj=2.0, num_levels=32)
+        table = lut.table.tolist()
+        assert table == sorted(table)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StaticLUTPolicy(ENERGIES, capacity_mj=0.0)
+        with pytest.raises(ConfigError):
+            StaticLUTPolicy(ENERGIES, capacity_mj=2.0, num_levels=1)

@@ -1,0 +1,78 @@
+"""InferenceProfile tests."""
+
+import pytest
+
+from repro.compress import Compressor, make_uniform_spec
+from repro.compress.evaluator import evaluate_exits
+from repro.data import Dataset
+from repro.errors import ConfigError
+from repro.intermittent import MSP432
+from repro.sim import InferenceProfile
+
+import numpy as np
+
+
+def valid_profile(**overrides):
+    kwargs = dict(
+        name="p",
+        exit_accuracies=[0.6, 0.7],
+        exit_energy_mj=[0.2, 0.8],
+        exit_flops=[1e5, 5e5],
+        incremental_energy_mj=[0.7],
+        incremental_flops=[4.5e5],
+    )
+    kwargs.update(overrides)
+    return InferenceProfile(**kwargs)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert valid_profile().num_exits == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            valid_profile(exit_energy_mj=[0.2])
+        with pytest.raises(ConfigError):
+            valid_profile(incremental_energy_mj=[])
+
+    def test_accuracy_range(self):
+        with pytest.raises(ConfigError):
+            valid_profile(exit_accuracies=[0.5, 1.2])
+
+    def test_negative_energy(self):
+        with pytest.raises(ConfigError):
+            valid_profile(exit_energy_mj=[-0.1, 0.5])
+
+    def test_min_energy(self):
+        assert valid_profile().min_energy_mj == pytest.approx(0.2)
+
+
+class TestFromNetwork:
+    def test_energies_follow_mcu_constant(self, tiny_net):
+        profile = InferenceProfile.from_network(
+            tiny_net, [0.5, 0.6], MSP432, input_shape=(2, 8, 8)
+        )
+        for energy, flops in zip(profile.exit_energy_mj, profile.exit_flops):
+            assert energy == pytest.approx(flops / 1e6 * 1.5)
+
+    def test_accuracy_count_checked(self, tiny_net):
+        with pytest.raises(ConfigError):
+            InferenceProfile.from_network(tiny_net, [0.5], MSP432, input_shape=(2, 8, 8))
+
+    def test_net_attached_by_default(self, tiny_net):
+        profile = InferenceProfile.from_network(
+            tiny_net, [0.5, 0.6], MSP432, input_shape=(2, 8, 8)
+        )
+        assert profile.net is tiny_net
+
+
+class TestFromCompressed:
+    def test_consistent_with_evaluation(self, tiny_net, rng):
+        spec = make_uniform_spec(tiny_net, 0.6, 8, 8)
+        model = Compressor(input_shape=(2, 8, 8)).apply(tiny_net, spec)
+        data = Dataset(rng.normal(size=(20, 2, 8, 8)), rng.integers(0, 5, 20))
+        evaluation = evaluate_exits(model, data)
+        profile = InferenceProfile.from_compressed(model, evaluation, MSP432)
+        assert profile.exit_accuracies == evaluation.accuracies
+        assert profile.exit_flops == pytest.approx(model.exit_flops)
+        assert len(profile.incremental_energy_mj) == 1

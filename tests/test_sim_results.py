@@ -1,0 +1,86 @@
+"""SimulationResult metric tests on hand-built records."""
+
+import pytest
+
+from repro.sim.results import MISS_BUSY, MISS_ENERGY, EventRecord, SimulationResult
+
+
+def make_result():
+    records = [
+        EventRecord(time=1.0, exit_index=0, correct=True, latency_s=2.0, energy_mj=0.2),
+        EventRecord(time=2.0, exit_index=2, correct=False, latency_s=10.0, energy_mj=1.6),
+        EventRecord(time=3.0, exit_index=0, correct=True, latency_s=4.0, energy_mj=0.2),
+        EventRecord(time=4.0, missed=True, miss_reason=MISS_ENERGY),
+        EventRecord(time=5.0, missed=True, miss_reason=MISS_BUSY),
+        EventRecord(time=6.0, exit_index=1, correct=True, latency_s=6.0, energy_mj=0.8),
+    ]
+    return SimulationResult(
+        records=records,
+        total_env_energy_mj=10.0,
+        total_consumed_mj=2.8,
+        duration_s=100.0,
+        profile_name="test",
+    )
+
+
+class TestCounts:
+    def test_basic_counts(self):
+        r = make_result()
+        assert r.num_events == 6
+        assert r.num_processed == 4
+        assert r.num_missed == 2
+        assert r.num_correct == 3
+
+    def test_miss_reasons(self):
+        assert make_result().miss_counts() == {MISS_ENERGY: 1, MISS_BUSY: 1}
+
+
+class TestPaperMetrics:
+    def test_iepmj_eq1(self):
+        # 3 correct events / 10 mJ harvested.
+        assert make_result().iepmj == pytest.approx(0.3)
+
+    def test_average_accuracy_counts_missed_as_wrong(self):
+        assert make_result().average_accuracy == pytest.approx(3 / 6)
+
+    def test_processed_accuracy(self):
+        assert make_result().processed_accuracy == pytest.approx(3 / 4)
+
+    def test_iepmj_equivalence_to_average_accuracy(self):
+        # Eq. 1: IEpmJ == (N / E_total) * average_accuracy.
+        r = make_result()
+        assert r.iepmj == pytest.approx(r.num_events / r.total_env_energy_mj * r.average_accuracy)
+
+    def test_zero_energy_guard(self):
+        r = make_result()
+        r.total_env_energy_mj = 0.0
+        assert r.iepmj == 0.0
+
+
+class TestLatencyAndEnergy:
+    def test_mean_latency_over_processed_only(self):
+        assert make_result().mean_latency_s == pytest.approx((2 + 10 + 4 + 6) / 4)
+
+    def test_mean_inference_energy(self):
+        assert make_result().mean_inference_energy_mj == pytest.approx((0.2 + 1.6 + 0.2 + 0.8) / 4)
+
+    def test_empty_result(self):
+        r = SimulationResult([], 1.0, 0.0, 10.0)
+        assert r.mean_latency_s == 0.0
+        assert r.average_accuracy == 0.0
+        assert r.processed_accuracy == 0.0
+
+
+class TestExitHistogram:
+    def test_counts_per_exit(self):
+        assert make_result().exit_counts(3) == [2, 1, 1]
+
+    def test_fractions_over_all_events(self):
+        fr = make_result().exit_fractions(3)
+        assert fr == pytest.approx([2 / 6, 1 / 6, 1 / 6])
+        assert sum(fr) < 1.0  # missed events leave a gap
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        for key in ("iepmj", "average_accuracy", "processed_accuracy", "mean_latency_s"):
+            assert key in summary

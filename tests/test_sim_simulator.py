@@ -1,0 +1,233 @@
+"""Event-driven simulator tests on analytically controlled scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergyStorage, constant_trace
+from repro.errors import ConfigError, SimulationError
+from repro.intermittent import MSP432
+from repro.runtime import (
+    FixedExitPolicy,
+    GreedyEnergyPolicy,
+    QLearningController,
+    StaticController,
+)
+from repro.runtime.incremental import ThresholdContinue
+from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+from repro.sim.results import MISS_BUSY, MISS_ENERGY
+
+
+def profile3(net=None):
+    return InferenceProfile(
+        name="p3",
+        exit_accuracies=[0.6, 0.7, 0.8],
+        exit_energy_mj=[0.2, 0.8, 1.6],
+        exit_flops=[0.2e6 / 1.5, 0.8e6 / 1.5, 1.6e6 / 1.5],
+        incremental_energy_mj=[0.7, 0.9],
+        incremental_flops=[0.7e6 / 1.5, 0.9e6 / 1.5],
+        net=net,
+    )
+
+
+def storage(cap=2.0, init=2.0):
+    return EnergyStorage(cap, efficiency=1.0, initial_mj=init)
+
+
+class TestSingleCycle:
+    def test_rich_energy_processes_every_event(self):
+        trace = constant_trace(1.0, 1000.0)  # abundant power
+        events = np.arange(50.0, 1000.0, 50.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(GreedyEnergyPolicy()),
+            storage=storage(), config=SimulatorConfig(seed=0),
+        )
+        result = sim.run(events)
+        assert result.num_missed == 0
+        # With a full capacitor every event should reach the deepest exit.
+        assert result.exit_counts(3)[2] == result.num_events
+
+    def test_no_energy_misses_every_event(self):
+        trace = constant_trace(0.0, 1000.0)
+        events = np.arange(50.0, 1000.0, 50.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(GreedyEnergyPolicy()),
+            storage=storage(init=0.0), config=SimulatorConfig(seed=0),
+        )
+        result = sim.run(events)
+        assert result.num_processed == 0
+        assert result.miss_counts() == {MISS_ENERGY: len(events)}
+
+    def test_busy_device_misses_overlapping_events(self):
+        trace = constant_trace(1.0, 1000.0)
+        # Exit 3 compute time = 1.6 mJ / 0.075 mW = 21.3 s; events 1 s apart.
+        events = np.array([10.0, 11.0, 12.0])
+        sim = Simulator(
+            trace, profile3(), StaticController(GreedyEnergyPolicy()),
+            storage=storage(), config=SimulatorConfig(seed=0),
+        )
+        result = sim.run(events)
+        assert result.records[0].processed
+        assert result.records[1].miss_reason == MISS_BUSY
+        assert result.records[2].miss_reason == MISS_BUSY
+
+    def test_latency_is_compute_time(self):
+        trace = constant_trace(1.0, 1000.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(FixedExitPolicy(0)),
+            storage=storage(), config=SimulatorConfig(seed=0),
+        )
+        result = sim.run(np.array([100.0]))
+        expected = MSP432.inference_time_s(profile3().exit_flops[0])
+        assert result.records[0].latency_s == pytest.approx(expected)
+
+    def test_energy_ledger(self):
+        trace = constant_trace(0.001, 1000.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(FixedExitPolicy(0)),
+            storage=storage(init=1.0), config=SimulatorConfig(seed=0),
+        )
+        result = sim.run(np.array([100.0, 200.0, 300.0]))
+        spent = sum(r.energy_mj for r in result.records if r.processed)
+        assert result.total_consumed_mj == pytest.approx(spent)
+
+    def test_events_must_be_sorted(self):
+        trace = constant_trace(1.0, 100.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(GreedyEnergyPolicy()),
+            storage=storage(), config=SimulatorConfig(seed=0),
+        )
+        with pytest.raises(SimulationError):
+            sim.run(np.array([5.0, 2.0]))
+
+    def test_deterministic_given_seed(self, short_trace, short_events):
+        results = []
+        for _ in range(2):
+            sim = Simulator(
+                short_trace, profile3(), StaticController(GreedyEnergyPolicy()),
+                storage=storage(init=1.0), config=SimulatorConfig(seed=3),
+            )
+            results.append(sim.run(short_events).summary())
+        assert results[0] == results[1]
+
+
+class TestIncrementalInSimulator:
+    def test_threshold_rule_continues_on_low_confidence(self):
+        trace = constant_trace(1.0, 1000.0)
+        sim = Simulator(
+            trace,
+            profile3(),
+            StaticController(FixedExitPolicy(0), ThresholdContinue(0.0)),
+            storage=storage(),
+            config=SimulatorConfig(seed=0),
+        )
+        # Threshold 0 -> always continue while affordable: exit 0 becomes 2.
+        result = sim.run(np.array([100.0]))
+        record = result.records[0]
+        assert record.first_exit_index == 0
+        assert record.exit_index == 2
+        assert record.continued == 2
+        assert record.energy_mj == pytest.approx(0.2 + 0.7 + 0.9)
+
+    def test_never_continue_by_default(self):
+        trace = constant_trace(1.0, 1000.0)
+        sim = Simulator(
+            trace, profile3(), StaticController(FixedExitPolicy(0)),
+            storage=storage(), config=SimulatorConfig(seed=0),
+        )
+        assert sim.run(np.array([100.0])).records[0].continued == 0
+
+    def test_continue_blocked_when_unaffordable(self):
+        trace = constant_trace(0.0, 1000.0)
+        sim = Simulator(
+            trace,
+            profile3(),
+            StaticController(FixedExitPolicy(0), ThresholdContinue(0.0)),
+            storage=storage(cap=2.0, init=0.3),  # only exit 0 affordable
+            config=SimulatorConfig(seed=0),
+        )
+        record = sim.run(np.array([100.0])).records[0]
+        assert record.exit_index == 0
+        assert record.continued == 0
+
+
+class TestIntermittentMode:
+    def test_single_exit_baseline_spans_cycles(self):
+        profile = InferenceProfile("sonic", [0.75], [3.0], [2e6], [], [])
+        trace = constant_trace(0.02, 5000.0)
+        sim = Simulator(
+            trace, profile, StaticController(FixedExitPolicy(0)),
+            storage=EnergyStorage(0.5, efficiency=1.0, initial_mj=0.5),
+            config=SimulatorConfig(execution="intermittent", seed=0),
+        )
+        result = sim.run(np.array([10.0]))
+        record = result.records[0]
+        assert record.processed
+        assert record.power_cycles > 1
+        assert record.latency_s > MSP432.inference_time_s(2e6)
+
+    def test_events_during_long_inference_are_missed(self):
+        profile = InferenceProfile("sonic", [0.75], [3.0], [2e6], [], [])
+        trace = constant_trace(0.02, 5000.0)
+        sim = Simulator(
+            trace, profile, StaticController(FixedExitPolicy(0)),
+            storage=EnergyStorage(0.5, efficiency=1.0, initial_mj=0.5),
+            config=SimulatorConfig(execution="intermittent", seed=0),
+        )
+        result = sim.run(np.array([10.0, 20.0, 30.0]))
+        assert result.records[0].processed
+        assert result.records[1].miss_reason == MISS_BUSY
+        assert result.records[2].miss_reason == MISS_BUSY
+
+    def test_incomplete_at_trace_end_is_energy_miss(self):
+        profile = InferenceProfile("big", [0.8], [50.0], [33e6], [], [])
+        trace = constant_trace(0.001, 200.0)
+        sim = Simulator(
+            trace, profile, StaticController(FixedExitPolicy(0)),
+            storage=EnergyStorage(0.5, efficiency=1.0, initial_mj=0.5),
+            config=SimulatorConfig(execution="intermittent", seed=0),
+        )
+        result = sim.run(np.array([10.0]))
+        assert result.records[0].miss_reason == MISS_ENERGY
+
+
+class TestDatasetMode:
+    def test_requires_dataset_and_net(self, short_trace):
+        with pytest.raises(ConfigError):
+            Simulator(
+                short_trace, profile3(), StaticController(GreedyEnergyPolicy()),
+                config=SimulatorConfig(mode="dataset", seed=0),
+            )
+
+    def test_runs_real_forward_passes(self, short_trace, tiny_dataset, tiny_net):
+        from repro.data import Dataset
+
+        data = Dataset(tiny_dataset.test.x[:30, :2, :8, :8], tiny_dataset.test.y[:30] % 5)
+        profile = InferenceProfile.from_network(
+            tiny_net, [0.5, 0.6], MSP432, input_shape=(2, 8, 8)
+        )
+        sim = Simulator(
+            short_trace, profile, StaticController(GreedyEnergyPolicy()),
+            storage=storage(init=1.0), dataset=data,
+            config=SimulatorConfig(mode="dataset", seed=0),
+        )
+        result = sim.run(np.arange(100.0, 1900.0, 100.0))
+        assert result.num_processed > 0
+        processed = [r for r in result.records if r.processed]
+        assert all(0.0 <= r.confidence_entropy <= 1.0 for r in processed)
+
+
+class TestQLearningIntegration:
+    def test_learning_does_not_degrade_below_static(self, short_trace, short_events):
+        static = Simulator(
+            short_trace, profile3(), StaticController(GreedyEnergyPolicy()),
+            storage=storage(init=1.0), config=SimulatorConfig(seed=3),
+        ).run(short_events)
+        controller = QLearningController(3, epsilon=0.3, epsilon_decay=0.9, rng=7)
+        sim = Simulator(
+            short_trace, profile3(), controller,
+            storage=storage(init=1.0), config=SimulatorConfig(seed=3),
+        )
+        last = None
+        for _ in range(12):
+            last = sim.run(short_events)
+        assert last.average_accuracy >= static.average_accuracy - 0.1

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, batches, seed_sequence, shuffled_indices, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        assert as_generator(42).random() == as_generator(42).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        a1, b1 = spawn(7, 2)
+        a2, b2 = spawn(7, 2)
+        assert a1.random() == a2.random()
+        assert b1.random() == b2.random()
+
+    def test_children_differ_from_each_other(self):
+        a, b = spawn(7, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_from_generator(self):
+        children = spawn(np.random.default_rng(3), 3)
+        assert len(children) == 3
+
+
+class TestSeedSequence:
+    def test_from_int(self):
+        assert isinstance(seed_sequence(1), np.random.SeedSequence)
+
+    def test_passthrough(self):
+        ss = np.random.SeedSequence(2)
+        assert seed_sequence(ss) is ss
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            seed_sequence(1.5)
+
+
+class TestBatches:
+    def test_covers_everything_once(self):
+        seen = np.concatenate(list(batches(10, 3)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_shuffled_covers_everything(self):
+        seen = np.concatenate(list(batches(10, 4, rng=0)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        sizes = [len(b) for b in batches(10, 4)]
+        assert sizes == [4, 4, 2]
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            list(batches(10, 0))
+
+    def test_shuffled_indices_is_permutation(self):
+        idx = shuffled_indices(20, 1)
+        assert sorted(idx.tolist()) == list(range(20))
