@@ -1,0 +1,46 @@
+"""P1 — fleet-path throughput: devices simulated per second.
+
+Times a 32-device solar-farm scenario through the serial fallback and the
+multiprocessing pool so future PRs can track fleet-path speed (trace
+synthesis dominates today; the simulator loop is second).  Also re-checks
+the determinism contract under timing conditions: the parallel aggregate
+must stay bit-identical to the serial one.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.fleet import SCENARIOS, FleetRunner
+
+DEVICES = 32
+
+
+@pytest.fixture(scope="module")
+def fleet_spec():
+    return SCENARIOS.build("solar-farm-100", num_devices=DEVICES, seed=13)
+
+
+def test_p1_fleet_throughput(benchmark, fleet_spec):
+    serial = benchmark.pedantic(
+        lambda: FleetRunner(fleet_spec, workers=1).run(), rounds=3, iterations=1
+    )
+    parallel = FleetRunner(fleet_spec, workers=4).run()
+
+    rows = [
+        (label, r.workers, f"{r.wall_s:.2f}", f"{r.devices_per_second:.1f}")
+        for label, r in (("serial", serial), ("parallel", parallel))
+    ]
+    print_table(
+        f"P1: {DEVICES}-device fleet throughput",
+        rows,
+        ["mode", "workers", "wall_s", "devices/s"],
+    )
+
+    assert serial.num_devices == DEVICES
+    assert serial.devices_per_second > 0
+    # Worker count must never change results (the fleet determinism contract).
+    assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+        parallel.to_dict(), sort_keys=True
+    )

@@ -18,36 +18,20 @@ from repro.energy import (
     solar_trace,
     uniform_random_events,
 )
+from repro.experiment import reference_profile, sonic_profile
 from repro.intermittent import MSP432
 from repro.runtime import (
     FixedExitPolicy,
     QLearningController,
     StaticController,
 )
-from repro.sim import InferenceProfile, Simulator, SimulatorConfig
+from repro.sim import Simulator, SimulatorConfig
 
-
-def multi_exit_profile():
-    return InferenceProfile(
-        name="ours",
-        exit_accuracies=[0.62, 0.70, 0.72],
-        exit_energy_mj=[0.21, 0.84, 1.63],
-        exit_flops=[0.14e6, 0.56e6, 1.09e6],
-        incremental_energy_mj=[0.70, 0.85],
-        incremental_flops=[0.47e6, 0.57e6],
-    )
-
-
-def single_exit_profile():
-    """SONIC-style single-exit deployment of a comparable network."""
-    return InferenceProfile(
-        name="sonic-style",
-        exit_accuracies=[0.75],
-        exit_energy_mj=[3.0],
-        exit_flops=[2.0e6],
-        incremental_energy_mj=[],
-        incremental_flops=[],
-    )
+# The deployed profiles live in repro.experiment so the examples, the
+# fleet scenario registry, and the benchmarks all simulate the same
+# paper-regime devices.
+multi_exit_profile = reference_profile
+single_exit_profile = sonic_profile
 
 
 def storage():

@@ -20,6 +20,8 @@ The package provides, from the bottom up:
   inference (Section IV);
 * :mod:`repro.sim` — the event-driven evaluation harness and the IEpmJ
   metric (Eq. 1);
+* :mod:`repro.fleet` — parallel multi-device fleet simulation with a
+  scenario registry and a ``python -m repro.fleet`` CLI;
 * :mod:`repro.zoo` — cached trained networks and searched specs;
 * :mod:`repro.experiment` — the canonical evaluation setup (Section V-A).
 """
@@ -28,6 +30,14 @@ from repro.experiment import PAPER, PaperExperiment
 from repro.compress import CompressedModel, CompressionSpec, Compressor, LayerCompression
 from repro.data import Dataset, DatasetSplits, SyntheticConfig, make_cifar_like
 from repro.energy import EnergyStorage, PowerTrace, solar_trace, uniform_random_events
+from repro.fleet import (
+    SCENARIOS,
+    DeviceSpec,
+    FleetResult,
+    FleetRunner,
+    FleetSpec,
+    run_fleet,
+)
 from repro.intermittent import MCUSpec, MSP432
 from repro.models import (
     make_lenet_cifar,
@@ -56,6 +66,12 @@ __all__ = [
     "PowerTrace",
     "solar_trace",
     "uniform_random_events",
+    "SCENARIOS",
+    "DeviceSpec",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSpec",
+    "run_fleet",
     "MCUSpec",
     "MSP432",
     "make_lenet_cifar",

@@ -4,10 +4,12 @@ from repro.energy.traces import (
     PowerTrace,
     constant_trace,
     kinetic_trace,
+    piezo_trace,
     rf_trace,
     solar_trace,
     trace_from_csv,
     trace_from_samples,
+    wind_trace,
 )
 from repro.energy.storage import EnergyStorage
 from repro.energy.events import (
@@ -20,10 +22,12 @@ __all__ = [
     "PowerTrace",
     "constant_trace",
     "kinetic_trace",
+    "piezo_trace",
     "rf_trace",
     "solar_trace",
     "trace_from_csv",
     "trace_from_samples",
+    "wind_trace",
     "EnergyStorage",
     "burst_events",
     "poisson_events",

@@ -4,9 +4,10 @@ The paper powers its MCU from a solar profile (NREL Oak Ridge rotating
 shadowband radiometer data [17]); that dataset is not available offline, so
 :func:`solar_trace` synthesizes the same character — a diurnal envelope
 modulated by cloud occlusion (an Ornstein-Uhlenbeck process squashed to
-[0, 1]) plus sensor noise.  Kinetic (bursty), RF (weak, steady), and
-constant traces support ablations, and :func:`trace_from_csv` loads real
-measurement files.
+[0, 1]) plus sensor noise.  Kinetic (bursty), RF (weak, steady), wind
+(gusty, cubic-response), piezo (duty-cycled vibration), and constant
+traces support ablations and heterogeneous fleet scenarios, and
+:func:`trace_from_csv` loads real measurement files.
 
 A :class:`PowerTrace` stores power samples on a uniform grid and exposes
 interpolation, windowed means (the runtime's "charging efficiency" signal),
@@ -47,15 +48,26 @@ class PowerTrace:
     def _clip_time(self, t: float) -> float:
         return min(max(t, 0.0), self.duration)
 
-    def power(self, t: float) -> float:
-        """Instantaneous power (mW) at time ``t``, linearly interpolated."""
-        t = self._clip_time(t)
-        pos = t / self.dt
-        i = int(pos)
-        if i >= len(self.samples_mw) - 1:
-            return float(self.samples_mw[-1])
+    def power(self, t):
+        """Instantaneous power (mW) at ``t``, linearly interpolated.
+
+        ``t`` may be a scalar (returns ``float``) or an array of times
+        (returns an array via NumPy broadcasting) — the fleet layer queries
+        traces in bulk, so the array path avoids a Python-level loop.
+        """
+        arr = np.asarray(t, dtype=np.float64)
+        if arr.ndim == 0:
+            tc = self._clip_time(float(arr))
+            pos = tc / self.dt
+            i = int(pos)
+            if i >= len(self.samples_mw) - 1:
+                return float(self.samples_mw[-1])
+            frac = pos - i
+            return float((1 - frac) * self.samples_mw[i] + frac * self.samples_mw[i + 1])
+        pos = np.clip(arr, 0.0, self.duration) / self.dt
+        i = np.minimum(pos.astype(np.int64), len(self.samples_mw) - 2)
         frac = pos - i
-        return float((1 - frac) * self.samples_mw[i] + frac * self.samples_mw[i + 1])
+        return (1 - frac) * self.samples_mw[i] + frac * self.samples_mw[i + 1]
 
     def energy_between(self, t0: float, t1: float) -> float:
         """Harvested energy (mJ) in ``[t0, t1]``."""
@@ -110,7 +122,10 @@ def trace_from_csv(path: str, dt: float = None, name: str = None) -> PowerTrace:
     Accepts one column (power mW, requires ``dt``) or two columns
     (time s, power mW on a uniform grid).
     """
-    data = np.loadtxt(path, delimiter=",", ndmin=2)
+    try:
+        data = np.loadtxt(path, delimiter=",", ndmin=2)
+    except ValueError as exc:
+        raise ConfigError(f"malformed CSV {path!r}: {exc}") from exc
     if data.shape[1] == 1:
         if dt is None:
             raise ConfigError("single-column CSV requires an explicit dt")
@@ -209,6 +224,90 @@ def kinetic_trace(
         power[i0:i1] += burst_power_mw * (0.5 + 0.5 * gen.random())
         t += length
     return PowerTrace(power, dt, name="kinetic")
+
+
+def wind_trace(
+    duration: float = 3600.0,
+    dt: float = 0.1,
+    mean_speed: float = 1.0,
+    turbulence: float = 0.35,
+    gust_rate_hz: float = 0.005,
+    gust_strength: float = 1.2,
+    gust_length_s: float = 45.0,
+    peak_mw: float = 0.08,
+    seed=0,
+) -> PowerTrace:
+    """Micro wind-turbine harvesting: slow turbulence plus discrete gusts.
+
+    Wind speed is a mean level modulated by an Ornstein-Uhlenbeck
+    turbulence process with exponential gust episodes layered on top;
+    harvested power follows the cubic wind-power law, normalized so that
+    steady ``mean_speed`` wind yields ``peak_mw``/2.  The cubic response
+    makes the trace heavy-tailed — long near-calm stretches punctuated by
+    power spikes an order of magnitude above the median, a regime between
+    solar (slow, bimodal) and kinetic (sparse bursts).
+    """
+    if mean_speed <= 0:
+        raise ConfigError(f"mean_speed must be positive, got {mean_speed}")
+    gen = as_generator(seed)
+    n = int(round(duration / dt)) + 1
+    speed = mean_speed * (1.0 + _ou_process(n, dt, theta=0.05, sigma=turbulence * np.sqrt(0.1), rng=gen))
+    t = 0.0
+    while t < duration and gust_rate_hz > 0:
+        t += gen.exponential(1.0 / gust_rate_hz)
+        if t >= duration:
+            break
+        length = gen.exponential(gust_length_s)
+        i0 = int(t / dt)
+        i1 = min(n, int((t + length) / dt) + 1)
+        # Gusts ramp in and die off (half-sine profile) rather than step.
+        profile = np.sin(np.linspace(0.0, np.pi, max(i1 - i0, 1)))
+        speed[i0:i1] += gust_strength * mean_speed * (0.5 + 0.5 * gen.random()) * profile
+        t += length
+    speed = np.clip(speed, 0.0, None)
+    power = 0.5 * peak_mw * (speed / mean_speed) ** 3
+    return PowerTrace(np.clip(power, 0.0, None), dt, name="wind")
+
+
+def piezo_trace(
+    duration: float = 3600.0,
+    dt: float = 0.1,
+    peak_mw: float = 0.05,
+    duty_cycle: float = 0.5,
+    cycle_period_s: float = 120.0,
+    amplitude_jitter: float = 0.3,
+    base_mw: float = 0.0002,
+    seed=0,
+) -> PowerTrace:
+    """Piezo/vibration harvesting from duty-cycled machinery.
+
+    Models the *envelope* of rectified vibration power (the raw kHz-scale
+    oscillation is far below ``dt`` and only its mean power matters to a
+    capacitor): the host machine alternates exponentially-distributed on/off
+    intervals with mean on-fraction ``duty_cycle``, and while on, harvested
+    power is ``peak_mw`` modulated by a slow Ornstein-Uhlenbeck amplitude
+    jitter (mount resonance drifting with load).  Off intervals fall to a
+    tiny ambient ``base_mw``.
+    """
+    gen = as_generator(seed)
+    if not 0.0 < duty_cycle < 1.0:
+        raise ConfigError(f"duty_cycle must be in (0, 1), got {duty_cycle}")
+    n = int(round(duration / dt)) + 1
+    on = np.zeros(n, dtype=bool)
+    mean_on = duty_cycle * cycle_period_s
+    mean_off = (1.0 - duty_cycle) * cycle_period_s
+    t, machine_on = 0.0, gen.random() < duty_cycle
+    while t < duration:
+        length = gen.exponential(mean_on if machine_on else mean_off)
+        if machine_on:
+            i0 = int(t / dt)
+            i1 = min(n, int((t + length) / dt) + 1)
+            on[i0:i1] = True
+        t += length
+        machine_on = not machine_on
+    jitter = _ou_process(n, dt, theta=0.02, sigma=amplitude_jitter * np.sqrt(0.04), rng=gen)
+    power = np.where(on, peak_mw * np.exp(jitter), base_mw)
+    return PowerTrace(np.clip(power, 0.0, None), dt, name="piezo")
 
 
 def rf_trace(

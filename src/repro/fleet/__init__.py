@@ -1,0 +1,37 @@
+"""Multi-device fleet simulation.
+
+The paper evaluates one device against one trace; real energy-harvesting
+studies deploy *fleets* — hundreds of heterogeneous nodes with distinct
+harvesters, capacitors, MCUs, deployed models, and runtime policies.  This
+package layers that on top of :mod:`repro.sim`:
+
+* :mod:`repro.fleet.spec` — declarative :class:`DeviceSpec` /
+  :class:`FleetSpec` with JSON round-trip;
+* :mod:`repro.fleet.scenarios` — the :data:`SCENARIOS` registry of named,
+  parameterized fleets (``solar-farm-100``, ``indoor-rf-swarm``,
+  ``mixed-harvester-city``, ``dev-smoke``);
+* :mod:`repro.fleet.runner` — :class:`FleetRunner`, which executes devices
+  in parallel over ``multiprocessing`` with deterministic per-device
+  seeding (worker count never changes results) and a serial fallback;
+* :mod:`repro.fleet.results` — :class:`DeviceResult` / :class:`FleetResult`
+  aggregation (fleet IEpmJ, miss-reason breakdowns, percentile spreads).
+
+CLI: ``python -m repro.fleet run solar-farm-100 --workers 4 --json out.json``.
+"""
+
+from repro.fleet.results import DeviceResult, FleetResult
+from repro.fleet.runner import FleetRunner, run_device, run_fleet
+from repro.fleet.scenarios import SCENARIOS, ScenarioRegistry
+from repro.fleet.spec import DeviceSpec, FleetSpec
+
+__all__ = [
+    "DeviceResult",
+    "DeviceSpec",
+    "FleetResult",
+    "FleetRunner",
+    "FleetSpec",
+    "SCENARIOS",
+    "ScenarioRegistry",
+    "run_device",
+    "run_fleet",
+]

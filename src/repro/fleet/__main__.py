@@ -1,0 +1,144 @@
+"""Fleet CLI.
+
+    python -m repro.fleet list
+    python -m repro.fleet show solar-farm-100 [--spec-json fleet.json]
+    python -m repro.fleet run solar-farm-100 --workers 4 --json out.json
+
+``run`` executes a named scenario (or a ``--spec`` JSON file exported by
+``show``), prints the fleet report, and optionally dumps the full JSON
+report.  The JSON payload is deterministic in (scenario, seed): worker
+count and chunking never change it, only the ``--timing`` section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.errors import ConfigError, ReproError
+from repro.fleet.runner import FleetRunner
+from repro.fleet.scenarios import SCENARIOS
+from repro.fleet.spec import FleetSpec
+
+
+def _build_spec(args) -> FleetSpec:
+    overrides = {}
+    if args.devices is not None:
+        overrides["num_devices"] = args.devices
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.spec:
+        if getattr(args, "scenario", None):
+            raise ConfigError(
+                f"got both a scenario name ({args.scenario!r}) and --spec "
+                f"({args.spec!r}); pick one"
+            )
+        if overrides:
+            raise ConfigError(
+                "--devices/--seed/--duration rescale named scenarios only; "
+                "a --spec file pins its fleet exactly (edit the file instead)"
+            )
+        return FleetSpec.from_json(args.spec)
+    return SCENARIOS.build(args.scenario, **overrides)
+
+
+def _print_report(result, quiet: bool) -> None:
+    agg = result.aggregate()
+    print(f"fleet {agg['fleet']!r}: {agg['devices']} devices, seed {agg['seed']}")
+    print(
+        f"  events {agg['events']}  processed {agg['processed']}  "
+        f"missed {agg['missed']} {agg['miss_counts']}  correct {agg['correct']}"
+    )
+    print(
+        f"  fleet IEpmJ {agg['fleet_iepmj']:.4f}  "
+        f"avg accuracy {agg['average_accuracy']:.3f}  "
+        f"device IEpmJ p10/p50/p90 "
+        + "/".join(f"{v:.3f}" for v in agg["device_iepmj_percentiles"].values())
+    )
+    print(
+        f"  wall {result.wall_s:.2f}s with {result.workers} worker(s) "
+        f"({result.devices_per_second:.1f} devices/s)"
+    )
+    if quiet:
+        return
+    print(f"  {'device':<18} {'profile':<18} {'IEpmJ':>7} {'acc':>6} "
+          f"{'proc':>5} {'miss':>5} {'p90 lat(s)':>11}")
+    for d in result.devices:
+        print(
+            f"  {d.name:<18} {d.profile:<18} {d.iepmj:7.3f} "
+            f"{d.average_accuracy:6.3f} {d.num_processed:5d} {d.num_missed:5d} "
+            f"{d.latency_percentiles.get('p90', 0.0):11.1f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Run multi-device energy-harvesting fleet simulations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    show = sub.add_parser("show", help="print (or export) a scenario's FleetSpec")
+    show.add_argument("scenario")
+    show.add_argument("--devices", type=int, default=None, help="override device count")
+    show.add_argument("--seed", type=int, default=None, help="override fleet seed")
+    show.add_argument("--duration", type=float, default=None, help="override trace duration (s)")
+    show.add_argument("--spec-json", default=None, help="write the FleetSpec to this path")
+
+    run = sub.add_parser("run", help="execute a scenario and report")
+    run.add_argument("scenario", nargs="?", default=None, help="registered scenario name")
+    run.add_argument("--spec", default=None, help="run a FleetSpec JSON file instead")
+    run.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
+    run.add_argument("--chunksize", type=int, default=None, help="devices per pool chunk")
+    run.add_argument("--devices", type=int, default=None, help="override device count")
+    run.add_argument("--seed", type=int, default=None, help="override fleet seed")
+    run.add_argument("--duration", type=float, default=None, help="override trace duration (s)")
+    run.add_argument("--json", default=None, help="dump the full JSON report to this path")
+    run.add_argument("--timing", action="store_true",
+                     help="include wall-clock timing in the JSON report")
+    run.add_argument("--quiet", action="store_true", help="suppress the per-device table")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for name in SCENARIOS.names():
+                print(f"{name:<24} {SCENARIOS.describe(name)}")
+            return 0
+        if args.command == "show":
+            args.spec = None
+            spec = _build_spec(args)
+            if args.spec_json:
+                spec.to_json(args.spec_json)
+                print(f"wrote {spec.num_devices}-device spec to {args.spec_json}")
+            else:
+                json.dump(spec.to_dict(), sys.stdout, indent=2, sort_keys=True)
+                print()
+            return 0
+        # run
+        if not args.spec and not args.scenario:
+            run.error("need a scenario name or --spec FILE")
+        spec = _build_spec(args)
+        result = FleetRunner(spec, workers=args.workers, chunksize=args.chunksize).run()
+        _print_report(result, quiet=args.quiet)
+        if args.json:
+            result.to_json(args.json, include_timing=args.timing)
+            print(f"wrote JSON report to {args.json}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; suppress the shutdown flush error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,225 @@
+"""Fleet-level result aggregation.
+
+Workers return compact :class:`DeviceResult` summaries (counts, metrics,
+percentiles) instead of full per-event records — a 100-device fleet ships
+kilobytes across the process boundary, not megabytes.  The
+:class:`FleetResult` aggregator then reports fleet-level IEpmJ,
+miss-reason breakdowns, and cross-device percentile spreads.
+
+Everything in :meth:`FleetResult.aggregate` is computed in device-index
+order from per-device summaries, so the aggregate is bit-identical
+regardless of how many workers produced the parts — the property the CLI
+acceptance check (``--workers 4`` vs ``--workers 1``) relies on.
+Wall-clock timing lives outside the deterministic payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.results import percentile_dict
+
+
+@dataclass
+class DeviceResult:
+    """Compact outcome of one device's simulation (last episode)."""
+
+    index: int
+    name: str
+    profile: str
+    num_events: int
+    num_processed: int
+    num_missed: int
+    num_correct: int
+    iepmj: float
+    average_accuracy: float
+    processed_accuracy: float
+    mean_latency_s: float
+    mean_inference_energy_mj: float
+    latency_percentiles: dict
+    energy_percentiles: dict
+    harvest_percentiles: dict  # instantaneous harvested power (mW) over the trace
+    miss_counts: dict
+    exit_counts: list
+    total_env_energy_mj: float
+    total_consumed_mj: float
+    duration_s: float
+    episodes: int = 1
+    wall_s: float = 0.0  # measurement only; never part of aggregate()
+
+    @classmethod
+    def from_simulation(
+        cls,
+        index,
+        name,
+        result,
+        profile,
+        harvest_percentiles=None,
+        episodes=1,
+        wall_s=0.0,
+    ):
+        """Summarize a :class:`~repro.sim.results.SimulationResult`."""
+        return cls(
+            index=int(index),
+            name=name,
+            profile=profile.name,
+            num_events=result.num_events,
+            num_processed=result.num_processed,
+            num_missed=result.num_missed,
+            num_correct=result.num_correct,
+            iepmj=result.iepmj,
+            average_accuracy=result.average_accuracy,
+            processed_accuracy=result.processed_accuracy,
+            mean_latency_s=result.mean_latency_s,
+            mean_inference_energy_mj=result.mean_inference_energy_mj,
+            latency_percentiles=result.latency_percentiles(),
+            energy_percentiles=result.energy_percentiles(),
+            harvest_percentiles=dict(harvest_percentiles or {}),
+            miss_counts=result.miss_counts(),
+            exit_counts=result.exit_counts(profile.num_exits),
+            total_env_energy_mj=result.total_env_energy_mj,
+            total_consumed_mj=result.total_consumed_mj,
+            duration_s=result.duration_s,
+            episodes=int(episodes),
+            wall_s=float(wall_s),
+        )
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        out = {
+            "index": self.index,
+            "name": self.name,
+            "profile": self.profile,
+            "events": self.num_events,
+            "processed": self.num_processed,
+            "missed": self.num_missed,
+            "correct": self.num_correct,
+            "iepmj": self.iepmj,
+            "average_accuracy": self.average_accuracy,
+            "processed_accuracy": self.processed_accuracy,
+            "mean_latency_s": self.mean_latency_s,
+            "mean_inference_energy_mj": self.mean_inference_energy_mj,
+            "latency_percentiles": dict(self.latency_percentiles),
+            "energy_percentiles": dict(self.energy_percentiles),
+            "harvest_percentiles": dict(self.harvest_percentiles),
+            "miss_counts": dict(self.miss_counts),
+            "exit_counts": list(self.exit_counts),
+            "total_env_energy_mj": self.total_env_energy_mj,
+            "total_consumed_mj": self.total_consumed_mj,
+            "duration_s": self.duration_s,
+            "episodes": self.episodes,
+        }
+        if include_timing:
+            out["wall_s"] = self.wall_s
+        return out
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet run."""
+
+    fleet_name: str
+    seed: int
+    devices: list = field(default_factory=list)  # DeviceResult, index order
+    workers: int = 1
+    wall_s: float = 0.0
+
+    def __post_init__(self):
+        self.devices = sorted(self.devices, key=lambda d: d.index)
+
+    # ---------------- counts ---------------- #
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_events(self) -> int:
+        return sum(d.num_events for d in self.devices)
+
+    @property
+    def num_processed(self) -> int:
+        return sum(d.num_processed for d in self.devices)
+
+    @property
+    def num_missed(self) -> int:
+        return sum(d.num_missed for d in self.devices)
+
+    @property
+    def num_correct(self) -> int:
+        return sum(d.num_correct for d in self.devices)
+
+    # ---------------- fleet metrics ---------------- #
+    @property
+    def fleet_iepmj(self) -> float:
+        """Fleet-level Eq. 1: all correct events over all offered energy."""
+        total_energy = sum(d.total_env_energy_mj for d in self.devices)
+        if total_energy <= 0:
+            return 0.0
+        return self.num_correct / total_energy
+
+    @property
+    def average_accuracy(self) -> float:
+        if self.num_events == 0:
+            return 0.0
+        return self.num_correct / self.num_events
+
+    def device_iepmj_percentiles(self, qs=(10, 50, 90)) -> dict:
+        """Spread of per-device IEpmJ — how unevenly the fleet performs."""
+        return percentile_dict([d.iepmj for d in self.devices], qs)
+
+    def device_latency_percentiles(self, qs=(10, 50, 90)) -> dict:
+        """Spread of per-device mean latency across the fleet."""
+        return percentile_dict([d.mean_latency_s for d in self.devices], qs)
+
+    def miss_counts(self) -> dict:
+        """Missed events across the fleet, grouped by reason."""
+        out: dict = {}
+        for d in self.devices:
+            for reason, count in d.miss_counts.items():
+                out[reason] = out.get(reason, 0) + count
+        return out
+
+    @property
+    def devices_per_second(self) -> float:
+        """Simulation throughput of this run (0 when timing is absent)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.num_devices / self.wall_s
+
+    # ---------------- reporting ---------------- #
+    def aggregate(self) -> dict:
+        """Deterministic fleet-level summary (no wall-clock content)."""
+        return {
+            "fleet": self.fleet_name,
+            "seed": self.seed,
+            "devices": self.num_devices,
+            "events": self.num_events,
+            "processed": self.num_processed,
+            "missed": self.num_missed,
+            "correct": self.num_correct,
+            "fleet_iepmj": self.fleet_iepmj,
+            "average_accuracy": self.average_accuracy,
+            "device_iepmj_percentiles": self.device_iepmj_percentiles(),
+            "device_latency_percentiles": self.device_latency_percentiles(),
+            "miss_counts": self.miss_counts(),
+            "total_env_energy_mj": sum(d.total_env_energy_mj for d in self.devices),
+            "total_consumed_mj": sum(d.total_consumed_mj for d in self.devices),
+        }
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        out = {
+            "aggregate": self.aggregate(),
+            "devices": [d.to_dict(include_timing) for d in self.devices],
+        }
+        if include_timing:
+            out["timing"] = {
+                "workers": self.workers,
+                "wall_s": self.wall_s,
+                "devices_per_second": self.devices_per_second,
+            }
+        return out
+
+    def to_json(self, path: str, include_timing: bool = False) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(include_timing), fh, indent=2, sort_keys=True)

@@ -1,0 +1,265 @@
+"""Parallel fleet execution.
+
+:func:`run_device` is the module-level (pickle-safe) worker entry: it
+materializes one :class:`~repro.fleet.spec.DeviceSpec` into live trace /
+storage / MCU / profile / controller objects, replays its episodes through
+the event-driven simulator, and returns a compact
+:class:`~repro.fleet.results.DeviceResult`.
+
+Determinism: every device derives its random streams from
+``SeedSequence(fleet_seed, spawn_key=(device_index,))`` — exactly the
+child that ``SeedSequence(fleet_seed).spawn(n)[index]`` would produce, but
+computable independently inside any worker.  Results therefore do not
+depend on worker count, dispatch order, or chunking, which is what makes
+``--workers 4`` bit-identical to the serial fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.energy.events import burst_events, poisson_events, uniform_random_events
+from repro.energy.storage import EnergyStorage
+from repro.energy.traces import (
+    constant_trace,
+    kinetic_trace,
+    piezo_trace,
+    rf_trace,
+    solar_trace,
+    trace_from_csv,
+    wind_trace,
+)
+from repro.errors import ConfigError
+from repro.experiment import reference_profile, sonic_profile
+from repro.fleet.results import DeviceResult, FleetResult
+from repro.fleet.spec import DeviceSpec, FleetSpec
+from repro.intermittent.mcu import MSP432
+from repro.runtime.controller import make_controller
+from repro.sim.profiles import InferenceProfile
+from repro.sim.results import percentile_dict
+from repro.sim.simulator import Simulator, SimulatorConfig
+
+_SEEDED_TRACE_BUILDERS = {
+    "solar": solar_trace,
+    "kinetic": kinetic_trace,
+    "rf": rf_trace,
+    "wind": wind_trace,
+    "piezo": piezo_trace,
+}
+
+#: Per-process cache of resolved named profiles (weights and profile maths
+#: run once per worker, not once per device).
+_PROFILE_CACHE: dict = {}
+
+
+def _call_declarative(label: str, fn, *args, **kwargs):
+    """Call a constructor with spec-provided kwargs, mapping typo'd or
+    unknown parameter names to :class:`ConfigError` so they surface as
+    spec problems (clean CLI error) rather than raw tracebacks."""
+    try:
+        return fn(*args, **kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"{label}: {exc}") from exc
+
+
+def build_trace(trace_spec: dict, fallback_seed: int):
+    """Materialize a trace from its spec dict."""
+    params = dict(trace_spec)
+    family = params.pop("family")
+    if family == "constant":
+        return _call_declarative("constant trace", constant_trace, **params)
+    if family == "csv":
+        return _call_declarative("csv trace", trace_from_csv, **params)
+    builder = _SEEDED_TRACE_BUILDERS.get(family)
+    if builder is None:
+        raise ConfigError(f"unknown trace family {family!r}")
+    params.setdefault("seed", fallback_seed)
+    return _call_declarative(f"{family} trace", builder, **params)
+
+
+def build_events(events_spec: dict, duration: float, seed: int) -> np.ndarray:
+    """Materialize an event stream over ``[0, duration)``."""
+    params = dict(events_spec)
+    kind = params.pop("kind")
+    params.setdefault("rng", seed)
+    try:
+        if kind == "uniform":
+            return uniform_random_events(params.pop("count"), duration, **params)
+        if kind == "poisson":
+            return poisson_events(params.pop("rate_hz"), duration, **params)
+        if kind == "burst":
+            return burst_events(
+                params.pop("num_bursts"), params.pop("events_per_burst"), duration, **params
+            )
+    except KeyError as exc:
+        raise ConfigError(f"{kind} events: missing parameter {exc}") from exc
+    except TypeError as exc:
+        raise ConfigError(f"{kind} events: {exc}") from exc
+    raise ConfigError(f"unknown events kind {kind!r}")
+
+
+def resolve_profile(profile) -> InferenceProfile:
+    """Resolve a profile reference (named / ``zoo:<net>`` / inline dict)."""
+    if isinstance(profile, dict):
+        return _call_declarative("inline profile", InferenceProfile, **profile)
+    if isinstance(profile, str) and profile.startswith("zoo:"):
+        from repro import zoo  # heavy import chain; only pay it when asked
+
+        return zoo.get_profile(profile[len("zoo:"):])  # zoo memoizes per process
+    if profile in _PROFILE_CACHE:
+        return _PROFILE_CACHE[profile]
+    if profile == "paper-multi-exit":
+        built = reference_profile()
+    elif profile == "sonic-single-exit":
+        built = sonic_profile()
+    else:
+        raise ConfigError(f"cannot resolve profile {profile!r}")
+    _PROFILE_CACHE[profile] = built
+    return built
+
+
+def build_storage(storage_spec: dict) -> EnergyStorage:
+    """Capacitor from overrides; defaults match the paper's 2 mJ @ 80%."""
+    params = dict(storage_spec)
+    capacity = float(params.pop("capacity_mj", 2.0))
+    initial_fraction = float(params.pop("initial_fraction", 0.5))
+    if not 0.0 <= initial_fraction <= 1.0:
+        raise ConfigError(
+            f"initial_fraction must be in [0, 1], got {initial_fraction!r}"
+        )
+    return _call_declarative(
+        "storage",
+        EnergyStorage,
+        capacity_mj=capacity,
+        efficiency=float(params.pop("efficiency", 0.8)),
+        leakage_mw=float(params.pop("leakage_mw", 0.0)),
+        initial_mj=capacity * initial_fraction,
+        **params,
+    )
+
+
+def build_mcu(mcu_spec: dict):
+    """MSP432 defaults with declarative field overrides."""
+    if not mcu_spec:
+        return MSP432
+    return _call_declarative("mcu", replace, MSP432, **mcu_spec)
+
+
+def build_controller(controller_spec: dict, profile, storage, seed: int):
+    """Controller from its spec; LUT/learning params derived per device."""
+    params = dict(controller_spec)
+    kind = params.pop("kind")
+    return _call_declarative(
+        f"{kind} controller",
+        make_controller,
+        kind,
+        profile.num_exits,
+        exit_energies_mj=profile.exit_energy_mj,
+        capacity_mj=storage.capacity_mj,
+        rng=seed,
+        **params,
+    )
+
+
+def run_device(task) -> DeviceResult:
+    """Simulate one device: ``task`` is ``(index, DeviceSpec, fleet_seed)``.
+
+    Module-level so ``multiprocessing`` can pickle it by reference; also
+    the serial entry point used by the debugging fallback and by callers
+    that want a single device out of a fleet.
+    """
+    index, spec, fleet_seed = task
+    t0 = time.perf_counter()
+    child = np.random.SeedSequence(fleet_seed, spawn_key=(int(index),))
+    trace_seed, event_seed, sim_seed, ctrl_seed = (
+        int(s) for s in child.generate_state(4, np.uint32)
+    )
+    trace = build_trace(spec.trace, trace_seed)
+    events = build_events(spec.events, trace.duration, event_seed)
+    profile = resolve_profile(spec.profile)
+    storage = build_storage(spec.storage)
+    mcu = build_mcu(spec.mcu)
+    controller = build_controller(spec.controller, profile, storage, ctrl_seed)
+    sim = Simulator(
+        trace,
+        profile,
+        controller,
+        mcu=mcu,
+        storage=storage,
+        config=SimulatorConfig(
+            mode="profile",
+            execution=spec.execution,
+            power_window_s=spec.power_window_s,
+            seed=sim_seed,
+        ),
+    )
+    result = None
+    for _ in range(spec.episodes):
+        result = sim.run(events)
+    # Bulk trace query (vectorized PowerTrace.power): how much power this
+    # device's environment offered, as percentiles for the fleet report.
+    harvest = percentile_dict(
+        trace.power(np.linspace(0.0, trace.duration, 512)), qs=(10, 50, 90)
+    )
+    return DeviceResult.from_simulation(
+        index,
+        spec.name,
+        result,
+        profile,
+        harvest_percentiles=harvest,
+        episodes=spec.episodes,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+class FleetRunner:
+    """Executes a :class:`FleetSpec`, serially or via a process pool.
+
+    ``workers <= 1`` runs the serial fallback in-process (debuggable with
+    plain pdb/profilers); larger values fan devices out over a
+    ``multiprocessing.Pool`` in index-order-preserving chunks.
+    """
+
+    def __init__(self, spec: FleetSpec, workers: int = 1, chunksize: int = None):
+        if not isinstance(spec, FleetSpec):
+            raise ConfigError("FleetRunner needs a FleetSpec")
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigError(f"chunksize must be >= 1, got {chunksize}")
+        self.spec = spec
+        self.workers = int(workers)
+        self.chunksize = chunksize
+
+    def _tasks(self) -> list:
+        return [(i, d, self.spec.seed) for i, d in enumerate(self.spec.devices)]
+
+    def run(self) -> FleetResult:
+        t0 = time.perf_counter()
+        tasks = self._tasks()
+        if self.workers <= 1:
+            device_results = [run_device(t) for t in tasks]
+        else:
+            # ~4 chunks per worker balances load without drowning in IPC.
+            chunk = self.chunksize or max(
+                1, math.ceil(len(tasks) / (self.workers * 4))
+            )
+            with multiprocessing.Pool(processes=self.workers) as pool:
+                device_results = pool.map(run_device, tasks, chunksize=chunk)
+        return FleetResult(
+            fleet_name=self.spec.name,
+            seed=self.spec.seed,
+            devices=device_results,
+            workers=max(self.workers, 1),
+            wall_s=time.perf_counter() - t0,
+        )
+
+
+def run_fleet(spec: FleetSpec, workers: int = 1, chunksize: int = None) -> FleetResult:
+    """One-call convenience wrapper around :class:`FleetRunner`."""
+    return FleetRunner(spec, workers=workers, chunksize=chunksize).run()

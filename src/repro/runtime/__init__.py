@@ -11,9 +11,11 @@ from repro.runtime.policies import (
 )
 from repro.runtime.incremental import IncrementalDecider, NeverContinue
 from repro.runtime.controller import (
+    CONTROLLER_KINDS,
     Controller,
     QLearningController,
     StaticController,
+    make_controller,
 )
 
 __all__ = [
@@ -27,7 +29,9 @@ __all__ = [
     "StaticLUTPolicy",
     "IncrementalDecider",
     "NeverContinue",
+    "CONTROLLER_KINDS",
     "Controller",
     "QLearningController",
     "StaticController",
+    "make_controller",
 ]

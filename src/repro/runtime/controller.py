@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.runtime.incremental import CONTINUE, ContinueRule, IncrementalDecider, NeverContinue
-from repro.runtime.policies import ExitPolicy
+from repro.runtime.policies import (
+    ExitPolicy,
+    FixedExitPolicy,
+    GreedyEnergyPolicy,
+    StaticLUTPolicy,
+)
 from repro.runtime.qlearning import QTable, discretize
 from repro.runtime.state import RuntimeState
 
@@ -138,3 +143,49 @@ class QLearningController(Controller):
         self.qtable.decay_epsilon()
         if isinstance(self.continue_rule, IncrementalDecider):
             self.continue_rule.decay_epsilon()
+
+
+#: Controller kinds accepted by :func:`make_controller`.
+CONTROLLER_KINDS = ("qlearning", "static-lut", "greedy", "fixed")
+
+
+def make_controller(
+    kind: str,
+    num_exits: int,
+    exit_energies_mj=None,
+    capacity_mj: float = None,
+    rng=None,
+    continue_rule: ContinueRule = None,
+    **params,
+):
+    """Build a controller from a declarative description.
+
+    The fleet layer composes devices from JSON, so controllers must be
+    nameable: ``kind`` is one of :data:`CONTROLLER_KINDS`, ``params`` are
+    forwarded to the underlying controller/policy constructor.
+    ``exit_energies_mj``/``capacity_mj`` are required by ``"static-lut"``
+    (the LUT is frozen against the deployed profile and the capacitor).
+    """
+    if kind == "qlearning":
+        return QLearningController(
+            num_exits, rng=rng, continue_rule=continue_rule, **params
+        )
+    if kind == "static-lut":
+        if exit_energies_mj is None or capacity_mj is None:
+            raise ConfigError(
+                "static-lut controller needs exit_energies_mj and capacity_mj"
+            )
+        return StaticController(
+            StaticLUTPolicy(exit_energies_mj, capacity_mj, **params),
+            continue_rule=continue_rule,
+        )
+    if kind == "greedy":
+        return StaticController(GreedyEnergyPolicy(**params), continue_rule=continue_rule)
+    if kind == "fixed":
+        return StaticController(
+            FixedExitPolicy(params.pop("exit_index", 0), **params),
+            continue_rule=continue_rule,
+        )
+    raise ConfigError(
+        f"controller kind must be one of {CONTROLLER_KINDS}, got {kind!r}"
+    )

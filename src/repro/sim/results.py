@@ -18,6 +18,18 @@ MISS_BUSY = "busy"          # device still processing a previous event
 MISS_ENERGY = "energy"      # no exit affordable / inference incomplete
 
 
+def percentile_dict(values, qs) -> dict:
+    """Percentile summary keyed ``"p50"``/``"p90"``/...; zeros when empty.
+
+    Shared by the per-run summarization hooks below and the fleet-level
+    aggregators in :mod:`repro.fleet.results`.
+    """
+    if not len(values):
+        return {f"p{q:g}": 0.0 for q in qs}
+    points = np.percentile(values, list(qs))
+    return {f"p{q:g}": float(v) for q, v in zip(qs, points)}
+
+
 @dataclass
 class EventRecord:
     """Outcome of one event."""
@@ -101,6 +113,18 @@ class SimulationResult:
     def mean_inference_energy_mj(self) -> float:
         vals = [r.energy_mj for r in self.records if r.processed]
         return float(np.mean(vals)) if vals else 0.0
+
+    def latency_percentiles(self, qs=(50, 90, 99)) -> dict:
+        """Latency percentiles (s) over processed events, keyed ``"p50"``…
+
+        Summarization hook for fleet aggregation: workers ship percentile
+        dicts instead of full event records.
+        """
+        return percentile_dict([r.latency_s for r in self.records if r.processed], qs)
+
+    def energy_percentiles(self, qs=(50, 90, 99)) -> dict:
+        """Per-inference energy percentiles (mJ) over processed events."""
+        return percentile_dict([r.energy_mj for r in self.records if r.processed], qs)
 
     # ---------------- exit usage ---------------- #
     def exit_counts(self, num_exits: int) -> list:

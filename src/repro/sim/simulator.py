@@ -24,6 +24,7 @@ real multi-exit networks show.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -51,11 +52,15 @@ class SimulatorConfig:
 
     def __post_init__(self):
         if self.mode not in ("profile", "dataset"):
-            raise ConfigError(f"unknown mode {self.mode!r}")
+            raise ConfigError(f"mode must be 'profile' or 'dataset', got {self.mode!r}")
         if self.execution not in ("single-cycle", "intermittent"):
-            raise ConfigError(f"unknown execution {self.execution!r}")
+            raise ConfigError(
+                f"execution must be 'single-cycle' or 'intermittent', got {self.execution!r}"
+            )
         if self.power_window_s <= 0:
-            raise ConfigError("power window must be positive")
+            raise ConfigError(
+                f"power_window_s must be positive, got {self.power_window_s!r}"
+            )
 
 
 class Simulator:
@@ -67,9 +72,9 @@ class Simulator:
         profile: InferenceProfile,
         controller: Controller,
         mcu: MCUSpec = MSP432,
-        storage: EnergyStorage = None,
+        storage: Optional[EnergyStorage] = None,
         dataset=None,
-        config: SimulatorConfig = None,
+        config: Optional[SimulatorConfig] = None,
     ):
         self.trace = trace
         self.profile = profile

@@ -153,6 +153,32 @@ def get_trained_network(name: str, verbose: bool = False):
     return net, test_accuracies
 
 
+#: Per-process cache of built profiles: weights load once per worker even
+#: when a fleet simulates hundreds of devices sharing a deployment.
+_PROFILE_CACHE: dict = {}
+
+
+def get_profile(name: str = "multi_exit_lenet", mcu=None, attach_net: bool = False):
+    """A cached :class:`~repro.sim.profiles.InferenceProfile` for a zoo net.
+
+    Builds the profile from the trained reference network and its measured
+    test accuracies, then memoizes it per process.  ``attach_net=False``
+    (the default) keeps the profile light for pickling across
+    ``multiprocessing`` boundaries — fleet workers run profile-mode
+    simulation, which never needs live weights.
+    """
+    from repro.sim.profiles import InferenceProfile
+
+    mcu = mcu or PAPER.mcu
+    key = (name, mcu, attach_net)
+    if key not in _PROFILE_CACHE:
+        net, accs = get_trained_network(name)
+        _PROFILE_CACHE[key] = InferenceProfile.from_network(
+            net, accs, mcu, name=name, attach_net=attach_net
+        )
+    return _PROFILE_CACHE[key]
+
+
 def get_nonuniform_spec(
     experiment: PaperExperiment = PAPER,
     episodes: int = 16,

@@ -9,10 +9,12 @@ from repro.energy import (
     PowerTrace,
     constant_trace,
     kinetic_trace,
+    piezo_trace,
     rf_trace,
     solar_trace,
     trace_from_csv,
     trace_from_samples,
+    wind_trace,
 )
 from repro.errors import ConfigError, EnergyError
 
@@ -72,14 +74,40 @@ class TestPowerTrace:
         with pytest.raises(ConfigError):
             PowerTrace([1.0, 2.0], dt=0.0)
 
+    def test_power_accepts_arrays(self):
+        """Array-valued queries must match the scalar path exactly."""
+        trace = solar_trace(duration=200.0, dt=0.5, seed=3)
+        times = np.array([-1.0, 0.0, 0.25, 7.3, 199.9, 200.0, 500.0])
+        vec = trace.power(times)
+        assert isinstance(vec, np.ndarray)
+        assert vec.shape == times.shape
+        np.testing.assert_array_equal(vec, [trace.power(float(t)) for t in times])
+
+    def test_power_array_broadcasting_shapes(self):
+        trace = constant_trace(0.7, duration=10.0)
+        grid = np.linspace(0.0, 10.0, 12).reshape(3, 4)
+        out = trace.power(grid)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out, 0.7)
+
 
 class TestGenerators:
-    @pytest.mark.parametrize("maker", [solar_trace, kinetic_trace, rf_trace])
+    @pytest.mark.parametrize(
+        "maker", [solar_trace, kinetic_trace, rf_trace, wind_trace, piezo_trace]
+    )
     def test_nonnegative_and_deterministic(self, maker):
         t1 = maker(duration=500.0, seed=3)
         t2 = maker(duration=500.0, seed=3)
         assert np.all(t1.samples_mw >= 0)
         np.testing.assert_array_equal(t1.samples_mw, t2.samples_mw)
+
+    @pytest.mark.parametrize(
+        "maker", [solar_trace, kinetic_trace, rf_trace, wind_trace, piezo_trace]
+    )
+    def test_seed_changes_trace(self, maker):
+        t1 = maker(duration=500.0, seed=3)
+        t2 = maker(duration=500.0, seed=4)
+        assert not np.array_equal(t1.samples_mw, t2.samples_mw)
 
     def test_solar_has_diurnal_shape(self):
         trace = solar_trace(duration=43200.0, dt=60.0, seed=0)
@@ -100,6 +128,25 @@ class TestGenerators:
     def test_kinetic_has_bursts(self):
         trace = kinetic_trace(duration=2000.0, seed=1)
         assert trace.samples_mw.max() > 5 * np.median(trace.samples_mw)
+
+    def test_wind_is_heavy_tailed(self):
+        """Cubic wind-power response: spikes far above the median."""
+        trace = wind_trace(duration=3600.0, seed=2)
+        assert trace.samples_mw.max() > 4 * np.median(trace.samples_mw)
+
+    def test_piezo_duty_cycles(self):
+        """On and off intervals must both occupy real time."""
+        trace = piezo_trace(duration=3600.0, duty_cycle=0.5, seed=2)
+        on_frac = np.mean(trace.samples_mw > 0.01 * trace.samples_mw.max())
+        assert 0.2 < on_frac < 0.8
+
+    def test_piezo_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigError):
+            piezo_trace(duration=100.0, duty_cycle=1.5)
+
+    def test_wind_rejects_zero_mean_speed(self):
+        with pytest.raises(ConfigError, match="mean_speed"):
+            wind_trace(duration=100.0, mean_speed=0.0)
 
     def test_duration_property(self):
         assert constant_trace(1.0, duration=60.0, dt=0.5).duration == pytest.approx(60.0)
@@ -132,3 +179,28 @@ class TestCSV:
     def test_from_samples(self):
         trace = trace_from_samples([0.0, 1.0], dt=1.0, name="x")
         assert trace.name == "x"
+
+    def test_written_csv_roundtrip(self, tmp_path):
+        """A trace dumped as CSV reloads with identical samples and energy."""
+        original = solar_trace(duration=120.0, dt=2.0, seed=4)
+        path = tmp_path / "roundtrip.csv"
+        times = np.arange(len(original.samples_mw)) * original.dt
+        np.savetxt(path, np.column_stack([times, original.samples_mw]), delimiter=",")
+        reloaded = trace_from_csv(str(path))
+        assert reloaded.dt == pytest.approx(original.dt)
+        np.testing.assert_allclose(reloaded.samples_mw, original.samples_mw)
+        assert reloaded.total_energy_mj == pytest.approx(original.total_energy_mj)
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.0,1.0\nnot-a-number,oops\n2.0,1.0\n")
+        with pytest.raises(ConfigError, match="malformed"):
+            trace_from_csv(str(path))
+
+    def test_negative_power_rejected(self, tmp_path):
+        path = tmp_path / "negative.csv"
+        np.savetxt(
+            path, np.array([[0.0, 1.0], [1.0, -0.5], [2.0, 1.0]]), delimiter=","
+        )
+        with pytest.raises(EnergyError):
+            trace_from_csv(str(path))

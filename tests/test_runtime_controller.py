@@ -91,3 +91,38 @@ class TestQLearningController:
     def test_validation(self):
         with pytest.raises(ConfigError):
             QLearningController(0)
+
+
+class TestMakeController:
+    def test_qlearning(self):
+        from repro.runtime import QLearningController, make_controller
+
+        controller = make_controller("qlearning", 3, rng=0, epsilon=0.1)
+        assert isinstance(controller, QLearningController)
+        assert controller.num_exits == 3
+        assert controller.qtable.epsilon == 0.1
+
+    def test_static_lut_needs_profile_context(self):
+        from repro.runtime import make_controller
+
+        with pytest.raises(ConfigError):
+            make_controller("static-lut", 3)
+        controller = make_controller(
+            "static-lut", 3, exit_energies_mj=ENERGIES, capacity_mj=2.0
+        )
+        assert controller.select_exit(state(1.0), ENERGIES) >= 0
+
+    def test_greedy_and_fixed(self):
+        from repro.runtime import make_controller
+
+        greedy = make_controller("greedy", 3, reserve_fraction=0.25)
+        assert greedy.select_exit(state(1.9), ENERGIES) == 1
+        fixed = make_controller("fixed", 3, exit_index=2)
+        assert fixed.select_exit(state(1.9), ENERGIES) == 2
+        assert fixed.select_exit(state(0.1), ENERGIES) == -1
+
+    def test_unknown_kind_names_value(self):
+        from repro.runtime import make_controller
+
+        with pytest.raises(ConfigError, match="bandit"):
+            make_controller("bandit", 3)
