@@ -16,6 +16,8 @@ testbed; see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -32,6 +34,12 @@ from repro.sim import InferenceProfile, Simulator, SimulatorConfig
 
 #: Learning episodes for the runtime Q-learning controller (Fig. 7 regime).
 QLEARNING_EPISODES = 25
+
+#: CI smoke lane: one round, no timing assertions (see README "Performance").
+#: Accepts the usual truthy spellings so `BENCH_SMOKE=true` works too.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() in (
+    "1", "true", "yes", "on",
+)
 
 
 def print_table(title: str, rows, headers):

@@ -1,16 +1,22 @@
 """P1 — fleet-path throughput: devices simulated per second.
 
 Times a 32-device solar-farm scenario through the serial fallback and the
-multiprocessing pool so future PRs can track fleet-path speed (trace
-synthesis dominates today; the simulator loop is second).  Also re-checks
-the determinism contract under timing conditions: the parallel aggregate
-must stay bit-identical to the serial one.
+multiprocessing pool so future PRs can track fleet-path speed.  (At PR 1,
+trace synthesis dominated this path; PR 2 vectorized trace synthesis, the
+per-event charge accounting, and the result layer — see
+benchmarks/test_p2_hotpath.py for the per-layer breakdown.)  Also
+re-checks the determinism contract under timing conditions: the parallel
+aggregate must stay bit-identical to the serial one.
+
+Set ``BENCH_SMOKE=1`` for the CI smoke lane: one round, no timing
+assertions beyond throughput being measurable.
 """
 
 import json
 
 import pytest
 
+from benchmarks.conftest import BENCH_SMOKE as SMOKE
 from benchmarks.conftest import print_table
 from repro.fleet import SCENARIOS, FleetRunner
 
@@ -24,7 +30,9 @@ def fleet_spec():
 
 def test_p1_fleet_throughput(benchmark, fleet_spec):
     serial = benchmark.pedantic(
-        lambda: FleetRunner(fleet_spec, workers=1).run(), rounds=3, iterations=1
+        lambda: FleetRunner(fleet_spec, workers=1).run(),
+        rounds=1 if SMOKE else 3,
+        iterations=1,
     )
     parallel = FleetRunner(fleet_spec, workers=4).run()
 

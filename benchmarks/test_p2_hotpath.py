@@ -1,0 +1,157 @@
+"""P2 — trace→simulator→fleet hot-path benchmarks, tracked across PRs.
+
+Times the three layers the fleet wall-clock decomposes into:
+
+* **trace synthesis** — one 43 200 s solar trace (the vectorized AR(1)
+  Ornstein-Uhlenbeck path; formerly a per-sample Python loop);
+* **single-device simulation** — one solar-farm device through its three
+  learning episodes (the per-event simulator loop);
+* **32-device fleet** — the serial fallback and the multiprocessing pool,
+  with the serial-vs-parallel bit-identity contract re-checked under
+  timing conditions.
+
+Results are written to ``benchmarks/BENCH_p2_hotpath.json`` so future PRs
+can compare against the recorded trajectory (see README "Performance").
+Set ``BENCH_SMOKE=1`` to run one round with no timing assertions — the CI
+smoke lane uses this to keep the suite importable and runnable without
+gating merges on shared-runner timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SMOKE as SMOKE
+from benchmarks.conftest import print_table
+from repro.energy.traces import solar_trace
+from repro.fleet import SCENARIOS, FleetRunner
+from repro.fleet.runner import run_device
+
+ROUNDS = 1 if SMOKE else 5
+DEVICES = 32
+FLEET_SEED = 13
+WORKERS = 4
+
+#: PR-1 serial throughput on this 32-device solar farm (devices/s),
+#: measured on the reference container before the hot-path overhaul.
+#: The acceptance floor below tracks against it.
+P1_SERIAL_DEVICES_PER_S = 41.6
+SPEEDUP_FLOOR = 5.0
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_p2_hotpath.json")
+
+#: Section name -> measured payload, accumulated by the tests in file
+#: order and flushed by the final test.
+_RESULTS: dict = {}
+
+
+def _best_of(fn, rounds: int = ROUNDS):
+    """(best wall seconds, last return value) over ``rounds`` calls."""
+    best, last = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        last = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, last
+
+
+def _fleet_spec():
+    return SCENARIOS.build("solar-farm-100", num_devices=DEVICES, seed=FLEET_SEED)
+
+
+def test_p2_trace_synthesis():
+    duration, dt = 43200.0, 1.0
+    best, trace = _best_of(lambda: solar_trace(duration=duration, dt=dt, seed=7))
+    samples = len(trace.samples_mw)
+    _RESULTS["trace_synthesis"] = {
+        "family": "solar",
+        "samples": samples,
+        "best_s": best,
+        "samples_per_s": samples / best,
+    }
+    print_table(
+        "P2: trace synthesis (43 200 s solar arc)",
+        [(samples, f"{best * 1e3:.2f}", f"{samples / best / 1e6:.1f}")],
+        ["samples", "best_ms", "Msamples/s"],
+    )
+    assert np.all(trace.samples_mw >= 0)
+    assert samples == int(round(duration / dt)) + 1
+
+
+def test_p2_single_device():
+    spec = _fleet_spec()
+    device = spec.devices[0]
+    best, result = _best_of(lambda: run_device((0, device, FLEET_SEED)))
+    events = result.num_events * result.episodes
+    _RESULTS["single_device"] = {
+        "events_per_episode": result.num_events,
+        "episodes": result.episodes,
+        "best_s": best,
+        "events_per_s": events / best,
+    }
+    print_table(
+        "P2: single solar-farm device",
+        [(result.num_events, result.episodes, f"{best * 1e3:.2f}", f"{events / best:.0f}")],
+        ["events", "episodes", "best_ms", "events/s"],
+    )
+    assert result.num_events > 0
+    assert result.num_processed + result.num_missed == result.num_events
+
+
+def test_p2_fleet_throughput():
+    spec = _fleet_spec()
+    serial_best, serial = _best_of(lambda: FleetRunner(spec, workers=1).run())
+    parallel_best, parallel = _best_of(
+        lambda: FleetRunner(spec, workers=WORKERS).run(),
+        rounds=1 if SMOKE else 2,  # pool startup dominates; fewer rounds
+    )
+    serial_dps = DEVICES / serial_best
+    _RESULTS["fleet32"] = {
+        "devices": DEVICES,
+        "serial_best_s": serial_best,
+        "serial_devices_per_s": serial_dps,
+        "parallel_workers": WORKERS,
+        "parallel_best_s": parallel_best,
+        "parallel_devices_per_s": DEVICES / parallel_best,
+    }
+    print_table(
+        f"P2: {DEVICES}-device fleet throughput",
+        [
+            ("serial", 1, f"{serial_best:.3f}", f"{serial_dps:.1f}"),
+            ("parallel", WORKERS, f"{parallel_best:.3f}", f"{DEVICES / parallel_best:.1f}"),
+            ("PR-1 serial baseline", 1, "-", f"{P1_SERIAL_DEVICES_PER_S:.1f}"),
+        ],
+        ["mode", "workers", "best_s", "devices/s"],
+    )
+    # Worker count must never change results (the fleet determinism
+    # contract) — re-checked here because this run interleaves with timing.
+    assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+        parallel.to_dict(), sort_keys=True
+    )
+    if not SMOKE:
+        assert serial_dps >= SPEEDUP_FLOOR * P1_SERIAL_DEVICES_PER_S, (
+            f"serial fleet throughput regressed: {serial_dps:.1f} devices/s < "
+            f"{SPEEDUP_FLOOR}x PR-1 baseline ({P1_SERIAL_DEVICES_PER_S})"
+        )
+
+
+def test_p2_write_bench_json():
+    """Flush the machine-readable trajectory file (always runs last)."""
+    missing = {"trace_synthesis", "single_device", "fleet32"} - set(_RESULTS)
+    assert not missing, f"earlier P2 sections did not run: {sorted(missing)}"
+    payload = {
+        "bench": "p2_hotpath",
+        "smoke": SMOKE,
+        "rounds": ROUNDS,
+        "baseline": {"p1_serial_devices_per_s": P1_SERIAL_DEVICES_PER_S},
+        **_RESULTS,
+    }
+    if not SMOKE:  # smoke runs must not overwrite tracked timings
+        with open(BENCH_JSON, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(f"\nBENCH_p2_hotpath: {json.dumps(payload, sort_keys=True)}")

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.sim.results import percentile_dict
 
 
@@ -125,6 +127,22 @@ class FleetResult:
 
     def __post_init__(self):
         self.devices = sorted(self.devices, key=lambda d: d.index)
+        self._column_cache: dict = {}
+
+    def _column(self, attr: str, dtype) -> np.ndarray:
+        """Per-device field as a numpy column (cached).
+
+        Fleet aggregation reduces these arrays instead of re-iterating the
+        DeviceResult dataclasses per metric.  Columns are built in device-
+        index order from the sorted list, so every reduction is the same
+        arithmetic regardless of worker count — the bit-identity the
+        serial-vs-parallel acceptance check relies on.
+        """
+        col = self._column_cache.get(attr)
+        if col is None:
+            col = np.array([getattr(d, attr) for d in self.devices], dtype=dtype)
+            self._column_cache[attr] = col
+        return col
 
     # ---------------- counts ---------------- #
     @property
@@ -133,25 +151,25 @@ class FleetResult:
 
     @property
     def num_events(self) -> int:
-        return sum(d.num_events for d in self.devices)
+        return int(self._column("num_events", np.int64).sum())
 
     @property
     def num_processed(self) -> int:
-        return sum(d.num_processed for d in self.devices)
+        return int(self._column("num_processed", np.int64).sum())
 
     @property
     def num_missed(self) -> int:
-        return sum(d.num_missed for d in self.devices)
+        return int(self._column("num_missed", np.int64).sum())
 
     @property
     def num_correct(self) -> int:
-        return sum(d.num_correct for d in self.devices)
+        return int(self._column("num_correct", np.int64).sum())
 
     # ---------------- fleet metrics ---------------- #
     @property
     def fleet_iepmj(self) -> float:
         """Fleet-level Eq. 1: all correct events over all offered energy."""
-        total_energy = sum(d.total_env_energy_mj for d in self.devices)
+        total_energy = float(self._column("total_env_energy_mj", np.float64).sum())
         if total_energy <= 0:
             return 0.0
         return self.num_correct / total_energy
@@ -164,11 +182,11 @@ class FleetResult:
 
     def device_iepmj_percentiles(self, qs=(10, 50, 90)) -> dict:
         """Spread of per-device IEpmJ — how unevenly the fleet performs."""
-        return percentile_dict([d.iepmj for d in self.devices], qs)
+        return percentile_dict(self._column("iepmj", np.float64), qs)
 
     def device_latency_percentiles(self, qs=(10, 50, 90)) -> dict:
         """Spread of per-device mean latency across the fleet."""
-        return percentile_dict([d.mean_latency_s for d in self.devices], qs)
+        return percentile_dict(self._column("mean_latency_s", np.float64), qs)
 
     def miss_counts(self) -> dict:
         """Missed events across the fleet, grouped by reason."""
@@ -201,8 +219,12 @@ class FleetResult:
             "device_iepmj_percentiles": self.device_iepmj_percentiles(),
             "device_latency_percentiles": self.device_latency_percentiles(),
             "miss_counts": self.miss_counts(),
-            "total_env_energy_mj": sum(d.total_env_energy_mj for d in self.devices),
-            "total_consumed_mj": sum(d.total_consumed_mj for d in self.devices),
+            "total_env_energy_mj": float(
+                self._column("total_env_energy_mj", np.float64).sum()
+            ),
+            "total_consumed_mj": float(
+                self._column("total_consumed_mj", np.float64).sum()
+            ),
         }
 
     def to_dict(self, include_timing: bool = False) -> dict:

@@ -56,6 +56,15 @@ _SEEDED_TRACE_BUILDERS = {
 #: run once per worker, not once per device).
 _PROFILE_CACHE: dict = {}
 
+#: Per-process memoized traces keyed by (family, sorted params incl. the
+#: resolved seed).  Identical DeviceSpecs — and repeated runs of the same
+#: fleet — share one PowerTrace instead of re-synthesizing 36k-43k samples
+#: each time.  Traces are treated as immutable everywhere in the simulator,
+#: so sharing is safe; the cap bounds worker memory on fleets with many
+#: distinct environments (FIFO eviction).
+_TRACE_CACHE: dict = {}
+_TRACE_CACHE_MAX = 256
+
 
 def _call_declarative(label: str, fn, *args, **kwargs):
     """Call a constructor with spec-provided kwargs, mapping typo'd or
@@ -67,19 +76,43 @@ def _call_declarative(label: str, fn, *args, **kwargs):
         raise ConfigError(f"{label}: {exc}") from exc
 
 
+def _trace_cache_key(family: str, params: dict):
+    """Hashable cache key, or None when a param cannot key a deterministic
+    result (e.g. a live Generator, whose state advances between builds)."""
+    if not all(
+        value is None or isinstance(value, (bool, int, float, str))
+        for value in params.values()
+    ):
+        return None
+    return (family, tuple(sorted(params.items())))
+
+
 def build_trace(trace_spec: dict, fallback_seed: int):
-    """Materialize a trace from its spec dict."""
+    """Materialize a trace from its spec dict (memoized per process)."""
     params = dict(trace_spec)
     family = params.pop("family")
-    if family == "constant":
-        return _call_declarative("constant trace", constant_trace, **params)
     if family == "csv":
+        # File contents can change between builds; never cached.
         return _call_declarative("csv trace", trace_from_csv, **params)
-    builder = _SEEDED_TRACE_BUILDERS.get(family)
-    if builder is None:
-        raise ConfigError(f"unknown trace family {family!r}")
-    params.setdefault("seed", fallback_seed)
-    return _call_declarative(f"{family} trace", builder, **params)
+    if family == "constant":
+        label, builder = "constant trace", constant_trace
+    else:
+        builder = _SEEDED_TRACE_BUILDERS.get(family)
+        if builder is None:
+            raise ConfigError(f"unknown trace family {family!r}")
+        params.setdefault("seed", fallback_seed)
+        label = f"{family} trace"
+    key = _trace_cache_key(family, params)
+    if key is not None:
+        cached = _TRACE_CACHE.get(key)
+        if cached is not None:
+            return cached
+    trace = _call_declarative(label, builder, **params)
+    if key is not None:
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = trace
+    return trace
 
 
 def build_events(events_spec: dict, duration: float, seed: int) -> np.ndarray:

@@ -219,6 +219,10 @@ class MaxPool2d(Layer):
 
     def __init__(self, kernel_size: int, stride: int = 0, name: str = ""):
         super().__init__(name)
+        if kernel_size < 1:
+            raise ShapeError("pool kernel_size must be >= 1")
+        if stride < 0:
+            raise ShapeError("pool stride cannot be negative")
         self.kernel_size = kernel_size
         self.stride = stride or kernel_size
         self._cache = None
@@ -241,6 +245,10 @@ class AvgPool2d(Layer):
 
     def __init__(self, kernel_size: int, stride: int = 0, name: str = ""):
         super().__init__(name)
+        if kernel_size < 1:
+            raise ShapeError("pool kernel_size must be >= 1")
+        if stride < 0:
+            raise ShapeError("pool stride cannot be negative")
         self.kernel_size = kernel_size
         self.stride = stride or kernel_size
         self._x_shape = None
@@ -294,8 +302,10 @@ class Dropout(Layer):
         return x * self._mask
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return dout  # identity layer: forward cached no mask by design
         if self._mask is None:
-            return dout
+            raise RuntimeError(f"{self.name}: backward called before forward(train=True)")
         return dout * self._mask
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.utils.rng import as_generator
+from repro.utils.rng import PooledDraws, as_generator
 
 
 def discretize(value: float, num_bins: int, lo: float = 0.0, hi: float = 1.0) -> int:
@@ -61,14 +61,31 @@ class QTable:
         self.epsilon_min = float(epsilon_min)
         self.table = np.full(self.state_shape + (num_actions,), float(optimistic_init))
         self._rng = as_generator(rng)
+        # Exploration draws are pooled: the simulator queries the LUT once
+        # or twice per event, and per-call Generator dispatch would
+        # otherwise dominate the (tiny) table lookups.
+        self._draws = PooledDraws(self._rng)
+        # States already validated once skip re-validation — the grid is
+        # tiny (tens of cells) and the event loop revisits the same bins
+        # thousands of times per run.  Keyed by equality, valued by the
+        # normalized int tuple, so e.g. (1.0, 2.0) (== (1, 2)) resolves to
+        # the index-safe form on the fast path too.
+        self._validated: dict = {}
 
     def _check_state(self, state) -> tuple:
+        try:
+            cached = self._validated.get(state)
+        except TypeError:
+            cached = None  # unhashable container (e.g. list): normalize below
+        if cached is not None:
+            return cached
         state = tuple(int(s) for s in state)
         if len(state) != len(self.state_shape):
             raise ConfigError(f"state {state} has wrong rank for {self.state_shape}")
         for s, bound in zip(state, self.state_shape):
             if not 0 <= s < bound:
                 raise ConfigError(f"state {state} outside grid {self.state_shape}")
+        self._validated[state] = state
         return state
 
     def q_values(self, state) -> np.ndarray:
@@ -76,12 +93,12 @@ class QTable:
 
     def best_action(self, state) -> int:
         """Greedy action: argmax_a Q(s, a), ties broken by lowest index."""
-        return int(np.argmax(self.q_values(state)))
+        return int(self.table[self._check_state(state)].argmax())
 
     def select_action(self, state) -> int:
         """Epsilon-greedy action selection."""
-        if self._rng.random() < self.epsilon:
-            return int(self._rng.integers(self.num_actions))
+        if self._draws.random() < self.epsilon:
+            return self._draws.integers(self.num_actions)
         return self.best_action(state)
 
     def update(self, state, action: int, reward: float, next_state=None) -> float:
@@ -92,7 +109,11 @@ class QTable:
         state = self._check_state(state)
         if not 0 <= action < self.num_actions:
             raise ConfigError(f"action {action} out of range")
-        bootstrap = 0.0 if next_state is None else float(np.max(self.q_values(next_state)))
+        bootstrap = (
+            0.0
+            if next_state is None
+            else float(self.table[self._check_state(next_state)].max())
+        )
         key = state + (action,)
         td_error = reward + self.gamma * bootstrap - self.table[key]
         self.table[key] += self.alpha * td_error

@@ -5,11 +5,21 @@ per milliJoule of harvested energy (paper Eq. 1).  ``E_total`` is the
 energy the *environment* offered over the simulated window (a property of
 the trace, not of the policy), so maximizing IEpmJ is exactly maximizing
 the average accuracy over all events, missed events counting as wrong.
+
+Event outcomes are stored struct-of-arrays: one numpy column per field,
+built by :class:`RecordColumns` as the simulator's event loop appends
+outcomes.  Every aggregate (counts, IEpmJ, percentiles, exit histograms)
+reduces whole columns instead of iterating per-event objects — the fleet
+layer summarizes thousands of runs, so the row-oriented path must never be
+on the hot path.  Callers that want per-event objects still get them:
+:attr:`SimulationResult.records` lazily materializes a list of
+:class:`EventRecord` snapshots on first access (read-only with respect to
+the aggregates — edits to a snapshot do not flow back into the columns).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,9 +40,9 @@ def percentile_dict(values, qs) -> dict:
     return {f"p{q:g}": float(v) for q, v in zip(qs, points)}
 
 
-@dataclass
+@dataclass(slots=True)
 class EventRecord:
-    """Outcome of one event."""
+    """Outcome of one event (one row of the columnar result)."""
 
     time: float
     exit_index: int = -1          # final exit used; -1 for missed events
@@ -51,33 +61,234 @@ class EventRecord:
         return not self.missed
 
 
-@dataclass
-class SimulationResult:
-    """Aggregate outcome of one trace run."""
+class RecordColumns:
+    """Append-only struct-of-arrays builder for event outcomes.
 
-    records: list                 # EventRecord per event, in time order
-    total_env_energy_mj: float    # energy offered by the trace (E_total)
-    total_consumed_mj: float      # energy actually drawn from storage
-    duration_s: float
-    profile_name: str = ""
-    metadata: dict = field(default_factory=dict)
+    The simulator appends one row per event into plain Python lists (cheap
+    per-event) and :meth:`SimulationResult.from_columns` freezes them into
+    numpy columns once per run.
+    """
+
+    __slots__ = (
+        "time", "exit_index", "first_exit_index", "correct", "latency_s",
+        "energy_mj", "confidence_entropy", "continued", "missed",
+        "miss_reason", "power_cycles",
+    )
+
+    def __init__(self):
+        self.time = []
+        self.exit_index = []
+        self.first_exit_index = []
+        self.correct = []
+        self.latency_s = []
+        self.energy_mj = []
+        self.confidence_entropy = []
+        self.continued = []
+        self.missed = []
+        self.miss_reason = []
+        self.power_cycles = []
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    def append_missed(
+        self, time: float, reason: str, latency_s: float = 0.0, power_cycles: int = 1
+    ) -> None:
+        self.time.append(time)
+        self.exit_index.append(-1)
+        self.first_exit_index.append(-1)
+        self.correct.append(False)
+        self.latency_s.append(latency_s)
+        self.energy_mj.append(0.0)
+        self.confidence_entropy.append(1.0)
+        self.continued.append(0)
+        self.missed.append(True)
+        self.miss_reason.append(reason)
+        self.power_cycles.append(power_cycles)
+
+    def append_processed(
+        self,
+        time: float,
+        exit_index: int,
+        first_exit_index: int,
+        correct: bool,
+        latency_s: float,
+        energy_mj: float,
+        confidence_entropy: float,
+        continued: int = 0,
+        power_cycles: int = 1,
+    ) -> None:
+        self.time.append(time)
+        self.exit_index.append(exit_index)
+        self.first_exit_index.append(first_exit_index)
+        self.correct.append(bool(correct))
+        self.latency_s.append(latency_s)
+        self.energy_mj.append(energy_mj)
+        self.confidence_entropy.append(confidence_entropy)
+        self.continued.append(continued)
+        self.missed.append(False)
+        self.miss_reason.append("")
+        self.power_cycles.append(power_cycles)
+
+    def append_record(self, record: EventRecord) -> None:
+        self.time.append(record.time)
+        self.exit_index.append(record.exit_index)
+        self.first_exit_index.append(record.first_exit_index)
+        self.correct.append(bool(record.correct))
+        self.latency_s.append(record.latency_s)
+        self.energy_mj.append(record.energy_mj)
+        self.confidence_entropy.append(record.confidence_entropy)
+        self.continued.append(record.continued)
+        self.missed.append(bool(record.missed))
+        self.miss_reason.append(record.miss_reason)
+        self.power_cycles.append(record.power_cycles)
+
+
+class SimulationResult:
+    """Aggregate outcome of one trace run (struct-of-arrays backed).
+
+    Construct either from a list of :class:`EventRecord` (row-oriented
+    compatibility path, used by tests and hand-built results) or from a
+    :class:`RecordColumns` via :meth:`from_columns` (the simulator's path).
+    """
+
+    __slots__ = (
+        "total_env_energy_mj", "total_consumed_mj", "duration_s",
+        "profile_name", "metadata",
+        "_time", "_exit_index", "_first_exit_index", "_correct",
+        "_latency_s", "_energy_mj", "_confidence_entropy", "_continued",
+        "_missed", "_miss_reason", "_power_cycles", "_records",
+    )
+
+    def __init__(
+        self,
+        records,
+        total_env_energy_mj: float,
+        total_consumed_mj: float,
+        duration_s: float,
+        profile_name: str = "",
+        metadata: dict = None,
+    ):
+        columns = RecordColumns()
+        for record in records:
+            columns.append_record(record)
+        self._adopt_columns(columns)
+        self._records = list(records)
+        self.total_env_energy_mj = total_env_energy_mj
+        self.total_consumed_mj = total_consumed_mj
+        self.duration_s = duration_s
+        self.profile_name = profile_name
+        self.metadata = metadata if metadata is not None else {}
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: RecordColumns,
+        total_env_energy_mj: float,
+        total_consumed_mj: float,
+        duration_s: float,
+        profile_name: str = "",
+        metadata: dict = None,
+    ) -> "SimulationResult":
+        self = cls.__new__(cls)
+        self._adopt_columns(columns)
+        self._records = None
+        self.total_env_energy_mj = total_env_energy_mj
+        self.total_consumed_mj = total_consumed_mj
+        self.duration_s = duration_s
+        self.profile_name = profile_name
+        self.metadata = metadata if metadata is not None else {}
+        return self
+
+    def _adopt_columns(self, columns: RecordColumns) -> None:
+        self._time = np.asarray(columns.time, dtype=np.float64)
+        self._exit_index = np.asarray(columns.exit_index, dtype=np.int64)
+        self._first_exit_index = np.asarray(columns.first_exit_index, dtype=np.int64)
+        self._correct = np.asarray(columns.correct, dtype=bool)
+        self._latency_s = np.asarray(columns.latency_s, dtype=np.float64)
+        self._energy_mj = np.asarray(columns.energy_mj, dtype=np.float64)
+        self._confidence_entropy = np.asarray(
+            columns.confidence_entropy, dtype=np.float64
+        )
+        self._continued = np.asarray(columns.continued, dtype=np.int64)
+        self._missed = np.asarray(columns.missed, dtype=bool)
+        self._miss_reason = list(columns.miss_reason)
+        self._power_cycles = np.asarray(columns.power_cycles, dtype=np.int64)
+
+    # ---------------- row access ---------------- #
+    @property
+    def records(self) -> list:
+        """Per-event :class:`EventRecord` rows, materialized lazily.
+
+        The rows are read-only *snapshots* of the numpy columns: mutating
+        a returned record does not write back into the columns the
+        aggregate properties reduce.  Build a new ``SimulationResult`` from
+        edited records instead.
+        """
+        if self._records is None:
+            self._records = [
+                EventRecord(
+                    time=t, exit_index=k, first_exit_index=fk, correct=c,
+                    latency_s=lat, energy_mj=e, confidence_entropy=h,
+                    continued=cont, missed=m, miss_reason=reason,
+                    power_cycles=pc,
+                )
+                for t, k, fk, c, lat, e, h, cont, m, reason, pc in zip(
+                    self._time.tolist(), self._exit_index.tolist(),
+                    self._first_exit_index.tolist(), self._correct.tolist(),
+                    self._latency_s.tolist(), self._energy_mj.tolist(),
+                    self._confidence_entropy.tolist(), self._continued.tolist(),
+                    self._missed.tolist(), self._miss_reason,
+                    self._power_cycles.tolist(),
+                )
+            ]
+        return self._records
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        return (
+            self.total_env_energy_mj == other.total_env_energy_mj
+            and self.total_consumed_mj == other.total_consumed_mj
+            and self.duration_s == other.duration_s
+            and self.profile_name == other.profile_name
+            and self.metadata == other.metadata
+            and self._miss_reason == other._miss_reason
+            and np.array_equal(self._time, other._time)
+            and np.array_equal(self._exit_index, other._exit_index)
+            and np.array_equal(self._first_exit_index, other._first_exit_index)
+            and np.array_equal(self._correct, other._correct)
+            and np.array_equal(self._latency_s, other._latency_s)
+            and np.array_equal(self._energy_mj, other._energy_mj)
+            and np.array_equal(self._confidence_entropy, other._confidence_entropy)
+            and np.array_equal(self._continued, other._continued)
+            and np.array_equal(self._missed, other._missed)
+            and np.array_equal(self._power_cycles, other._power_cycles)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult(events={self.num_events}, "
+            f"correct={self.num_correct}, iepmj={self.iepmj:.4f}, "
+            f"profile={self.profile_name!r})"
+        )
 
     # ---------------- counts ---------------- #
     @property
     def num_events(self) -> int:
-        return len(self.records)
+        return int(self._time.size)
 
     @property
     def num_processed(self) -> int:
-        return sum(1 for r in self.records if r.processed)
+        return int(self._time.size - np.count_nonzero(self._missed))
 
     @property
     def num_missed(self) -> int:
-        return sum(1 for r in self.records if r.missed)
+        return int(np.count_nonzero(self._missed))
 
     @property
     def num_correct(self) -> int:
-        return sum(1 for r in self.records if r.processed and r.correct)
+        return int(np.count_nonzero(self._correct & ~self._missed))
 
     # ---------------- paper metrics ---------------- #
     @property
@@ -90,7 +301,7 @@ class SimulationResult:
     @property
     def average_accuracy(self) -> float:
         """Accuracy over ALL events; missed events count as wrong."""
-        if not self.records:
+        if not self.num_events:
             return 0.0
         return self.num_correct / self.num_events
 
@@ -106,13 +317,13 @@ class SimulationResult:
     @property
     def mean_latency_s(self) -> float:
         """Per-event latency: event occurrence to end of inference."""
-        lats = [r.latency_s for r in self.records if r.processed]
-        return float(np.mean(lats)) if lats else 0.0
+        lats = self._latency_s[~self._missed]
+        return float(np.mean(lats)) if lats.size else 0.0
 
     @property
     def mean_inference_energy_mj(self) -> float:
-        vals = [r.energy_mj for r in self.records if r.processed]
-        return float(np.mean(vals)) if vals else 0.0
+        vals = self._energy_mj[~self._missed]
+        return float(np.mean(vals)) if vals.size else 0.0
 
     def latency_percentiles(self, qs=(50, 90, 99)) -> dict:
         """Latency percentiles (s) over processed events, keyed ``"p50"``…
@@ -120,33 +331,32 @@ class SimulationResult:
         Summarization hook for fleet aggregation: workers ship percentile
         dicts instead of full event records.
         """
-        return percentile_dict([r.latency_s for r in self.records if r.processed], qs)
+        return percentile_dict(self._latency_s[~self._missed], qs)
 
     def energy_percentiles(self, qs=(50, 90, 99)) -> dict:
         """Per-inference energy percentiles (mJ) over processed events."""
-        return percentile_dict([r.energy_mj for r in self.records if r.processed], qs)
+        return percentile_dict(self._energy_mj[~self._missed], qs)
 
     # ---------------- exit usage ---------------- #
     def exit_counts(self, num_exits: int) -> list:
         """Processed-event count per final exit (Fig. 7(b))."""
-        counts = [0] * num_exits
-        for r in self.records:
-            if r.processed and 0 <= r.exit_index < num_exits:
-                counts[r.exit_index] += 1
-        return counts
+        exits = self._exit_index[~self._missed]
+        exits = exits[(exits >= 0) & (exits < num_exits)]
+        counts = np.bincount(exits, minlength=num_exits)
+        return [int(c) for c in counts[:num_exits]]
 
     def exit_fractions(self, num_exits: int) -> list:
         """Fraction of ALL events resolved at each exit (the paper's p_i)."""
-        if not self.records:
+        if not self.num_events:
             return [0.0] * num_exits
         return [c / self.num_events for c in self.exit_counts(num_exits)]
 
     def miss_counts(self) -> dict:
         """Missed events grouped by reason."""
         out: dict = {}
-        for r in self.records:
-            if r.missed:
-                out[r.miss_reason] = out.get(r.miss_reason, 0) + 1
+        for reason, missed in zip(self._miss_reason, self._missed.tolist()):
+            if missed:
+                out[reason] = out.get(reason, 0) + 1
         return out
 
     def summary(self) -> dict:

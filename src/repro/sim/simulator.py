@@ -19,6 +19,15 @@ used in the RL search inner loop).  Profile mode couples exits through a
 shared per-event difficulty draw, so a deeper exit is correct whenever a
 shallower one would have been — matching the monotone-accuracy structure
 real multi-exit networks show.
+
+Determinism: a run is a pure function of (trace, profile, controller
+state, config.seed, events).  Profile-mode variates are drawn through a
+pooled batch sampler (:class:`~repro.utils.rng.PooledDraws`) so the inner
+event loop makes no per-event Generator calls; the realized stream is
+deterministic per seed but differs from the pre-vectorization scalar
+draws, so absolute metric values were re-baselined at PR 2 — compare
+across versions with tolerances, never bit equality.  Within a version,
+serial and parallel fleet execution remain bit-identical.
 """
 
 from __future__ import annotations
@@ -36,9 +45,14 @@ from repro.intermittent.mcu import MCUSpec, MSP432
 from repro.runtime.controller import Controller
 from repro.runtime.state import RuntimeState
 from repro.sim.profiles import InferenceProfile
-from repro.sim.results import MISS_BUSY, MISS_ENERGY, EventRecord, SimulationResult
+from repro.sim.results import (
+    MISS_BUSY,
+    MISS_ENERGY,
+    RecordColumns,
+    SimulationResult,
+)
 from repro.utils.mathx import normalized_entropy, softmax
-from repro.utils.rng import as_generator
+from repro.utils.rng import PooledDraws, as_generator
 
 
 @dataclass
@@ -91,8 +105,22 @@ class Simulator:
             if profile.net is None:
                 raise ConfigError("dataset mode requires profile.net")
         self._rng = as_generator(self.config.seed)
+        # Profile mode draws difficulty/entropy once per event result; a
+        # pooled sampler batches the underlying Generator calls so the
+        # inner event loop makes no per-event Generator calls at all.
+        self._draws = PooledDraws(self._rng)
         self._peak_power = float(np.max(trace.samples_mw))
         self._engine = IntermittentExecutionEngine(trace, mcu)
+        # Per-exit costs as plain Python lists: the event loop indexes them
+        # thousands of times per run, where numpy scalar extraction and
+        # repeated MCU-method calls would dominate.
+        self._exit_energy = [float(e) for e in profile.exit_energy_mj]
+        self._exit_time_s = [mcu.inference_time_s(f) for f in profile.exit_flops]
+        self._inc_energy = [float(e) for e in profile.incremental_energy_mj]
+        self._inc_time_s = [
+            mcu.inference_time_s(f) for f in profile.incremental_flops
+        ]
+        self._num_exits = profile.num_exits
 
     # ------------------------------------------------------------------ #
     # correctness / confidence sampling
@@ -105,8 +133,8 @@ class Simulator:
         continue/stop signal in the first place (BranchyNet [10]).
         """
         if correct:
-            return float(self._rng.beta(2.0, 8.0))
-        return float(self._rng.beta(5.0, 3.0))
+            return self._draws.beta(2.0, 8.0)
+        return self._draws.beta(5.0, 3.0)
 
     def _begin_event_inference(self, exit_index: int):
         """First result at the selected exit.
@@ -123,7 +151,7 @@ class Simulator:
             probs = softmax(logits, axis=1)[0]
             correct = int(np.argmax(probs)) == label
             return correct, float(normalized_entropy(probs[None, :])[0]), (cursor, label)
-        difficulty = float(self._rng.random())
+        difficulty = self._draws.random()
         correct = difficulty < self.profile.exit_accuracies[exit_index]
         return correct, self._sample_entropy(correct), difficulty
 
@@ -147,90 +175,118 @@ class Simulator:
 
         Controller learning state persists across calls, so repeated runs
         implement the paper's learning episodes (Fig. 7(a)).
+
+        The loop is vectorized everywhere the math allows: cumulative
+        harvested energy at every event time and the controller's observed
+        charging power are precomputed in bulk, so each event's charge
+        increment is one subtraction instead of a per-event interpolation.
         """
         events = np.asarray(events, dtype=np.float64)
         if events.size and (np.any(np.diff(events) < 0) or events[0] < 0):
             raise SimulationError("events must be sorted and non-negative")
+        storage = self.storage
         if reset_storage:
-            self.storage.reset()
-        duration = self.trace.duration
-        records: list = []
+            storage.reset()
+        trace = self.trace
+        duration = trace.duration
+        total_env_energy = trace.total_energy_mj
+        intermittent = self.config.execution == "intermittent"
+        cum_at_event, charge_power = [], []
+        if events.size:
+            cum_at_event = trace._cum_bulk(np.clip(events, 0.0, duration)).tolist()
+            if not intermittent:
+                # Observed charging power P at every event, one bulk query;
+                # the intermittent baseline never consults P.
+                charge_power = np.asarray(
+                    trace.mean_power(events, self.config.power_window_s),
+                    dtype=np.float64,
+                ).tolist()
+
+        columns = RecordColumns()
         t_charged = 0.0
+        cum_charged = 0.0
         busy_until = 0.0
-
-        def advance(t: float) -> None:
-            nonlocal t_charged
-            if t < t_charged:
-                return
-            self.storage.charge(self.trace.energy_between(t_charged, t))
-            self.storage.leak(t - t_charged)
-            t_charged = t
-
-        for te in events:
-            te = float(te)
+        for j, te in enumerate(events.tolist()):
             if te < busy_until:
-                records.append(
-                    EventRecord(time=te, missed=True, miss_reason=MISS_BUSY)
-                )
+                columns.append_missed(te, MISS_BUSY)
                 continue
-            advance(te)
-            if self.config.execution == "intermittent":
-                record, busy_until = self._run_intermittent_event(te, duration)
-                t_charged = busy_until if record.processed or record.miss_reason == MISS_ENERGY else t_charged
-                records.append(record)
+            if te > t_charged:
+                # Precomputed charge increment; max() guards the (sub-ulp)
+                # case where two bulk cumulative evaluations cross.
+                storage.charge(max(cum_at_event[j] - cum_charged, 0.0))
+                storage.leak(te - t_charged)
+                t_charged = te
+                cum_charged = cum_at_event[j]
+            if intermittent:
+                busy_until = self._run_intermittent_event(te, duration, columns)
+                # The engine charges/drains through its own power cycles up
+                # to finish_time, so the ledger resumes there.
+                t_charged = busy_until
+                cum_charged = trace._cum_at(trace._clip_time(busy_until))
                 continue
-            record, busy_until = self._run_single_cycle_event(te)
-            records.append(record)
+            busy_until = self._run_single_cycle_event(te, charge_power[j], columns)
 
-        advance(duration)
+        if duration > t_charged:
+            storage.charge(max(total_env_energy - cum_charged, 0.0))
+            storage.leak(duration - t_charged)
         self.controller.end_episode()
-        return SimulationResult(
-            records=records,
-            total_env_energy_mj=self.trace.energy_between(0.0, duration),
-            total_consumed_mj=self.storage.total_drawn_mj,
+        return SimulationResult.from_columns(
+            columns,
+            total_env_energy_mj=total_env_energy,
+            total_consumed_mj=storage.total_drawn_mj,
             duration_s=duration,
             profile_name=self.profile.name,
         )
 
     # ------------------------------------------------------------------ #
-    def _run_single_cycle_event(self, te: float):
-        """The paper's execution model: guaranteed result this power cycle."""
+    def _run_single_cycle_event(
+        self, te: float, charge_power_mw: float, columns: RecordColumns
+    ) -> float:
+        """The paper's execution model: guaranteed result this power cycle.
+
+        Appends the event's outcome to ``columns`` and returns the time the
+        device is busy until.  ``charge_power_mw`` is the precomputed
+        trailing-window mean power at ``te``.
+        """
+        storage = self.storage
         state = RuntimeState(
             time=te,
-            energy_mj=self.storage.level_mj,
-            capacity_mj=self.storage.capacity_mj,
-            charge_power_mw=self.trace.mean_power(te, self.config.power_window_s),
+            energy_mj=storage.level_mj,
+            capacity_mj=storage.capacity_mj,
+            charge_power_mw=charge_power_mw,
             peak_power_mw=self._peak_power,
         )
         k = self.controller.select_exit(state, self.profile.exit_energy_mj)
-        if k < 0 or k >= self.profile.num_exits or not self.storage.can_afford(
-            self.profile.exit_energy_mj[k]
+        if k < 0 or k >= self._num_exits or not storage.can_afford(
+            self._exit_energy[k]
         ):
             self.controller.report_event(0.0)
-            return EventRecord(time=te, missed=True, miss_reason=MISS_ENERGY), te
+            columns.append_missed(te, MISS_ENERGY)
+            return te
 
         first_k = k
-        energy_spent = self.profile.exit_energy_mj[k]
-        self.storage.draw(energy_spent)
-        busy = self.mcu.inference_time_s(self.profile.exit_flops[k])
+        energy_spent = self._exit_energy[k]
+        storage.draw(energy_spent)
+        busy = self._exit_time_s[k]
         correct, entropy, continuation = self._begin_event_inference(k)
         continued = 0
-        while k < self.profile.num_exits - 1:
-            marginal = self.profile.incremental_energy_mj[k]
-            affordable = self.storage.can_afford(marginal)
+        last_exit = self._num_exits - 1
+        while k < last_exit:
+            marginal = self._inc_energy[k]
+            affordable = storage.can_afford(marginal)
             if not self.controller.decide_continue(
-                entropy, self.storage.fraction_full, affordable
+                entropy, storage.fraction_full, affordable
             ):
                 break
-            self.storage.draw(marginal)
+            storage.draw(marginal)
             energy_spent += marginal
-            busy += self.mcu.inference_time_s(self.profile.incremental_flops[k])
+            busy += self._inc_time_s[k]
             k += 1
             continued += 1
             correct, entropy, continuation = self._continue_inference(continuation, k)
         self.controller.report_event(1.0 if correct else 0.0)
-        record = EventRecord(
-            time=te,
+        columns.append_processed(
+            te,
             exit_index=k,
             first_exit_index=first_k,
             correct=bool(correct),
@@ -239,28 +295,28 @@ class Simulator:
             confidence_entropy=entropy,
             continued=continued,
         )
-        return record, te + busy
+        return te + busy
 
     # ------------------------------------------------------------------ #
-    def _run_intermittent_event(self, te: float, duration: float):
-        """SONIC-style baseline: one fixed inference across power cycles."""
-        k = self.profile.num_exits - 1  # single-exit nets: their only exit
-        energy_needed = self.profile.exit_energy_mj[k]
+    def _run_intermittent_event(
+        self, te: float, duration: float, columns: RecordColumns
+    ) -> float:
+        """SONIC-style baseline: one fixed inference across power cycles.
+
+        Appends the event's outcome to ``columns`` and returns the finish
+        time (the device is busy and the storage ledger advanced to it).
+        """
+        k = self._num_exits - 1  # single-exit nets: their only exit
+        energy_needed = self._exit_energy[k]
         run = self._engine.run_inference(energy_needed, te, self.storage, deadline=duration)
         if not run.completed:
-            return (
-                EventRecord(
-                    time=te,
-                    missed=True,
-                    miss_reason=MISS_ENERGY,
-                    latency_s=run.latency_s,
-                    power_cycles=run.power_cycles,
-                ),
-                run.finish_time,
+            columns.append_missed(
+                te, MISS_ENERGY, latency_s=run.latency_s, power_cycles=run.power_cycles
             )
+            return run.finish_time
         correct, entropy, _ = self._begin_event_inference(k)
-        record = EventRecord(
-            time=te,
+        columns.append_processed(
+            te,
             exit_index=k,
             first_exit_index=k,
             correct=bool(correct),
@@ -269,4 +325,4 @@ class Simulator:
             confidence_entropy=entropy,
             power_cycles=run.power_cycles,
         )
-        return record, run.finish_time
+        return run.finish_time

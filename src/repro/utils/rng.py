@@ -55,6 +55,51 @@ def spawn(seed, n: int) -> list:
     return [np.random.default_rng(c) for c in children]
 
 
+class PooledDraws:
+    """Batched scalar draws from one :class:`~numpy.random.Generator`.
+
+    Event-driven simulation consumes random variates one at a time, where
+    numpy's per-call Generator dispatch overhead dominates the actual
+    sampling.  A pool pre-draws blocks per distribution and hands out plain
+    Python floats/ints; the realized stream is still fully deterministic
+    given the generator's seed and the call sequence (pools refill in
+    call order), it is just a *different* deterministic stream than
+    scalar-by-scalar draws from the same seed.
+    """
+
+    __slots__ = ("_rng", "_block", "_pools")
+
+    def __init__(self, rng=None, block: int = 256):
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        self._rng = as_generator(rng)
+        self._block = int(block)
+        self._pools: dict = {}
+
+    def _next(self, key, sampler) -> float:
+        pool = self._pools.get(key)
+        if pool is None or pool[1] >= len(pool[0]):
+            pool = [sampler(self._block).tolist(), 0]
+            self._pools[key] = pool
+        value = pool[0][pool[1]]
+        pool[1] += 1
+        return value
+
+    def random(self) -> float:
+        """One uniform [0, 1) draw."""
+        return self._next("random", lambda n: self._rng.random(n))
+
+    def integers(self, high: int) -> int:
+        """One integer draw from ``[0, high)``."""
+        return self._next(
+            ("integers", high), lambda n: self._rng.integers(high, size=n)
+        )
+
+    def beta(self, a: float, b: float) -> float:
+        """One Beta(a, b) draw."""
+        return self._next(("beta", a, b), lambda n: self._rng.beta(a, b, size=n))
+
+
 def shuffled_indices(n: int, rng) -> np.ndarray:
     """Return a permutation of ``range(n)`` drawn from ``rng``."""
     gen = as_generator(rng)

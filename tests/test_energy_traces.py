@@ -16,7 +16,49 @@ from repro.energy import (
     trace_from_samples,
     wind_trace,
 )
+from repro.energy.traces import _ou_process
 from repro.errors import ConfigError, EnergyError
+
+
+def _ou_reference(n, dt, theta, sigma, rng):
+    """The pre-vectorization sequential recurrence (the semantic contract
+    the blocked AR(1) scan in ``_ou_process`` must reproduce)."""
+    x = np.zeros(n)
+    noise = rng.normal(size=n - 1) * sigma * np.sqrt(dt)
+    for i in range(1, n):
+        x[i] = x[i - 1] - theta * x[i - 1] * dt + noise[i - 1]
+    return x
+
+
+class TestVectorizedOU:
+    @given(
+        n=st.integers(min_value=2, max_value=5000),
+        dt=st.sampled_from([0.1, 0.5, 1.0]),
+        theta=st.floats(min_value=0.001, max_value=1.5),
+        sigma=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_loop_reference(self, n, dt, theta, sigma, seed):
+        fast = _ou_process(n, dt, theta, sigma, np.random.default_rng(seed))
+        slow = _ou_reference(n, dt, theta, sigma, np.random.default_rng(seed))
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-9)
+
+    def test_long_trace_regime(self):
+        # The 43 200-sample solar regime: exactly the parameters whose
+        # Python-loop synthesis used to dominate fleet wall-time.
+        n, dt, theta = 43201, 1.0, 0.01
+        sigma = float(np.sqrt(2.0 * theta))
+        fast = _ou_process(n, dt, theta, sigma, np.random.default_rng(11))
+        slow = _ou_reference(n, dt, theta, sigma, np.random.default_rng(11))
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-9)
+
+    def test_unit_recurrence_phi_zero(self):
+        # theta*dt == 1 collapses the AR(1) to pure noise; the vectorized
+        # path special-cases it.
+        fast = _ou_process(100, 1.0, 1.0, 0.5, np.random.default_rng(2))
+        slow = _ou_reference(100, 1.0, 1.0, 0.5, np.random.default_rng(2))
+        np.testing.assert_allclose(fast, slow, rtol=1e-9, atol=1e-9)
 
 
 class TestPowerTrace:
@@ -89,6 +131,38 @@ class TestPowerTrace:
         out = trace.power(grid)
         assert out.shape == (3, 4)
         np.testing.assert_allclose(out, 0.7)
+
+    def test_energy_between_bulk_matches_scalar(self):
+        """The simulator's precomputed charge increments use the bulk path;
+        it must agree bit-for-bit with the scalar accounting."""
+        trace = solar_trace(duration=300.0, dt=0.5, seed=9)
+        t0 = np.array([0.0, 1.3, 10.0, 250.0, 299.9])
+        t1 = np.array([0.0, 7.9, 10.0, 300.0, 400.0])
+        bulk = trace.energy_between(t0, t1)
+        scalar = [trace.energy_between(float(a), float(b)) for a, b in zip(t0, t1)]
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_energy_between_bulk_matches_scalar_inexact_dt(self):
+        """duration/dt can round a hair above n-1 for inexact dt; the bulk
+        path must take the scalar early-return there, not extrapolate."""
+        for dt in (0.1, 0.2, 0.7):
+            trace = PowerTrace(np.linspace(0.5, 1.5, 7), dt=dt)
+            t1 = np.array([trace.duration, trace.duration + 1.0])
+            bulk = trace.energy_between(np.zeros_like(t1), t1)
+            scalar = [trace.energy_between(0.0, float(t)) for t in t1]
+            np.testing.assert_array_equal(bulk, scalar)
+
+    def test_energy_between_bulk_reversed_rejected(self):
+        trace = constant_trace(1.0, 10.0)
+        with pytest.raises(EnergyError):
+            trace.energy_between(np.array([0.0, 5.0]), np.array([1.0, 2.0]))
+
+    def test_mean_power_bulk_matches_scalar(self):
+        trace = solar_trace(duration=300.0, dt=0.5, seed=9)
+        times = np.array([0.0, 0.01, 15.0, 30.0, 299.0, 300.0, 350.0])
+        bulk = trace.mean_power(times, window=30.0)
+        scalar = [trace.mean_power(float(t), window=30.0) for t in times]
+        np.testing.assert_array_equal(bulk, scalar)
 
 
 class TestGenerators:

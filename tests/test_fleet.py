@@ -10,6 +10,7 @@ import os
 import subprocess
 import sys
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigError
@@ -22,7 +23,7 @@ from repro.fleet import (
     run_device,
     run_fleet,
 )
-from repro.fleet.runner import resolve_profile
+from repro.fleet.runner import build_trace, resolve_profile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -180,6 +181,43 @@ class TestProfiles:
     def test_unresolvable_raises(self):
         with pytest.raises(ConfigError):
             resolve_profile(3.14)
+
+
+class TestTraceCache:
+    SPEC = {"family": "solar", "duration": 400.0, "dt": 1.0, "peak_mw": 0.03}
+
+    def test_repeated_device_spec_builds_share_one_trace(self):
+        """Identical (family, params, seed) must hit the per-process memo:
+        equal-valued AND the cached-identical object."""
+        first = build_trace(dict(self.SPEC), fallback_seed=99)
+        second = build_trace(dict(self.SPEC), fallback_seed=99)
+        assert second is first
+        np.testing.assert_array_equal(first.samples_mw, second.samples_mw)
+
+    def test_different_seed_is_a_different_trace(self):
+        a = build_trace(dict(self.SPEC), fallback_seed=98)
+        b = build_trace(dict(self.SPEC), fallback_seed=99)
+        assert a is not b
+        assert not np.array_equal(a.samples_mw, b.samples_mw)
+
+    def test_explicit_seed_beats_fallback_and_caches(self):
+        pinned = dict(self.SPEC, seed=123)
+        a = build_trace(dict(pinned), fallback_seed=1)
+        b = build_trace(dict(pinned), fallback_seed=2)
+        assert b is a
+
+    def test_unhashable_param_skips_cache(self):
+        rng = np.random.default_rng(0)
+        a = build_trace(dict(self.SPEC, seed=rng), fallback_seed=0)
+        b = build_trace(dict(self.SPEC, seed=rng), fallback_seed=0)
+        assert a is not b  # live Generator cannot key a deterministic memo
+
+    def test_run_device_results_unchanged_by_cache_hits(self):
+        """A warm cache must never change simulated results — only speed."""
+        task = (0, tiny_device(), 5)
+        cold = run_device(task).to_dict()
+        warm = run_device(task).to_dict()
+        assert cold == warm
 
 
 class TestRunner:

@@ -149,6 +149,15 @@ class TestPoolingLayers:
         assert MaxPool2d(3).stride == 3
         assert MaxPool2d(3, stride=1).stride == 1
 
+    def test_rejects_degenerate_kernel(self):
+        for pool in (MaxPool2d, AvgPool2d):
+            with pytest.raises(ShapeError):
+                pool(0)
+            with pytest.raises(ShapeError):
+                pool(-2)
+            with pytest.raises(ShapeError):
+                pool(2, stride=-1)
+
 
 class TestFlatten:
     def test_shape(self, rng):
@@ -183,3 +192,15 @@ class TestDropout:
     def test_invalid_probability_raises(self):
         with pytest.raises(ValueError):
             Dropout(1.0)
+
+    def test_backward_before_forward_raises(self):
+        # Every layer raises here; Dropout used to silently pass dout through.
+        with pytest.raises(RuntimeError):
+            Dropout(0.5, rng=0).backward(np.ones((2, 2)))
+
+    def test_backward_is_identity_when_p_zero(self, rng):
+        layer = Dropout(0.0, rng=0)
+        x = rng.normal(size=(3, 3))
+        layer.forward(x, train=True)
+        dout = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer.backward(dout), dout)

@@ -54,6 +54,20 @@ class TestQTableUpdate:
             q.update((0,), 0, reward=0.5, next_state=None)
         assert q.table[(0, 0)] == pytest.approx(0.5, abs=1e-4)
 
+    def test_float_states_normalized_on_every_call(self):
+        """The validated-state fast path must keep returning the int-tuple
+        form: float tuples hash equal to their int twins, so a naive memo
+        would hand the raw floats to numpy indexing on the second call."""
+        q = QTable((2, 2), 2)
+        for _ in range(3):
+            assert q.q_values((1.0, 0.0)).shape == (2,)
+            q.update((1.0, 0.0), 1, reward=0.5, next_state=(0.0, 1.0))
+
+    def test_list_states_accepted_repeatedly(self):
+        q = QTable((2, 2), 2)
+        for _ in range(2):
+            assert q.q_values([0, 1]).shape == (2,)
+
     def test_invalid_state_or_action(self):
         q = QTable((2, 2), 2)
         with pytest.raises(ConfigError):

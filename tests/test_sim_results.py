@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.results import MISS_BUSY, MISS_ENERGY, EventRecord, SimulationResult
+from repro.sim.results import (
+    MISS_BUSY,
+    MISS_ENERGY,
+    EventRecord,
+    RecordColumns,
+    SimulationResult,
+)
 
 
 def make_result():
@@ -84,3 +90,59 @@ class TestExitHistogram:
         summary = make_result().summary()
         for key in ("iepmj", "average_accuracy", "processed_accuracy", "mean_latency_s"):
             assert key in summary
+
+
+class TestColumnarBacking:
+    """The struct-of-arrays representation behind the record API."""
+
+    def _columns(self):
+        columns = RecordColumns()
+        for record in make_result().records:
+            columns.append_record(record)
+        return columns
+
+    def test_from_columns_matches_record_list_construction(self):
+        from_rows = make_result()
+        from_cols = SimulationResult.from_columns(
+            self._columns(),
+            total_env_energy_mj=10.0,
+            total_consumed_mj=2.8,
+            duration_s=100.0,
+            profile_name="test",
+        )
+        assert from_cols == from_rows
+        assert from_cols.summary() == from_rows.summary()
+
+    def test_records_view_is_lazy_and_roundtrips(self):
+        r = SimulationResult.from_columns(
+            self._columns(), 10.0, 2.8, 100.0, profile_name="test"
+        )
+        assert r._records is None  # no rows materialized yet
+        rows = r.records
+        assert rows == make_result().records
+        assert r.records is rows  # cached after first access
+
+    def test_append_helpers_match_append_record(self):
+        columns = RecordColumns()
+        columns.append_processed(
+            1.0, exit_index=0, first_exit_index=0, correct=True,
+            latency_s=2.0, energy_mj=0.2, confidence_entropy=1.0,
+        )
+        columns.append_missed(4.0, MISS_ENERGY)
+        via_helpers = SimulationResult.from_columns(columns, 10.0, 0.2, 100.0)
+        via_records = SimulationResult(
+            [
+                EventRecord(time=1.0, exit_index=0, first_exit_index=0,
+                            correct=True, latency_s=2.0, energy_mj=0.2),
+                EventRecord(time=4.0, missed=True, miss_reason=MISS_ENERGY),
+            ],
+            10.0, 0.2, 100.0,
+        )
+        assert via_helpers == via_records
+
+    def test_inequality_on_differing_outcomes(self):
+        a = make_result()
+        records = make_result().records
+        records[0].correct = False
+        b = SimulationResult(records, 10.0, 2.8, 100.0, profile_name="test")
+        assert a != b

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, batches, seed_sequence, shuffled_indices, spawn
+from repro.utils.rng import (
+    PooledDraws,
+    as_generator,
+    batches,
+    seed_sequence,
+    shuffled_indices,
+    spawn,
+)
 
 
 class TestAsGenerator:
@@ -75,3 +82,33 @@ class TestBatches:
     def test_shuffled_indices_is_permutation(self):
         idx = shuffled_indices(20, 1)
         assert sorted(idx.tolist()) == list(range(20))
+
+
+class TestPooledDraws:
+    def test_deterministic_given_seed_and_call_sequence(self):
+        a, b = PooledDraws(7, block=4), PooledDraws(7, block=4)
+        seq_a = [a.random(), a.beta(2.0, 8.0), a.integers(3), a.random()]
+        seq_b = [b.random(), b.beta(2.0, 8.0), b.integers(3), b.random()]
+        assert seq_a == seq_b
+
+    def test_block_size_does_not_change_one_pool_stream(self):
+        # Within a single distribution the stream is the generator's
+        # block-drawn sequence regardless of block size.
+        small, large = PooledDraws(3, block=2), PooledDraws(3, block=64)
+        assert [small.random() for _ in range(2)] == [large.random() for _ in range(2)]
+
+    def test_returns_plain_python_scalars(self):
+        pool = PooledDraws(0)
+        assert type(pool.random()) is float
+        assert type(pool.beta(2.0, 8.0)) is float
+        assert type(pool.integers(5)) is int
+        assert 0 <= pool.integers(5) < 5
+
+    def test_refills_past_block_boundary(self):
+        pool = PooledDraws(0, block=3)
+        values = [pool.random() for _ in range(10)]
+        assert len(set(values)) == 10  # refill produced fresh draws
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            PooledDraws(0, block=0)
