@@ -1,0 +1,70 @@
+"""P3 — campaign-engine throughput: grid cells executed per second.
+
+Times the ``policy-shootout`` grid through the campaign runner, serial
+and pooled, and measures what the warm worker pool buys: with one pool
+spanning all cells, workers keep their per-process trace memo caches
+between cells, so every (scenario, seed) environment is synthesized once
+per worker instead of once per controller.
+
+Writes machine-readable results to ``benchmarks/BENCH_p3_campaign.json``
+so future PRs can track the numbers.  Set ``BENCH_SMOKE=1`` for the CI
+smoke lane: one round, shrunken grid, no timing assertions.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import BENCH_SMOKE as SMOKE
+from benchmarks.conftest import print_table
+from repro.campaign import CAMPAIGNS, run_campaign
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_p3_campaign.json")
+
+
+def _time_campaign(spec, workers):
+    t0 = time.perf_counter()
+    result = run_campaign(spec, workers=workers)
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def test_p3_campaign_throughput(benchmark):
+    spec = CAMPAIGNS.build("policy-shootout")
+
+    serial_result, serial_wall = benchmark.pedantic(
+        lambda: _time_campaign(spec, workers=1),
+        rounds=1 if SMOKE else 2,
+        iterations=1,
+    )
+    parallel_result, parallel_wall = _time_campaign(spec, workers=4)
+
+    cells = spec.num_cells
+    rows = [
+        ("serial", 1, f"{serial_wall:.2f}", f"{cells / serial_wall:.2f}"),
+        ("pooled", 4, f"{parallel_wall:.2f}", f"{cells / parallel_wall:.2f}"),
+    ]
+    print_table(
+        f"P3: {cells}-cell policy-shootout throughput",
+        rows,
+        ["mode", "workers", "wall_s", "cells/s"],
+    )
+
+    if not SMOKE:  # the smoke lane never overwrites the tracked trajectory
+        payload = {
+            "bench": "p3_campaign",
+            "campaign": spec.name,
+            "cells": cells,
+            "serial_wall_s": serial_wall,
+            "serial_cells_per_s": cells / serial_wall,
+            "pooled_workers": 4,
+            "pooled_wall_s": parallel_wall,
+            "pooled_cells_per_s": cells / parallel_wall,
+        }
+        with open(OUT_PATH, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # Worker count must never change the grid's report (determinism contract).
+    assert serial_result.to_dict() == parallel_result.to_dict()
+    assert serial_wall > 0 and parallel_wall > 0

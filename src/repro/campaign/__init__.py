@@ -1,0 +1,49 @@
+"""Resumable controller×scenario×seed sweep campaigns.
+
+The paper's core claim is comparative — the learned runtime controller
+beats static exit policies *across harvesting conditions* — so the unit
+of evaluation is not one simulation but a grid.  This package turns the
+fleet layer into that grid engine:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`, a JSON-serializable
+  grid over scenarios × controller presets × a seed bank, expanding into
+  :class:`CampaignCell` jobs with unique, filesystem-safe keys;
+* :mod:`repro.campaign.store` — :class:`CampaignStore`, the on-disk
+  checkpoint layout (one atomic JSON artifact per completed cell) behind
+  ``--resume``;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`, which executes
+  cells through :class:`~repro.fleet.runner.FleetRunner` over one warm
+  worker pool and checkpoints each one;
+* :mod:`repro.campaign.report` — :class:`CampaignResult`, per-cell tables
+  plus seed-matched controller marginals and seed-spread percentiles;
+* :mod:`repro.campaign.builtins` — the :data:`CAMPAIGNS` registry
+  (``policy-shootout``, ``harvester-ablation``, ``seed-robustness``,
+  ``dev-smoke``).
+
+CLI: ``python -m repro.campaign run policy-shootout --out runs/shootout``.
+"""
+
+from repro.campaign.builtins import CAMPAIGNS
+from repro.campaign.report import CampaignResult
+from repro.campaign.runner import (
+    CampaignRunner,
+    build_cell_fleet,
+    report_from_store,
+    run_campaign,
+    run_cell,
+)
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignStore",
+    "build_cell_fleet",
+    "report_from_store",
+    "run_campaign",
+    "run_cell",
+]

@@ -1,0 +1,134 @@
+"""Campaign CLI.
+
+    python -m repro.campaign list
+    python -m repro.campaign show policy-shootout [--spec-json grid.json]
+    python -m repro.campaign run policy-shootout --out runs/shootout \
+        [--workers 4] [--resume] [--report-json report.json]
+    python -m repro.campaign run --spec grid.json --out runs/custom
+    python -m repro.campaign resume runs/shootout [--workers 4]
+    python -m repro.campaign report runs/shootout [--json report.json]
+
+``run`` executes a registered campaign (or a ``--spec`` JSON grid),
+checkpointing one artifact per completed cell under ``--out``; a killed
+run continues with ``--resume`` (or the ``resume`` subcommand, which
+reads the grid back from the store) and produces a report byte-identical
+to an uninterrupted run.  ``report`` re-aggregates from checkpoints
+without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.campaign.builtins import CAMPAIGNS
+from repro.campaign.runner import CampaignRunner, report_from_store
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.errors import ConfigError, ReproError
+
+
+def _build_spec(args) -> CampaignSpec:
+    if args.spec:
+        if getattr(args, "campaign", None):
+            raise ConfigError(
+                f"got both a campaign name ({args.campaign!r}) and --spec "
+                f"({args.spec!r}); pick one"
+            )
+        return CampaignSpec.from_json(args.spec)
+    if not args.campaign:
+        raise ConfigError("need a campaign name or --spec FILE")
+    return CAMPAIGNS.build(args.campaign)
+
+
+def _progress(cell, status) -> None:
+    marker = "·" if status == "skip" else ">"
+    print(f"  {marker} {cell.key}" + ("  (checkpointed, skipping)" if status == "skip" else ""))
+
+
+def _run(spec: CampaignSpec, out: str, workers: int, resume: bool, report_json) -> int:
+    store = CampaignStore(out)
+    runner = CampaignRunner(spec, store=store, workers=workers, resume=resume)
+    result = runner.run(progress=_progress)
+    print(
+        f"campaign {spec.name!r}: {runner.executed} cell(s) executed, "
+        f"{runner.skipped} loaded from checkpoints"
+    )
+    print(result.render_text())
+    print(f"wrote report to {store.report_path}")
+    if report_json:
+        result.to_json(report_json)
+        print(f"wrote report copy to {report_json}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run resumable controller×scenario×seed sweep campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered campaigns")
+
+    show = sub.add_parser("show", help="print (or export) a campaign's grid spec")
+    show.add_argument("campaign")
+    show.add_argument("--spec-json", default=None, help="write the CampaignSpec to this path")
+
+    run = sub.add_parser("run", help="execute a campaign with checkpointing")
+    run.add_argument("campaign", nargs="?", default=None, help="registered campaign name")
+    run.add_argument("--spec", default=None, help="run a CampaignSpec JSON file instead")
+    run.add_argument("--out", required=True, help="checkpoint/report directory")
+    run.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip cells already checkpointed under --out")
+    run.add_argument("--report-json", default=None, help="also write the report here")
+
+    resume = sub.add_parser("resume", help="continue an interrupted run from its store")
+    resume.add_argument("out", help="checkpoint directory of the interrupted run")
+    resume.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
+    resume.add_argument("--report-json", default=None, help="also write the report here")
+
+    report = sub.add_parser("report", help="re-aggregate a finished run (no execution)")
+    report.add_argument("out", help="checkpoint directory")
+    report.add_argument("--json", default=None, help="also write the report here")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for name in CAMPAIGNS.names():
+                print(f"{name:<24} {CAMPAIGNS.describe(name)}")
+            return 0
+        if args.command == "show":
+            spec = CAMPAIGNS.build(args.campaign)
+            if args.spec_json:
+                spec.to_json(args.spec_json)
+                print(f"wrote {spec.num_cells}-cell campaign spec to {args.spec_json}")
+            else:
+                print(spec.canonical_json())
+            return 0
+        if args.command == "run":
+            spec = _build_spec(args)
+            return _run(spec, args.out, args.workers, args.resume, args.report_json)
+        if args.command == "resume":
+            spec = CampaignStore(args.out).load_spec()
+            return _run(spec, args.out, args.workers, True, args.report_json)
+        # report
+        result = report_from_store(CampaignStore(args.out))
+        print(result.render_text())
+        if args.json:
+            result.to_json(args.json)
+            print(f"wrote report copy to {args.json}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,112 @@
+"""Built-in campaigns: the paper's evaluation matrix as named grids.
+
+Mirrors :data:`repro.fleet.scenarios.SCENARIOS`: a registry of factories
+that expand a few knobs into a full :class:`CampaignSpec`, addressable
+from the CLI (``python -m repro.campaign run policy-shootout``) and from
+tests.  ``BENCH_SMOKE=1`` shrinks every grid to a seconds-scale version
+for CI smoke lanes, the same contract the benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiment import seed_bank
+from repro.fleet.scenarios import ScenarioRegistry
+
+#: The global campaign registry the CLI and tests resolve against.
+CAMPAIGNS = ScenarioRegistry(kind="campaign")
+
+
+def _smoke() -> bool:
+    return os.environ.get("BENCH_SMOKE", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+@CAMPAIGNS.register(
+    "policy-shootout",
+    "Every controller preset against the dev-smoke fleet under a shared "
+    "seed bank: the paper's learned-vs-static comparison (Fig. 7) as a grid.",
+)
+def policy_shootout(num_devices: int = 4, duration: float = 900.0, num_seeds: int = None) -> CampaignSpec:
+    if num_seeds is None:
+        num_seeds = 2 if _smoke() else 3
+    return CampaignSpec(
+        name="policy-shootout",
+        description="all controller presets, seed-matched, on dev-smoke",
+        scenarios=[
+            {"scenario": "dev-smoke", "label": "dev-smoke",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+        ],
+        controllers=[
+            "static-lut", "qlearning", "greedy", "greedy-all-in", "fixed-first",
+        ],
+        seeds=seed_bank(num_seeds),
+        baseline="static-lut",
+    )
+
+
+@CAMPAIGNS.register(
+    "harvester-ablation",
+    "Q-learning vs greedy across harvesting regimes (solar farm, indoor "
+    "RF, mixed city): which environments need a learned runtime?",
+)
+def harvester_ablation(num_devices: int = None, num_seeds: int = 2) -> CampaignSpec:
+    if num_devices is None:
+        num_devices = 2 if _smoke() else 4
+    duration = 900.0 if _smoke() else 3600.0
+    return CampaignSpec(
+        name="harvester-ablation",
+        description="learned vs greedy runtime across harvesting regimes",
+        scenarios=[
+            {"scenario": "solar-farm-100", "label": "solar",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+            {"scenario": "indoor-rf-swarm", "label": "indoor-rf",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+            {"scenario": "mixed-harvester-city", "label": "mixed-city",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+        ],
+        controllers=["greedy", "qlearning"],
+        seeds=seed_bank(num_seeds),
+        baseline="greedy",
+    )
+
+
+@CAMPAIGNS.register(
+    "seed-robustness",
+    "One controller pair over a deep seed bank on dev-smoke: how much of "
+    "the comparison survives trace/event randomness?",
+)
+def seed_robustness(num_devices: int = 4, duration: float = 900.0, num_seeds: int = None) -> CampaignSpec:
+    if num_seeds is None:
+        num_seeds = 3 if _smoke() else 8
+    return CampaignSpec(
+        name="seed-robustness",
+        description="controller deltas across a deep seed bank",
+        scenarios=[
+            {"scenario": "dev-smoke", "label": "dev-smoke",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+        ],
+        controllers=["static-lut", "qlearning"],
+        seeds=seed_bank(num_seeds),
+        baseline="static-lut",
+    )
+
+
+@CAMPAIGNS.register(
+    "dev-smoke",
+    "2-cell micro-campaign for tests, docs, and the CI campaign-smoke lane.",
+)
+def dev_smoke_campaign(num_devices: int = 2, duration: float = 300.0) -> CampaignSpec:
+    return CampaignSpec(
+        name="dev-smoke",
+        description="micro campaign exercising run/checkpoint/report",
+        scenarios=[
+            {"scenario": "dev-smoke", "label": "dev-smoke",
+             "overrides": {"num_devices": num_devices, "duration": duration}},
+        ],
+        controllers=["greedy", "fixed-first"],
+        seeds=seed_bank(1),
+    )

@@ -1,0 +1,143 @@
+"""Campaign execution: expand the grid, run cells, checkpoint, aggregate.
+
+A cell executes as one fleet run: the scenario factory expands with the
+cell's seed, every device's controller is replaced by the cell's
+controller spec (same layout + traces + arrivals, different policy), and
+the fleet goes through :class:`~repro.fleet.runner.FleetRunner`.
+
+Two properties matter more than speed:
+
+* **resumability** — each completed cell is checkpointed atomically via
+  :class:`~repro.campaign.store.CampaignStore` before the next one
+  starts, and a ``resume`` run loads finished cells instead of
+  re-executing them;
+* **determinism** — cell payloads carry only seed-pinned content, so
+  resumed, re-ordered, or re-run campaigns aggregate byte-identically.
+
+Parallel campaigns reuse one :func:`~repro.fleet.runner.worker_pool`
+across *all* cells, so the per-process trace memo cache in the workers
+stays warm between cells that share harvesting environments (the same
+(family, params, seed) appears once per seed, not once per controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.campaign.report import CampaignResult
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.errors import ConfigError
+from repro.fleet.runner import FleetRunner, worker_pool
+from repro.fleet.scenarios import SCENARIOS
+from repro.fleet.spec import FleetSpec
+
+
+def build_cell_fleet(cell: CampaignCell) -> FleetSpec:
+    """Expand one cell into its fleet: scenario @ seed, controller swapped."""
+    fleet = SCENARIOS.build(cell.scenario, seed=cell.seed, **cell.override_kwargs())
+    controller = cell.controller_spec()
+    devices = [replace(d, controller=dict(controller)) for d in fleet.devices]
+    return replace(fleet, devices=devices, name=cell.key)
+
+
+def run_cell(cell: CampaignCell, workers: int = 1, pool=None) -> dict:
+    """Execute one cell and summarize it as a JSON-safe checkpoint payload.
+
+    The payload is deterministic in the cell alone — no wall-clock, no
+    worker count — which is what lets resumed runs mix checkpointed and
+    freshly-executed cells into one byte-identical report.
+    """
+    fleet_spec = build_cell_fleet(cell)
+    result = FleetRunner(fleet_spec, workers=workers).run(pool=pool)
+    return {
+        "key": cell.key,
+        "scenario_label": cell.scenario_label,
+        "scenario": cell.scenario,
+        "overrides": cell.override_kwargs(),
+        "controller_name": cell.controller_name,
+        "controller": cell.controller_spec(),
+        "seed": cell.seed,
+        "devices": result.num_devices,
+        "fleet": result.aggregate(),
+    }
+
+
+class CampaignRunner:
+    """Drives one campaign against a checkpoint store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore = None,
+        workers: int = 1,
+        resume: bool = False,
+    ):
+        if not isinstance(spec, CampaignSpec):
+            raise ConfigError("CampaignRunner needs a CampaignSpec")
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        self.spec = spec
+        self.store = store
+        self.workers = int(workers)
+        self.resume = bool(resume)
+        #: Filled by :meth:`run`: cells executed vs. loaded from checkpoints.
+        self.executed = 0
+        self.skipped = 0
+
+    def run(self, progress=None) -> CampaignResult:
+        """Execute (or finish) the grid; returns the aggregated result.
+
+        ``progress`` is an optional ``callback(cell, status)`` with status
+        ``"run"`` or ``"skip"``, called before each cell — the CLI's
+        ticker, and the injection point tests use to interrupt mid-grid.
+        """
+        cells = self.spec.cells()
+        done = set()
+        if self.store is not None:
+            self.store.initialize(self.spec, resume=self.resume)
+            if self.resume:
+                done = self.store.completed_keys()
+        payloads = {}
+        self.executed = 0
+        self.skipped = 0
+        with worker_pool(self.workers) as pool:
+            for cell in cells:
+                if cell.key in done:
+                    if progress is not None:
+                        progress(cell, "skip")
+                    payloads[cell.key] = self.store.load_cell(cell.key)
+                    self.skipped += 1
+                    continue
+                if progress is not None:
+                    progress(cell, "run")
+                payload = run_cell(cell, workers=self.workers, pool=pool)
+                if self.store is not None:
+                    self.store.save_cell(cell.key, payload)
+                payloads[cell.key] = payload
+                self.executed += 1
+        result = CampaignResult(self.spec, payloads)
+        if self.store is not None:
+            self.store.write_report(result.to_dict())
+        return result
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out: str = None,
+    workers: int = 1,
+    resume: bool = False,
+    progress=None,
+) -> CampaignResult:
+    """One-call convenience wrapper: optional store at ``out``."""
+    store = CampaignStore(out) if out else None
+    return CampaignRunner(spec, store=store, workers=workers, resume=resume).run(
+        progress=progress
+    )
+
+
+def report_from_store(store: CampaignStore) -> CampaignResult:
+    """Rebuild the aggregate report purely from checkpoints (no execution)."""
+    spec = store.load_spec()
+    payloads = {key: store.load_cell(key) for key in store.completed_keys()}
+    return CampaignResult(spec, payloads)

@@ -1,0 +1,257 @@
+"""Declarative sweep grids: :class:`CampaignSpec` and :class:`CampaignCell`.
+
+A campaign is the cartesian product of three axes:
+
+* **scenarios** — named fleet scenarios (with factory overrides) from the
+  :data:`~repro.fleet.scenarios.SCENARIOS` registry;
+* **controllers** — named controller presets (or inline controller dicts)
+  that replace the controller of *every* device in the scenario's fleet;
+* **seeds** — a bank of fleet seeds replicated across the grid.
+
+Controllers are compared under **identical seeds**: for a fixed
+(scenario, seed), every controller cell sees the same fleet layout, the
+same harvesting traces, and the same event arrivals — only the exit
+policy differs, which is exactly the comparison the paper's evaluation
+(learned runtime vs. static policies, Fig. 7) is built on.
+
+Like :mod:`repro.fleet.spec`, everything here is plain data with an exact
+JSON round-trip, so a campaign file plus the code version pins the whole
+evaluation matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.fleet.scenarios import SCENARIOS
+from repro.runtime.controller import CONTROLLER_KINDS, controller_preset
+
+#: Cell keys double as checkpoint filenames, so every axis label must be
+#: filesystem-safe on every platform.
+_LABEL_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _check_label(kind: str, label) -> str:
+    if not isinstance(label, str) or not _LABEL_RE.fullmatch(label):
+        raise ConfigError(
+            f"{kind} label must match {_LABEL_RE.pattern} "
+            f"(it names checkpoint files), got {label!r}"
+        )
+    if "--" in label:
+        # "--" is the cell-key separator; a label containing it could make
+        # two distinct cells collide on one checkpoint file.
+        raise ConfigError(f"{kind} label must not contain '--', got {label!r}")
+    return label
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the grid: (scenario entry, controller entry, seed)."""
+
+    scenario_label: str
+    scenario: str          # registered scenario name
+    overrides: tuple       # sorted (key, value) pairs for the factory
+    controller_name: str
+    controller: tuple      # sorted (key, value) pairs of the controller spec
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Unique, filesystem-safe cell id (one checkpoint file per key)."""
+        return f"{self.scenario_label}--{self.controller_name}--s{self.seed}"
+
+    def controller_spec(self) -> dict:
+        return dict(self.controller)
+
+    def override_kwargs(self) -> dict:
+        return dict(self.overrides)
+
+
+def _normalize_scenario(entry) -> dict:
+    if isinstance(entry, str):
+        entry = {"scenario": entry}
+    if not isinstance(entry, dict):
+        raise ConfigError(
+            f"scenario axis entries must be names or dicts, got {type(entry).__name__}"
+        )
+    entry = dict(entry)
+    name = entry.pop("scenario", None)
+    if name not in SCENARIOS.names():
+        raise ConfigError(
+            f"unknown scenario {name!r} in campaign; available: {SCENARIOS.names()}"
+        )
+    label = _check_label("scenario", entry.pop("label", name))
+    overrides = entry.pop("overrides", {})
+    if entry:
+        raise ConfigError(f"unknown scenario-entry fields: {sorted(entry)}")
+    if not isinstance(overrides, dict):
+        raise ConfigError("scenario overrides must be a dict")
+    if "seed" in overrides:
+        raise ConfigError(
+            f"scenario {label!r}: the seed comes from the campaign's seed "
+            "axis, not from scenario overrides"
+        )
+    return {"label": label, "scenario": name, "overrides": dict(overrides)}
+
+
+def _normalize_controller(entry) -> dict:
+    if isinstance(entry, str):
+        return {"name": _check_label("controller", entry),
+                "controller": controller_preset(entry)}
+    if not isinstance(entry, dict):
+        raise ConfigError(
+            f"controller axis entries must be preset names or dicts, "
+            f"got {type(entry).__name__}"
+        )
+    entry = dict(entry)
+    name = _check_label("controller", entry.pop("name", None))
+    controller = entry.pop("controller", None)
+    if entry:
+        raise ConfigError(f"unknown controller-entry fields: {sorted(entry)}")
+    if not isinstance(controller, dict):
+        raise ConfigError(f"controller {name!r}: needs a controller spec dict")
+    kind = controller.get("kind")
+    if kind not in CONTROLLER_KINDS:
+        raise ConfigError(
+            f"controller {name!r}: kind must be one of {CONTROLLER_KINDS}, "
+            f"got {kind!r}"
+        )
+    return {"name": name, "controller": dict(controller)}
+
+
+@dataclass
+class CampaignSpec:
+    """A named controller×scenario×seed sweep grid (JSON round-trippable).
+
+    ``baseline`` names the controller the marginal report diffs the others
+    against; it defaults to the first controller-axis entry.
+    """
+
+    name: str
+    scenarios: list
+    controllers: list
+    seeds: list
+    baseline: str = None
+    description: str = ""
+
+    def __post_init__(self):
+        _check_label("campaign", self.name)
+        if not self.scenarios:
+            raise ConfigError(f"campaign {self.name!r} has an empty scenario axis")
+        if not self.controllers:
+            raise ConfigError(f"campaign {self.name!r} has an empty controller axis")
+        if not self.seeds:
+            raise ConfigError(f"campaign {self.name!r} has an empty seed axis")
+        self.scenarios = [_normalize_scenario(s) for s in self.scenarios]
+        self.controllers = [_normalize_controller(c) for c in self.controllers]
+        labels = [s["label"] for s in self.scenarios]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"campaign {self.name!r}: duplicate scenario labels")
+        names = [c["name"] for c in self.controllers]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"campaign {self.name!r}: duplicate controller names")
+        for s in self.seeds:
+            if not isinstance(s, int) or isinstance(s, bool):
+                raise ConfigError(
+                    f"campaign {self.name!r}: seeds must be ints, got {s!r}"
+                )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigError(f"campaign {self.name!r}: duplicate seeds")
+        if self.baseline is None:
+            self.baseline = self.controllers[0]["name"]
+        elif self.baseline not in names:
+            raise ConfigError(
+                f"campaign {self.name!r}: baseline {self.baseline!r} is not "
+                f"on the controller axis {names}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cells(self) -> int:
+        return len(self.scenarios) * len(self.controllers) * len(self.seeds)
+
+    def cells(self) -> list:
+        """Expand the grid, scenario-major then controller then seed.
+
+        The order is part of the contract: checkpoint resume walks the
+        same list, and reports group cells per (scenario, seed) block.
+        """
+        out = []
+        for s in self.scenarios:
+            for c in self.controllers:
+                for seed in self.seeds:
+                    out.append(
+                        CampaignCell(
+                            scenario_label=s["label"],
+                            scenario=s["scenario"],
+                            overrides=tuple(sorted(s["overrides"].items())),
+                            controller_name=c["name"],
+                            controller=tuple(sorted(c["controller"].items())),
+                            seed=int(seed),
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "baseline": self.baseline,
+            "scenarios": [
+                {"label": s["label"], "scenario": s["scenario"],
+                 "overrides": dict(s["overrides"])}
+                for s in self.scenarios
+            ],
+            "controllers": [
+                {"name": c["name"], "controller": dict(c["controller"])}
+                for c in self.controllers
+            ],
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        missing = {"name", "scenarios", "controllers", "seeds"} - set(data)
+        if missing:
+            raise ConfigError(f"campaign spec is missing fields: {sorted(missing)}")
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ConfigError(f"unknown CampaignSpec fields: {sorted(unknown)}")
+        return cls(
+            name=data["name"],
+            scenarios=data["scenarios"],
+            controllers=data["controllers"],
+            seeds=data["seeds"],
+            baseline=data.get("baseline"),
+            description=data.get("description", ""),
+        )
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """Content hash of the grid — the resume-compatibility check."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.canonical_json())
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "CampaignSpec":
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load campaign spec {path!r}: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,148 @@
+"""On-disk campaign checkpoints: one JSON artifact per completed cell.
+
+Layout under the store root::
+
+    campaign.json          # the CampaignSpec that owns this directory
+    cells/<cell-key>.json  # deterministic payload of one completed cell
+    report.json            # aggregate report (rewritten after every run)
+
+Every write is atomic (temp file + ``os.replace`` in the same directory),
+so a campaign killed mid-cell leaves either a complete artifact or none —
+never a torn file — and ``--resume`` can trust anything it finds.  Cell
+payloads carry no wall-clock content, which is what makes an interrupted
+and resumed campaign byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigError
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as canonical JSON via rename (all-or-nothing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        # Includes KeyboardInterrupt: never leave a half-written temp file
+        # that a later directory scan could mistake for an artifact.
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class CampaignStore:
+    """Checkpoint directory for one campaign run."""
+
+    SPEC_FILE = "campaign.json"
+    REPORT_FILE = "report.json"
+    CELLS_DIR = "cells"
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.root, self.SPEC_FILE)
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.root, self.REPORT_FILE)
+
+    @property
+    def cells_dir(self) -> str:
+        return os.path.join(self.root, self.CELLS_DIR)
+
+    def cell_path(self, key: str) -> str:
+        return os.path.join(self.cells_dir, f"{key}.json")
+
+    # ------------------------------------------------------------------ #
+    # Spec manifest
+    # ------------------------------------------------------------------ #
+    def has_spec(self) -> bool:
+        return os.path.exists(self.spec_path)
+
+    def initialize(self, spec: CampaignSpec, resume: bool = False) -> None:
+        """Claim the directory for ``spec`` (or validate a prior claim).
+
+        A directory already owned by a *different* grid is always an
+        error; one owned by the same grid requires ``resume`` so finished
+        cells are only ever skipped on an explicit ``--resume``.
+        """
+        os.makedirs(self.cells_dir, exist_ok=True)
+        if self.has_spec():
+            existing = self.load_spec()
+            if existing.digest() != spec.digest():
+                raise ConfigError(
+                    f"store {self.root!r} holds campaign {existing.name!r} "
+                    f"(digest {existing.digest()}), which differs from "
+                    f"{spec.name!r} (digest {spec.digest()}); use a fresh "
+                    "--out directory"
+                )
+            if not resume and self.completed_keys():
+                raise ConfigError(
+                    f"store {self.root!r} already has "
+                    f"{len(self.completed_keys())} completed cell(s); pass "
+                    "--resume to continue it or point --out elsewhere"
+                )
+        else:
+            atomic_write_json(self.spec_path, spec.to_dict())
+
+    def load_spec(self) -> CampaignSpec:
+        if not self.has_spec():
+            raise ConfigError(f"no campaign spec in store {self.root!r}")
+        return CampaignSpec.from_json(self.spec_path)
+
+    # ------------------------------------------------------------------ #
+    # Cells
+    # ------------------------------------------------------------------ #
+    def completed_keys(self) -> set:
+        if not os.path.isdir(self.cells_dir):
+            return set()
+        return {
+            name[: -len(".json")]
+            for name in os.listdir(self.cells_dir)
+            if name.endswith(".json")
+        }
+
+    def has_cell(self, key: str) -> bool:
+        return os.path.exists(self.cell_path(key))
+
+    def save_cell(self, key: str, payload: dict) -> None:
+        atomic_write_json(self.cell_path(key), payload)
+
+    def load_cell(self, key: str) -> dict:
+        path = self.cell_path(key)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load cell artifact {path!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Report
+    # ------------------------------------------------------------------ #
+    def write_report(self, report: dict) -> str:
+        atomic_write_json(self.report_path, report)
+        return self.report_path
+
+    def load_report(self) -> dict:
+        try:
+            with open(self.report_path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"cannot load campaign report {self.report_path!r}: {exc}"
+            ) from exc

@@ -196,6 +196,35 @@ class FleetResult:
                 out[reason] = out.get(reason, 0) + count
         return out
 
+    def exit_counts(self) -> list:
+        """Processed events per final exit, summed across devices.
+
+        Devices may deploy profiles with different exit counts (mixed
+        fleets); shorter histograms are zero-padded to the deepest one.
+        Campaign reports reduce this into the exit-depth comparisons the
+        paper draws in Fig. 7(b).
+        """
+        width = max((len(d.exit_counts) for d in self.devices), default=0)
+        totals = [0] * width
+        for d in self.devices:
+            for i, count in enumerate(d.exit_counts):
+                totals[i] += int(count)
+        return totals
+
+    @property
+    def mean_exit_depth(self) -> float:
+        """Average final-exit index over processed events (0 = earliest).
+
+        A controller that learns to spend energy on deeper exits moves
+        this up; one that rations moves it down — the scalar the campaign
+        layer uses for cross-controller exit-depth deltas.
+        """
+        counts = self.exit_counts()
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return sum(i * c for i, c in enumerate(counts)) / total
+
     @property
     def devices_per_second(self) -> float:
         """Simulation throughput of this run (0 when timing is absent)."""
@@ -219,6 +248,8 @@ class FleetResult:
             "device_iepmj_percentiles": self.device_iepmj_percentiles(),
             "device_latency_percentiles": self.device_latency_percentiles(),
             "miss_counts": self.miss_counts(),
+            "exit_counts": self.exit_counts(),
+            "mean_exit_depth": self.mean_exit_depth,
             "total_env_energy_mj": float(
                 self._column("total_env_energy_mj", np.float64).sum()
             ),

@@ -16,6 +16,7 @@ depend on worker count, dispatch order, or chunking, which is what makes
 
 from __future__ import annotations
 
+import contextlib
 import math
 import multiprocessing
 import time
@@ -250,6 +251,34 @@ def run_device(task) -> DeviceResult:
     )
 
 
+@contextlib.contextmanager
+def worker_pool(workers: int):
+    """Yield a reusable ``multiprocessing.Pool`` (or ``None`` when serial).
+
+    Job-level hook for callers that execute *many* fleets — the campaign
+    layer above all.  A :class:`FleetRunner` started per job would tear its
+    pool (and the per-process ``_TRACE_CACHE`` / ``_PROFILE_CACHE`` living
+    in the workers) down after every fleet; passing one long-lived pool to
+    ``FleetRunner.run(pool=...)`` keeps workers warm, so cells that share
+    trace families hit the memo instead of re-synthesizing samples.
+    """
+    if workers <= 1:
+        yield None
+        return
+    pool = multiprocessing.Pool(processes=int(workers))
+    try:
+        yield pool
+    except BaseException:
+        # Mirror `with Pool(...)`: kill queued work immediately on error or
+        # Ctrl+C instead of close()-ing and waiting for the whole backlog.
+        pool.terminate()
+        pool.join()
+        raise
+    else:
+        pool.close()
+        pool.join()
+
+
 class FleetRunner:
     """Executes a :class:`FleetSpec`, serially or via a process pool.
 
@@ -272,18 +301,32 @@ class FleetRunner:
     def _tasks(self) -> list:
         return [(i, d, self.spec.seed) for i, d in enumerate(self.spec.devices)]
 
-    def run(self) -> FleetResult:
+    def _chunk(self, num_tasks: int) -> int:
+        # ~4 chunks per worker balances load without drowning in IPC.
+        return self.chunksize or max(
+            1, math.ceil(num_tasks / (max(self.workers, 1) * 4))
+        )
+
+    def run(self, pool=None) -> FleetResult:
+        """Execute the fleet; ``pool`` reuses an external :func:`worker_pool`.
+
+        When a pool is supplied its workers do the mapping (the runner's
+        own ``workers`` count only shapes chunking), so a sequence of runs
+        can share warm worker processes.  Results are identical either
+        way: per-device streams are pinned by (fleet seed, device index),
+        never by which process executes them.
+        """
         t0 = time.perf_counter()
         tasks = self._tasks()
-        if self.workers <= 1:
+        if pool is not None:
+            device_results = pool.map(run_device, tasks, chunksize=self._chunk(len(tasks)))
+        elif self.workers <= 1:
             device_results = [run_device(t) for t in tasks]
         else:
-            # ~4 chunks per worker balances load without drowning in IPC.
-            chunk = self.chunksize or max(
-                1, math.ceil(len(tasks) / (self.workers * 4))
-            )
-            with multiprocessing.Pool(processes=self.workers) as pool:
-                device_results = pool.map(run_device, tasks, chunksize=chunk)
+            with worker_pool(self.workers) as owned:
+                device_results = owned.map(
+                    run_device, tasks, chunksize=self._chunk(len(tasks))
+                )
         return FleetResult(
             fleet_name=self.spec.name,
             seed=self.spec.seed,

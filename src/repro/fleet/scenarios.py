@@ -22,9 +22,14 @@ from repro.fleet.spec import DeviceSpec, FleetSpec
 
 
 class ScenarioRegistry:
-    """Name -> fleet-factory mapping with descriptions."""
+    """Name -> spec-factory mapping with descriptions.
 
-    def __init__(self):
+    ``kind`` only flavors error messages — the campaign layer reuses this
+    class for its own registry of named sweep grids.
+    """
+
+    def __init__(self, kind: str = "scenario"):
+        self.kind = kind
         self._factories: dict = {}
         self._descriptions: dict = {}
 
@@ -33,7 +38,7 @@ class ScenarioRegistry:
 
         def decorate(factory):
             if name in self._factories:
-                raise ConfigError(f"scenario {name!r} already registered")
+                raise ConfigError(f"{self.kind} {name!r} already registered")
             self._factories[name] = factory
             self._descriptions[name] = description or (factory.__doc__ or "").strip()
             return factory
@@ -50,16 +55,16 @@ class ScenarioRegistry:
     def _require(self, name: str) -> None:
         if name not in self._factories:
             raise ConfigError(
-                f"unknown scenario {name!r}; available: {self.names()}"
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
             )
 
-    def build(self, name: str, **overrides) -> FleetSpec:
-        """Expand a named scenario; ``overrides`` reach the factory."""
+    def build(self, name: str, **overrides):
+        """Expand a named entry; ``overrides`` reach the factory."""
         self._require(name)
         try:
             return self._factories[name](**overrides)
         except TypeError as exc:
-            raise ConfigError(f"scenario {name!r}: {exc}") from exc
+            raise ConfigError(f"{self.kind} {name!r}: {exc}") from exc
 
 
 #: The global registry the CLI and tests resolve against.

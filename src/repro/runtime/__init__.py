@@ -12,10 +12,13 @@ from repro.runtime.policies import (
 from repro.runtime.incremental import IncrementalDecider, NeverContinue
 from repro.runtime.controller import (
     CONTROLLER_KINDS,
+    CONTROLLER_PRESETS,
     Controller,
     QLearningController,
     StaticController,
+    controller_preset,
     make_controller,
+    register_controller_preset,
 )
 
 __all__ = [
@@ -30,8 +33,11 @@ __all__ = [
     "IncrementalDecider",
     "NeverContinue",
     "CONTROLLER_KINDS",
+    "CONTROLLER_PRESETS",
     "Controller",
     "QLearningController",
     "StaticController",
+    "controller_preset",
     "make_controller",
+    "register_controller_preset",
 ]

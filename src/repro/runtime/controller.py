@@ -148,6 +148,81 @@ class QLearningController(Controller):
 #: Controller kinds accepted by :func:`make_controller`.
 CONTROLLER_KINDS = ("qlearning", "static-lut", "greedy", "fixed")
 
+#: Named controller presets: short names the campaign layer (and spec
+#: files) can use instead of spelling out a full ``{"kind": ..., **params}``
+#: controller dict.  A preset pins the *parameters* of a controller family
+#: so sweeps compare the same configuration everywhere it appears.
+CONTROLLER_PRESETS: dict = {}
+_PRESET_DESCRIPTIONS: dict = {}
+
+
+def register_controller_preset(name: str, spec: dict, description: str = "") -> None:
+    """Register a named controller spec (``{"kind": ..., **params}``).
+
+    Presets are looked up by :func:`controller_preset`; re-registering a
+    name is a :class:`ConfigError` so campaign grids stay unambiguous.
+    """
+    if not name:
+        raise ConfigError("controller preset needs a non-empty name")
+    if name in CONTROLLER_PRESETS:
+        raise ConfigError(f"controller preset {name!r} already registered")
+    kind = dict(spec).get("kind")
+    if kind not in CONTROLLER_KINDS:
+        raise ConfigError(
+            f"preset {name!r}: controller kind must be one of "
+            f"{CONTROLLER_KINDS}, got {kind!r}"
+        )
+    CONTROLLER_PRESETS[name] = dict(spec)
+    _PRESET_DESCRIPTIONS[name] = description
+
+
+def controller_preset(name: str) -> dict:
+    """Resolve a preset name to a fresh copy of its controller spec."""
+    if name not in CONTROLLER_PRESETS:
+        raise ConfigError(
+            f"unknown controller preset {name!r}; "
+            f"available: {sorted(CONTROLLER_PRESETS)}"
+        )
+    return dict(CONTROLLER_PRESETS[name])
+
+
+def preset_names() -> list:
+    return sorted(CONTROLLER_PRESETS)
+
+
+def describe_preset(name: str) -> str:
+    controller_preset(name)  # raises on unknown names
+    return _PRESET_DESCRIPTIONS[name]
+
+
+# The paper's comparison set (Fig. 7): the learned runtime against the
+# static baselines, each with the parameters used by the fleet scenarios.
+register_controller_preset(
+    "qlearning",
+    {"kind": "qlearning", "epsilon": 0.25, "epsilon_decay": 0.9},
+    "runtime Q-learning over (E, P) states (paper Section IV)",
+)
+register_controller_preset(
+    "static-lut",
+    {"kind": "static-lut"},
+    "compression-time static LUT baseline (paper Section III-A)",
+)
+register_controller_preset(
+    "greedy",
+    {"kind": "greedy", "reserve_fraction": 0.2},
+    "deepest affordable exit, holding back a 20% energy reserve",
+)
+register_controller_preset(
+    "greedy-all-in",
+    {"kind": "greedy", "reserve_fraction": 0.0},
+    "deepest affordable exit with no reserve",
+)
+register_controller_preset(
+    "fixed-first",
+    {"kind": "fixed", "exit_index": 0},
+    "always the earliest exit (cheapest inference)",
+)
+
 
 def make_controller(
     kind: str,

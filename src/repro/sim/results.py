@@ -40,6 +40,44 @@ def percentile_dict(values, qs) -> dict:
     return {f"p{q:g}": float(v) for q, v in zip(qs, points)}
 
 
+def summary_delta(base: dict, other: dict, keys=None) -> dict:
+    """``other - base`` over the shared scalar metrics of two summaries.
+
+    Comparison reducer for A/B runs of the same environment under
+    different policies (the campaign layer's per-cell marginals).  ``keys``
+    restricts the comparison; by default every key whose value is a plain
+    number in *both* dicts is compared, so nested percentile tables and
+    labels pass through untouched (i.e. are ignored).
+    """
+    if keys is None:
+        keys = [
+            k
+            for k, v in base.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+            and isinstance(other.get(k), (int, float))
+            and not isinstance(other.get(k), bool)
+        ]
+    out = {}
+    for k in keys:
+        if k not in base or k not in other:
+            raise KeyError(f"summary_delta: key {k!r} missing from a summary")
+        out[k] = other[k] - base[k]
+    return out
+
+
+def reduce_summaries(summaries, keys, qs=(10, 50, 90)) -> dict:
+    """Per-key percentile spread over a list of summary dicts.
+
+    Used by campaign reports to collapse the seed axis: the same
+    (scenario, controller) cell replicated over a seed bank reduces to
+    ``{metric: {"p10": ..., "p50": ..., "p90": ...}}`` robustness tables.
+    """
+    out = {}
+    for k in keys:
+        out[k] = percentile_dict([float(s[k]) for s in summaries], qs)
+    return out
+
+
 @dataclass(slots=True)
 class EventRecord:
     """Outcome of one event (one row of the columnar result)."""

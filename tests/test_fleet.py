@@ -352,3 +352,36 @@ class TestFullScale:
         assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
             parallel.to_dict(), sort_keys=True
         )
+
+
+class TestFleetExitDepth:
+    """exit_counts / mean_exit_depth — the campaign layer's depth hooks."""
+
+    def test_exit_counts_pad_mixed_profile_widths(self):
+        result = run_fleet(tiny_fleet(n=2))
+        a, b = result.devices
+        # Device histograms sum into the fleet histogram, padded to the
+        # deepest profile.
+        width = max(len(a.exit_counts), len(b.exit_counts))
+        expected = [
+            (a.exit_counts[i] if i < len(a.exit_counts) else 0)
+            + (b.exit_counts[i] if i < len(b.exit_counts) else 0)
+            for i in range(width)
+        ]
+        assert result.exit_counts() == expected
+
+    def test_mean_exit_depth_matches_histogram(self):
+        result = run_fleet(tiny_fleet(n=3))
+        counts = result.exit_counts()
+        total = sum(counts)
+        assert total > 0
+        expected = sum(i * c for i, c in enumerate(counts)) / total
+        assert result.mean_exit_depth == pytest.approx(expected)
+        assert result.aggregate()["mean_exit_depth"] == pytest.approx(expected)
+
+    def test_empty_histogram_is_zero_depth(self):
+        from repro.fleet.results import FleetResult
+
+        empty = FleetResult(fleet_name="x", seed=0, devices=[])
+        assert empty.exit_counts() == []
+        assert empty.mean_exit_depth == 0.0

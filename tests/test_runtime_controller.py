@@ -126,3 +126,44 @@ class TestMakeController:
 
         with pytest.raises(ConfigError, match="bandit"):
             make_controller("bandit", 3)
+
+
+class TestControllerPresets:
+    def test_builtin_presets_resolve_to_valid_specs(self):
+        from repro.runtime import CONTROLLER_KINDS, CONTROLLER_PRESETS, controller_preset
+
+        for name in CONTROLLER_PRESETS:
+            spec = controller_preset(name)
+            assert spec["kind"] in CONTROLLER_KINDS
+
+    def test_preset_lookup_returns_a_copy(self):
+        from repro.runtime import controller_preset
+
+        controller_preset("greedy")["reserve_fraction"] = 0.99
+        assert controller_preset("greedy")["reserve_fraction"] == 0.2
+
+    def test_unknown_preset_raises(self):
+        from repro.runtime import controller_preset
+
+        with pytest.raises(ConfigError, match="unknown controller preset"):
+            controller_preset("warp-drive")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.runtime import register_controller_preset
+
+        with pytest.raises(ConfigError, match="already registered"):
+            register_controller_preset("greedy", {"kind": "greedy"})
+
+    def test_preset_with_bad_kind_rejected(self):
+        from repro.runtime import register_controller_preset
+
+        with pytest.raises(ConfigError, match="kind"):
+            register_controller_preset("new-one", {"kind": "bandit"})
+
+    def test_presets_build_through_make_controller(self):
+        from repro.runtime import controller_preset, make_controller
+
+        spec = controller_preset("fixed-first")
+        kind = spec.pop("kind")
+        controller = make_controller(kind, 3, rng=0, **spec)
+        assert controller.policy.exit_index == 0

@@ -146,3 +146,34 @@ class TestColumnarBacking:
         records[0].correct = False
         b = SimulationResult(records, 10.0, 2.8, 100.0, profile_name="test")
         assert a != b
+
+
+class TestComparisonReducers:
+    """summary_delta / reduce_summaries (the campaign layer's arithmetic)."""
+
+    def test_summary_delta_over_shared_numeric_keys(self):
+        from repro.sim.results import summary_delta
+
+        base = {"acc": 0.5, "iepmj": 1.0, "name": "a", "table": {"p50": 1.0}}
+        other = {"acc": 0.7, "iepmj": 0.5, "name": "b", "table": {"p50": 2.0}}
+        delta = summary_delta(base, other)
+        # Strings and nested dicts are passed over, not diffed.
+        assert delta == {"acc": pytest.approx(0.2), "iepmj": -0.5}
+
+    def test_summary_delta_explicit_keys_must_exist(self):
+        from repro.sim.results import summary_delta
+
+        with pytest.raises(KeyError, match="missing"):
+            summary_delta({"a": 1}, {"b": 2}, keys=["a"])
+
+    def test_summary_delta_ignores_bools(self):
+        from repro.sim.results import summary_delta
+
+        assert summary_delta({"ok": True, "x": 1}, {"ok": False, "x": 3}) == {"x": 2}
+
+    def test_reduce_summaries_percentiles(self):
+        from repro.sim.results import reduce_summaries
+
+        summaries = [{"acc": 0.2}, {"acc": 0.4}, {"acc": 0.6}]
+        out = reduce_summaries(summaries, ["acc"], qs=(0, 50, 100))
+        assert out["acc"] == {"p0": 0.2, "p50": 0.4, "p100": 0.6}
