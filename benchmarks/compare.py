@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark trajectory regression gate.
+
+Diffs fresh ``BENCH_*.json`` payloads against the committed ones and
+fails (exit 1) when any throughput metric regressed by more than
+``--max-regress`` (default 0.25, i.e. >25% slower).  Throughput metrics
+are every numeric key ending in ``_per_s`` / ``_per_second`` anywhere in
+the payload — higher is better; all other keys are ignored.
+
+Usage::
+
+    # local, like-for-like (same machine, full non-smoke runs):
+    PYTHONPATH=src python -m pytest benchmarks/test_p2_hotpath.py ...   # rewrites BENCH_*.json
+    git stash && python benchmarks/compare.py --fresh /tmp/fresh --baseline benchmarks
+
+    # CI bench-smoke lane (shared runners, one warmed round, smoke
+    # payloads land in benchmarks/.smoke/):
+    BENCH_SMOKE=1 python -m pytest benchmarks/test_p2_hotpath.py ...
+    python benchmarks/compare.py --fresh benchmarks/.smoke --baseline benchmarks --max-regress 0.6
+
+The CI lane uses a looser threshold than the 25% default on purpose:
+smoke timings are a single (warmed) round on shared runners whose
+absolute speed differs from the reference container that produced the
+committed numbers, so the gate there is a collapse detector (e.g. a
+vectorized path silently falling back to a Python loop), not a
+percent-level tracker.  Every committed ``BENCH_*.json`` must have a
+fresh counterpart — a bench that silently stopped writing its payload is
+itself a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Keys treated as higher-is-better throughput metrics.
+_THROUGHPUT_SUFFIXES = ("_per_s", "_per_second")
+
+
+def throughput_metrics(payload, prefix: str = "") -> dict:
+    """Flatten a payload to {dotted.path: value} over throughput keys."""
+    out: dict = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                out.update(throughput_metrics(value, path))
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if any(key.endswith(s) for s in _THROUGHPUT_SUFFIXES):
+                    out[path] = float(value)
+    return out
+
+
+def fallback_sections(payload, prefix: str = "") -> set:
+    """Dotted paths of sections whose parallel timing ran the serial path.
+
+    Fleet benches record ``parallel_fell_back_to_serial`` when the runner
+    refused the pool (few devices, or one usable CPU): their ``parallel_*``
+    metrics are serial-path timings.  Comparing one of those against a
+    genuine pool timing from a machine with a different CPU budget would
+    gate the wrong code path, so parallel metrics from a flagged section
+    (on *either* side) are excluded from the diff.
+    """
+    out: set = set()
+    if isinstance(payload, dict):
+        if payload.get("parallel_fell_back_to_serial") is True:
+            out.add(prefix)
+        for key, value in payload.items():
+            if isinstance(value, dict):
+                out.update(
+                    fallback_sections(value, f"{prefix}.{key}" if prefix else key)
+                )
+    return out
+
+
+def _is_fallback_parallel(path: str, flagged: set) -> bool:
+    section, _, leaf = path.rpartition(".")
+    return leaf.startswith("parallel") and section in flagged
+
+
+def compare_file(fresh_path: str, baseline_path: str, max_regress: float) -> list:
+    """Return a list of human-readable regression strings (empty = pass)."""
+    with open(baseline_path) as fh:
+        baseline_payload = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh_payload = json.load(fh)
+    baseline = throughput_metrics(baseline_payload)
+    fresh = throughput_metrics(fresh_payload)
+    flagged = fallback_sections(baseline_payload) | fallback_sections(fresh_payload)
+    name = os.path.basename(baseline_path)
+    problems = []
+    for path, base_value in sorted(baseline.items()):
+        if base_value <= 0 or _is_fallback_parallel(path, flagged):
+            continue
+        if path not in fresh:
+            problems.append(f"{name}: metric {path!r} missing from fresh run")
+            continue
+        ratio = fresh[path] / base_value
+        if ratio < 1.0 - max_regress:
+            problems.append(
+                f"{name}: {path} regressed {(1.0 - ratio) * 100.0:.0f}% "
+                f"({fresh[path]:.1f} vs {base_value:.1f})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--fresh", required=True,
+        help="directory holding freshly measured BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline", default=os.path.dirname(os.path.abspath(__file__)),
+        help="directory holding the committed BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=0.25,
+        help="fail when a throughput metric drops by more than this "
+        "fraction (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.max_regress < 1.0:
+        parser.error("--max-regress must be in (0, 1)")
+    baselines = sorted(glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not baselines:
+        print(f"error: no BENCH_*.json under {args.baseline!r}", file=sys.stderr)
+        return 2
+    problems = []
+    checked = 0
+    for baseline_path in baselines:
+        fresh_path = os.path.join(args.fresh, os.path.basename(baseline_path))
+        if not os.path.exists(fresh_path):
+            problems.append(
+                f"{os.path.basename(baseline_path)}: no fresh payload under "
+                f"{args.fresh!r} (bench did not run or stopped writing)"
+            )
+            continue
+        file_problems = compare_file(fresh_path, baseline_path, args.max_regress)
+        problems.extend(file_problems)
+        checked += 1
+        status = "FAIL" if file_problems else "ok"
+        print(f"[{status}] {os.path.basename(baseline_path)}")
+    if problems:
+        print(
+            f"\n{len(problems)} benchmark regression(s) beyond "
+            f"{args.max_regress * 100:.0f}%:",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"all throughput metrics within {args.max_regress * 100:.0f}% "
+          f"across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,24 @@ BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() in (
 )
 
 
+def bench_output_path(filename: str) -> str:
+    """Where a bench writes its machine-readable ``BENCH_*.json``.
+
+    Non-smoke runs write the tracked file next to the bench sources —
+    the committed performance trajectory.  Smoke runs (``BENCH_SMOKE=1``)
+    must never overwrite that trajectory, but the CI regression gate
+    (``benchmarks/compare.py``) still wants fresh numbers to diff against
+    the committed ones, so they land in the git-ignored
+    ``benchmarks/.smoke/`` directory instead.
+    """
+    base = os.path.dirname(os.path.abspath(__file__))
+    if not BENCH_SMOKE:
+        return os.path.join(base, filename)
+    smoke_dir = os.path.join(base, ".smoke")
+    os.makedirs(smoke_dir, exist_ok=True)
+    return os.path.join(smoke_dir, filename)
+
+
 def print_table(title: str, rows, headers):
     """Render a small fixed-width table into the captured bench output."""
     widths = [

@@ -47,9 +47,14 @@ def _progress(cell, status) -> None:
     print(f"  {marker} {cell.key}" + ("  (checkpointed, skipping)" if status == "skip" else ""))
 
 
-def _run(spec: CampaignSpec, out: str, workers: int, resume: bool, report_json) -> int:
+def _run(
+    spec: CampaignSpec, out: str, workers: int, resume: bool, report_json,
+    engine: str = "auto",
+) -> int:
     store = CampaignStore(out)
-    runner = CampaignRunner(spec, store=store, workers=workers, resume=resume)
+    runner = CampaignRunner(
+        spec, store=store, workers=workers, resume=resume, engine=engine
+    )
     result = runner.run(progress=_progress)
     print(
         f"campaign {spec.name!r}: {runner.executed} cell(s) executed, "
@@ -81,6 +86,8 @@ def main(argv=None) -> int:
     run.add_argument("--spec", default=None, help="run a CampaignSpec JSON file instead")
     run.add_argument("--out", required=True, help="checkpoint/report directory")
     run.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
+    run.add_argument("--engine", choices=("auto", "batched", "device"), default="auto",
+                     help="fleet engine for every cell (see repro.fleet)")
     run.add_argument("--resume", action="store_true",
                      help="skip cells already checkpointed under --out")
     run.add_argument("--report-json", default=None, help="also write the report here")
@@ -110,7 +117,8 @@ def main(argv=None) -> int:
             return 0
         if args.command == "run":
             spec = _build_spec(args)
-            return _run(spec, args.out, args.workers, args.resume, args.report_json)
+            return _run(spec, args.out, args.workers, args.resume, args.report_json,
+                        engine=args.engine)
         if args.command == "resume":
             spec = CampaignStore(args.out).load_spec()
             return _run(spec, args.out, args.workers, True, args.report_json)

@@ -10,6 +10,7 @@ for CI smoke lanes, the same contract the benchmark suite uses.
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 from repro.campaign.spec import CampaignSpec
 from repro.experiment import seed_bank
@@ -30,7 +31,9 @@ def _smoke() -> bool:
     "Every controller preset against the dev-smoke fleet under a shared "
     "seed bank: the paper's learned-vs-static comparison (Fig. 7) as a grid.",
 )
-def policy_shootout(num_devices: int = 4, duration: float = 900.0, num_seeds: int = None) -> CampaignSpec:
+def policy_shootout(
+    num_devices: int = 4, duration: float = 900.0, num_seeds: Optional[int] = None
+) -> CampaignSpec:
     if num_seeds is None:
         num_seeds = 2 if _smoke() else 3
     return CampaignSpec(
@@ -53,7 +56,9 @@ def policy_shootout(num_devices: int = 4, duration: float = 900.0, num_seeds: in
     "Q-learning vs greedy across harvesting regimes (solar farm, indoor "
     "RF, mixed city): which environments need a learned runtime?",
 )
-def harvester_ablation(num_devices: int = None, num_seeds: int = 2) -> CampaignSpec:
+def harvester_ablation(
+    num_devices: Optional[int] = None, num_seeds: int = 2
+) -> CampaignSpec:
     if num_devices is None:
         num_devices = 2 if _smoke() else 4
     duration = 900.0 if _smoke() else 3600.0
@@ -79,7 +84,9 @@ def harvester_ablation(num_devices: int = None, num_seeds: int = 2) -> CampaignS
     "One controller pair over a deep seed bank on dev-smoke: how much of "
     "the comparison survives trace/event randomness?",
 )
-def seed_robustness(num_devices: int = 4, duration: float = 900.0, num_seeds: int = None) -> CampaignSpec:
+def seed_robustness(
+    num_devices: int = 4, duration: float = 900.0, num_seeds: Optional[int] = None
+) -> CampaignSpec:
     if num_seeds is None:
         num_seeds = 3 if _smoke() else 8
     return CampaignSpec(

@@ -23,6 +23,7 @@ stays warm between cells that share harvesting environments (the same
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Optional
 
 from repro.campaign.report import CampaignResult
 from repro.campaign.spec import CampaignCell, CampaignSpec
@@ -41,15 +42,19 @@ def build_cell_fleet(cell: CampaignCell) -> FleetSpec:
     return replace(fleet, devices=devices, name=cell.key)
 
 
-def run_cell(cell: CampaignCell, workers: int = 1, pool=None) -> dict:
+def run_cell(
+    cell: CampaignCell, workers: int = 1, pool=None, engine: str = "auto"
+) -> dict:
     """Execute one cell and summarize it as a JSON-safe checkpoint payload.
 
     The payload is deterministic in the cell alone — no wall-clock, no
-    worker count — which is what lets resumed runs mix checkpointed and
-    freshly-executed cells into one byte-identical report.
+    worker count, no engine choice (the batched engine is bit-identical to
+    the per-device path) — which is what lets resumed runs mix
+    checkpointed and freshly-executed cells into one byte-identical
+    report.
     """
     fleet_spec = build_cell_fleet(cell)
-    result = FleetRunner(fleet_spec, workers=workers).run(pool=pool)
+    result = FleetRunner(fleet_spec, workers=workers, engine=engine).run(pool=pool)
     return {
         "key": cell.key,
         "scenario_label": cell.scenario_label,
@@ -69,9 +74,10 @@ class CampaignRunner:
     def __init__(
         self,
         spec: CampaignSpec,
-        store: CampaignStore = None,
+        store: Optional[CampaignStore] = None,
         workers: int = 1,
         resume: bool = False,
+        engine: str = "auto",
     ):
         if not isinstance(spec, CampaignSpec):
             raise ConfigError("CampaignRunner needs a CampaignSpec")
@@ -81,6 +87,7 @@ class CampaignRunner:
         self.store = store
         self.workers = int(workers)
         self.resume = bool(resume)
+        self.engine = engine
         #: Filled by :meth:`run`: cells executed vs. loaded from checkpoints.
         self.executed = 0
         self.skipped = 0
@@ -111,7 +118,9 @@ class CampaignRunner:
                     continue
                 if progress is not None:
                     progress(cell, "run")
-                payload = run_cell(cell, workers=self.workers, pool=pool)
+                payload = run_cell(
+                    cell, workers=self.workers, pool=pool, engine=self.engine
+                )
                 if self.store is not None:
                     self.store.save_cell(cell.key, payload)
                 payloads[cell.key] = payload
@@ -124,16 +133,17 @@ class CampaignRunner:
 
 def run_campaign(
     spec: CampaignSpec,
-    out: str = None,
+    out: Optional[str] = None,
     workers: int = 1,
     resume: bool = False,
     progress=None,
+    engine: str = "auto",
 ) -> CampaignResult:
     """One-call convenience wrapper: optional store at ``out``."""
     store = CampaignStore(out) if out else None
-    return CampaignRunner(spec, store=store, workers=workers, resume=resume).run(
-        progress=progress
-    )
+    return CampaignRunner(
+        spec, store=store, workers=workers, resume=resume, engine=engine
+    ).run(progress=progress)
 
 
 def report_from_store(store: CampaignStore) -> CampaignResult:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+from typing import Optional
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -135,7 +136,7 @@ class CampaignSpec:
     scenarios: list
     controllers: list
     seeds: list
-    baseline: str = None
+    baseline: Optional[str] = None
     description: str = ""
 
     def __post_init__(self):

@@ -11,8 +11,11 @@ package layers that on top of :mod:`repro.sim`:
   parameterized fleets (``solar-farm-100``, ``indoor-rf-swarm``,
   ``mixed-harvester-city``, ``dev-smoke``);
 * :mod:`repro.fleet.runner` — :class:`FleetRunner`, which executes devices
-  in parallel over ``multiprocessing`` with deterministic per-device
-  seeding (worker count never changes results) and a serial fallback;
+  through the lockstep batched engine (:mod:`repro.sim.batch`) or the
+  per-device simulator (``engine="auto"|"batched"|"device"``, all
+  bit-identical), serially or over ``multiprocessing`` in device batches,
+  with deterministic per-device seeding (worker count never changes
+  results) and a serial fallback whenever pool dispatch cannot win;
 * :mod:`repro.fleet.results` — :class:`DeviceResult` / :class:`FleetResult`
   aggregation (fleet IEpmJ, miss-reason breakdowns, percentile spreads).
 
@@ -20,7 +23,12 @@ CLI: ``python -m repro.fleet run solar-farm-100 --workers 4 --json out.json``.
 """
 
 from repro.fleet.results import DeviceResult, FleetResult
-from repro.fleet.runner import FleetRunner, run_device, run_fleet
+from repro.fleet.runner import (
+    FleetRunner,
+    run_device,
+    run_device_batch,
+    run_fleet,
+)
 from repro.fleet.scenarios import SCENARIOS, ScenarioRegistry
 from repro.fleet.spec import DeviceSpec, FleetSpec
 
@@ -33,5 +41,6 @@ __all__ = [
     "SCENARIOS",
     "ScenarioRegistry",
     "run_device",
+    "run_device_batch",
     "run_fleet",
 ]

@@ -96,6 +96,8 @@ def main(argv=None) -> int:
     run.add_argument("--spec", default=None, help="run a FleetSpec JSON file instead")
     run.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
     run.add_argument("--chunksize", type=int, default=None, help="devices per pool chunk")
+    run.add_argument("--engine", choices=("auto", "batched", "device"), default="auto",
+                     help="simulation engine (auto: lockstep-batch eligible devices)")
     run.add_argument("--devices", type=int, default=None, help="override device count")
     run.add_argument("--seed", type=int, default=None, help="override fleet seed")
     run.add_argument("--duration", type=float, default=None, help="override trace duration (s)")
@@ -124,7 +126,9 @@ def main(argv=None) -> int:
         if not args.spec and not args.scenario:
             run.error("need a scenario name or --spec FILE")
         spec = _build_spec(args)
-        result = FleetRunner(spec, workers=args.workers, chunksize=args.chunksize).run()
+        result = FleetRunner(
+            spec, workers=args.workers, chunksize=args.chunksize, engine=args.engine
+        ).run()
         _print_report(result, quiet=args.quiet)
         if args.json:
             result.to_json(args.json, include_timing=args.timing)

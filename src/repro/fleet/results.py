@@ -115,6 +115,85 @@ class DeviceResult:
         return out
 
 
+#: Scalar DeviceResult fields shipped as one numpy column each in the
+#: packed wire form, in (attribute, dtype) order.
+_PACK_SCALARS = (
+    ("index", np.int64), ("num_events", np.int64), ("num_processed", np.int64),
+    ("num_missed", np.int64), ("num_correct", np.int64),
+    ("iepmj", np.float64), ("average_accuracy", np.float64),
+    ("processed_accuracy", np.float64), ("mean_latency_s", np.float64),
+    ("mean_inference_energy_mj", np.float64),
+    ("total_env_energy_mj", np.float64), ("total_consumed_mj", np.float64),
+    ("duration_s", np.float64), ("episodes", np.int64), ("wall_s", np.float64),
+)
+
+#: Dict-valued DeviceResult fields packed as key-table + value matrix.
+_PACK_DICTS = (
+    ("latency_percentiles", np.float64),
+    ("energy_percentiles", np.float64),
+    ("harvest_percentiles", np.float64),
+    ("miss_counts", np.int64),
+)
+
+
+def _pack_dict_column(dicts, dtype):
+    """Pack per-device dicts; one (keys, matrix) table when keys align."""
+    keys = list(dicts[0])
+    if all(list(d) == keys for d in dicts):
+        values = np.array([[d[k] for k in keys] for d in dicts], dtype=dtype)
+        return {"keys": keys, "values": values}
+    return {"raw": [dict(d) for d in dicts]}
+
+
+def _unpack_dict_column(packed, i, caster):
+    if "raw" in packed:
+        return dict(packed["raw"][i])
+    row = packed["values"][i]
+    return {k: caster(v) for k, v in zip(packed["keys"], row)}
+
+
+def pack_device_results(results) -> dict:
+    """Struct-of-arrays wire form of a list of :class:`DeviceResult`.
+
+    Worker processes return whole chunks of devices at once; pickling one
+    numpy column per field costs a fraction of pickling per-device
+    dataclasses full of Python dicts and floats.  Exact round-trip:
+    ``unpack_device_results(pack_device_results(rs))`` reproduces every
+    field bit-for-bit (plain Python types restored).
+    """
+    out = {"n": len(results), "names": [r.name for r in results],
+           "profiles": [r.profile for r in results]}
+    for attr, dtype in _PACK_SCALARS:
+        out[attr] = np.array([getattr(r, attr) for r in results], dtype=dtype)
+    for attr, dtype in _PACK_DICTS:
+        out[attr] = _pack_dict_column([getattr(r, attr) for r in results], dtype)
+    counts = [r.exit_counts for r in results]
+    width = max((len(c) for c in counts), default=0)
+    exit_matrix = np.zeros((len(results), width), dtype=np.int64)
+    for i, c in enumerate(counts):
+        exit_matrix[i, :len(c)] = c
+    out["exit_counts"] = exit_matrix
+    out["exit_widths"] = np.array([len(c) for c in counts], dtype=np.int64)
+    return out
+
+
+def unpack_device_results(packed: dict) -> list:
+    """Rebuild :class:`DeviceResult` objects from the packed wire form."""
+    results = []
+    for i in range(packed["n"]):
+        fields = {"name": packed["names"][i], "profile": packed["profiles"][i]}
+        for attr, dtype in _PACK_SCALARS:
+            value = packed[attr][i]
+            fields[attr] = int(value) if dtype is np.int64 else float(value)
+        for attr, dtype in _PACK_DICTS:
+            caster = int if dtype is np.int64 else float
+            fields[attr] = _unpack_dict_column(packed[attr], i, caster)
+        width = int(packed["exit_widths"][i])
+        fields["exit_counts"] = [int(c) for c in packed["exit_counts"][i, :width]]
+        results.append(DeviceResult(**fields))
+    return results
+
+
 @dataclass
 class FleetResult:
     """Aggregate outcome of one fleet run."""

@@ -4,13 +4,26 @@
 materializes one :class:`~repro.fleet.spec.DeviceSpec` into live trace /
 storage / MCU / profile / controller objects, replays its episodes through
 the event-driven simulator, and returns a compact
-:class:`~repro.fleet.results.DeviceResult`.
+:class:`~repro.fleet.results.DeviceResult`.  :func:`run_device_batch` is
+its many-device twin: it routes batch-eligible devices through the
+lockstep :class:`~repro.sim.batch.BatchedFleetEngine` (one numpy step per
+event index for the whole subset) and falls back to :func:`run_device`
+per device for the rest — see the ``engine`` knob on :class:`FleetRunner`.
+
+Parallel dispatch maps *chunks* of devices (one :func:`run_device_batch`
+call per chunk, packed-array wire form for the results) instead of one
+IPC round-trip per device, and falls back to serial outright when the
+fleet is too small — or the machine too narrow — for process parallelism
+to pay for its dispatch: the measured regression this replaces had a
+32-device pool running ~0.7x serial speed.
 
 Determinism: every device derives its random streams from
 ``SeedSequence(fleet_seed, spawn_key=(device_index,))`` — exactly the
 child that ``SeedSequence(fleet_seed).spawn(n)[index]`` would produce, but
-computable independently inside any worker.  Results therefore do not
-depend on worker count, dispatch order, or chunking, which is what makes
+computable independently inside any worker.  The batched engine consumes
+those same streams in the same per-device order (bit-identity is enforced
+against ``tests/golden/``), so results do not depend on the engine, the
+worker count, dispatch order, or chunking — which is what makes
 ``--workers 4`` bit-identical to the serial fallback.
 """
 
@@ -19,8 +32,10 @@ from __future__ import annotations
 import contextlib
 import math
 import multiprocessing
+import os
 import time
 from dataclasses import replace
+from typing import Optional
 
 import numpy as np
 
@@ -37,13 +52,27 @@ from repro.energy.traces import (
 )
 from repro.errors import ConfigError
 from repro.experiment import reference_profile, sonic_profile
-from repro.fleet.results import DeviceResult, FleetResult
+from repro.fleet.results import (
+    DeviceResult,
+    FleetResult,
+    pack_device_results,
+    unpack_device_results,
+)
 from repro.fleet.spec import DeviceSpec, FleetSpec
 from repro.intermittent.mcu import MSP432
 from repro.runtime.controller import make_controller
 from repro.sim.profiles import InferenceProfile
 from repro.sim.results import percentile_dict
 from repro.sim.simulator import Simulator, SimulatorConfig
+
+#: Engines a :class:`FleetRunner` can route devices through.
+ENGINES = ("auto", "batched", "device")
+
+#: Below this many devices a parallel run falls back to serial: per-device
+#: work is a few milliseconds, so pool dispatch + result pickling swamps
+#: the compute and the pool runs *slower* than the serial loop (the PR-2
+#: benches measured a 32-device pool at ~0.7x serial throughput).
+MIN_PARALLEL_DEVICES = 16
 
 _SEEDED_TRACE_BUILDERS = {
     "solar": solar_trace,
@@ -251,61 +280,212 @@ def run_device(task) -> DeviceResult:
     )
 
 
+def run_device_batch(tasks, engine: str = "auto") -> list:
+    """Simulate many devices in one process; returns DeviceResults in task order.
+
+    Batch-eligible devices (profile-mode single-cycle, non-csv trace,
+    batchable controller — see :func:`repro.sim.batch.batch_eligible`) run
+    in lockstep through one :class:`~repro.sim.batch.BatchedFleetEngine`;
+    the rest run one at a time through :func:`run_device`.  With
+    ``engine="batched"`` an ineligible device is a :class:`ConfigError`
+    instead of a fallback; ``engine="device"`` skips the lockstep engine
+    entirely.  All three produce bit-identical results.
+    """
+    from repro.sim.batch import BatchedFleetEngine, batch_eligible
+
+    if engine not in ENGINES:
+        raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "device":
+        return [run_device(t) for t in tasks]
+    eligible = [t for t in tasks if batch_eligible(t[1])]
+    if engine == "batched" and len(eligible) != len(tasks):
+        names = [t[1].name for t in tasks if not batch_eligible(t[1])]
+        raise ConfigError(
+            f"engine='batched' but devices are not batch-eligible: {names}"
+        )
+    by_index = {}
+    if eligible:
+        for result in BatchedFleetEngine(eligible).run():
+            by_index[result.index] = result
+    if len(eligible) != len(tasks):
+        batched = {t[0] for t in eligible}
+        for task in tasks:
+            if task[0] not in batched:
+                by_index[task[0]] = run_device(task)
+    return [by_index[t[0]] for t in tasks]
+
+
+def _run_chunk_packed(args) -> dict:
+    """Worker entry for chunked dispatch: run a batch, ship packed arrays."""
+    tasks, engine = args
+    return pack_device_results(run_device_batch(tasks, engine))
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class LazyPool:
+    """A ``multiprocessing.Pool`` that forks on first use, not on entry.
+
+    The serial-fallback fix means a pooled caller (e.g. a campaign whose
+    cells are all below the parallel threshold) may never dispatch a
+    single map — eagerly forking workers would charge it the pool startup
+    for nothing, which was a visible slice of the pooled-campaign
+    pessimization.  ``map`` materializes the real pool on demand;
+    teardown is a no-op when it never started.
+    """
+
+    def __init__(self, workers: int):
+        self._workers = int(workers)
+        self._pool = None
+
+    def map(self, func, iterable, chunksize=None):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self._workers)
+        return self._pool.map(func, iterable, chunksize=chunksize)
+
+    def shutdown(self, force: bool = False) -> None:
+        if self._pool is None:
+            return
+        if force:
+            self._pool.terminate()
+        else:
+            self._pool.close()
+        self._pool.join()
+        self._pool = None
+
+
 @contextlib.contextmanager
 def worker_pool(workers: int):
-    """Yield a reusable ``multiprocessing.Pool`` (or ``None`` when serial).
+    """Yield a reusable lazy worker pool (or ``None`` when serial).
 
     Job-level hook for callers that execute *many* fleets — the campaign
     layer above all.  A :class:`FleetRunner` started per job would tear its
     pool (and the per-process ``_TRACE_CACHE`` / ``_PROFILE_CACHE`` living
     in the workers) down after every fleet; passing one long-lived pool to
     ``FleetRunner.run(pool=...)`` keeps workers warm, so cells that share
-    trace families hit the memo instead of re-synthesizing samples.
+    trace families hit the memo instead of re-synthesizing samples.  The
+    processes fork on first dispatch (:class:`LazyPool`), so jobs whose
+    fleets all take the serial fallback never pay pool startup at all.
     """
     if workers <= 1:
         yield None
         return
-    pool = multiprocessing.Pool(processes=int(workers))
+    pool = LazyPool(workers)
     try:
         yield pool
     except BaseException:
         # Mirror `with Pool(...)`: kill queued work immediately on error or
         # Ctrl+C instead of close()-ing and waiting for the whole backlog.
-        pool.terminate()
-        pool.join()
+        pool.shutdown(force=True)
         raise
     else:
-        pool.close()
-        pool.join()
+        pool.shutdown()
 
 
 class FleetRunner:
     """Executes a :class:`FleetSpec`, serially or via a process pool.
 
-    ``workers <= 1`` runs the serial fallback in-process (debuggable with
-    plain pdb/profilers); larger values fan devices out over a
-    ``multiprocessing.Pool`` in index-order-preserving chunks.
+    ``engine`` selects the per-device simulation form:
+
+    * ``"auto"`` (default) — the lockstep batched engine for every
+      batch-eligible device (profile-mode single-cycle fleets), with a
+      per-device fallback for the rest (dataset mode, intermittent
+      execution, csv traces, unbatchable controllers);
+    * ``"batched"`` — like auto, but an ineligible device raises instead
+      of falling back;
+    * ``"device"`` — the original one-simulator-per-device path.
+
+    All engines produce bit-identical results (see ``tests/golden/``).
+
+    ``workers <= 1`` runs serially in-process (debuggable with plain
+    pdb/profilers); larger values fan *chunks* of devices out over a
+    ``multiprocessing.Pool``.  A parallel request still runs serially when
+    the fleet is smaller than ``parallel_threshold`` devices (default
+    :data:`MIN_PARALLEL_DEVICES`, and only when more than one CPU is
+    usable) — pool dispatch on a few milliseconds of work per device is a
+    measured pessimization, and falling back is what fixes it.  Passing an
+    explicit ``parallel_threshold`` overrides both the device floor and
+    the CPU check (tests use ``parallel_threshold=1`` to force the pool
+    path on any machine).
     """
 
-    def __init__(self, spec: FleetSpec, workers: int = 1, chunksize: int = None):
+    def __init__(
+        self,
+        spec: FleetSpec,
+        workers: int = 1,
+        chunksize: Optional[int] = None,
+        engine: str = "auto",
+        parallel_threshold: Optional[int] = None,
+    ):
         if not isinstance(spec, FleetSpec):
             raise ConfigError("FleetRunner needs a FleetSpec")
         if workers < 0:
             raise ConfigError(f"workers must be >= 0, got {workers}")
         if chunksize is not None and chunksize < 1:
             raise ConfigError(f"chunksize must be >= 1, got {chunksize}")
+        if engine not in ENGINES:
+            raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if parallel_threshold is not None and parallel_threshold < 1:
+            raise ConfigError(
+                f"parallel_threshold must be >= 1, got {parallel_threshold}"
+            )
         self.spec = spec
         self.workers = int(workers)
         self.chunksize = chunksize
+        self.engine = engine
+        self.parallel_threshold = parallel_threshold
+        #: After :meth:`run`: did the last run actually use a pool?
+        self.last_run_parallel = False
 
     def _tasks(self) -> list:
         return [(i, d, self.spec.seed) for i, d in enumerate(self.spec.devices)]
 
-    def _chunk(self, num_tasks: int) -> int:
+    def _pool_fanout(self, pool) -> int:
+        """How many workers the dispatch should actually chunk for.
+
+        An external pool's own process count wins over this runner's
+        ``workers`` field (which only a self-owned pool is built from) —
+        otherwise ``FleetRunner(spec).run(pool=worker_pool(4))`` with the
+        default ``workers=1`` would ship the whole fleet as one chunk to
+        one worker.
+        """
+        for attr in ("_workers", "_processes"):  # LazyPool / multiprocessing.Pool
+            n = getattr(pool, attr, None)
+            if n:
+                return max(int(n), 1)
+        return max(self.workers, 1)
+
+    def _chunk(self, num_tasks: int, fanout: int) -> int:
         # ~4 chunks per worker balances load without drowning in IPC.
-        return self.chunksize or max(
-            1, math.ceil(num_tasks / (max(self.workers, 1) * 4))
-        )
+        return self.chunksize or max(1, math.ceil(num_tasks / (fanout * 4)))
+
+    def _should_parallelize(self, num_tasks: int, pool) -> bool:
+        if pool is None and self.workers <= 1:
+            return False
+        if self.parallel_threshold is not None:
+            return num_tasks >= self.parallel_threshold
+        return num_tasks >= MIN_PARALLEL_DEVICES and usable_cpus() > 1
+
+    def _batch_chunks(self, tasks, fanout: int) -> list:
+        """Contiguous task chunks for one run_device_batch call each."""
+        size = self.chunksize or max(1, math.ceil(len(tasks) / fanout))
+        return [tasks[i:i + size] for i in range(0, len(tasks), size)]
+
+    def _run_parallel(self, tasks, pool) -> list:
+        fanout = self._pool_fanout(pool)
+        if self.engine == "device":
+            return pool.map(
+                run_device, tasks, chunksize=self._chunk(len(tasks), fanout)
+            )
+        args = [(chunk, self.engine) for chunk in self._batch_chunks(tasks, fanout)]
+        payloads = pool.map(_run_chunk_packed, args, chunksize=1)
+        return [d for p in payloads for d in unpack_device_results(p)]
 
     def run(self, pool=None) -> FleetResult:
         """Execute the fleet; ``pool`` reuses an external :func:`worker_pool`.
@@ -318,24 +498,38 @@ class FleetRunner:
         """
         t0 = time.perf_counter()
         tasks = self._tasks()
-        if pool is not None:
-            device_results = pool.map(run_device, tasks, chunksize=self._chunk(len(tasks)))
-        elif self.workers <= 1:
-            device_results = [run_device(t) for t in tasks]
+        self.last_run_parallel = self._should_parallelize(len(tasks), pool)
+        workers_used = 1
+        if not self.last_run_parallel:
+            device_results = run_device_batch(tasks, self.engine)
+        elif pool is not None:
+            workers_used = self._pool_fanout(pool)
+            device_results = self._run_parallel(tasks, pool)
         else:
+            workers_used = max(self.workers, 1)
             with worker_pool(self.workers) as owned:
-                device_results = owned.map(
-                    run_device, tasks, chunksize=self._chunk(len(tasks))
-                )
+                device_results = self._run_parallel(tasks, owned)
         return FleetResult(
             fleet_name=self.spec.name,
             seed=self.spec.seed,
             devices=device_results,
-            workers=max(self.workers, 1),
+            workers=workers_used,
             wall_s=time.perf_counter() - t0,
         )
 
 
-def run_fleet(spec: FleetSpec, workers: int = 1, chunksize: int = None) -> FleetResult:
+def run_fleet(
+    spec: FleetSpec,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    engine: str = "auto",
+    parallel_threshold: Optional[int] = None,
+) -> FleetResult:
     """One-call convenience wrapper around :class:`FleetRunner`."""
-    return FleetRunner(spec, workers=workers, chunksize=chunksize).run()
+    return FleetRunner(
+        spec,
+        workers=workers,
+        chunksize=chunksize,
+        engine=engine,
+        parallel_threshold=parallel_threshold,
+    ).run()

@@ -233,6 +233,95 @@ def mixed_harvester_city(num_devices: int = 60, seed: int = 23, duration: float 
 
 
 @SCENARIOS.register(
+    "city-block-1k",
+    "1000 mixed-harvester devices across one city block — the batched "
+    "lockstep engine's full-scale workload (fleet_heavy CI lane).  Solar "
+    "rooftops, wind masts, piezo machine mounts, kinetic wearables, and "
+    "RF tags; controllers rotate through the preset families and every "
+    "8th node is a SONIC-style intermittent baseline.",
+)
+def city_block(num_devices: int = 1000, seed: int = 31, duration: float = 3600.0) -> FleetSpec:
+    gen = _layout_rng(seed)
+    controllers = (
+        {"kind": "qlearning", "epsilon": 0.25, "epsilon_decay": 0.9},
+        {"kind": "static-lut"},
+        {"kind": "greedy", "reserve_fraction": 0.2},
+        {"kind": "fixed", "exit_index": 0},
+    )
+    devices = []
+    for i in range(num_devices):
+        family = ("solar", "wind", "piezo", "kinetic", "rf")[i % 5]
+        if family == "solar":
+            trace = {
+                "family": "solar",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": 0.027 * float(gen.uniform(0.75, 1.25)),
+            }
+        elif family == "wind":
+            trace = {
+                "family": "wind",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.03, 0.09)),
+                "gust_rate_hz": float(gen.uniform(0.003, 0.01)),
+            }
+        elif family == "piezo":
+            trace = {
+                "family": "piezo",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.02, 0.06)),
+                "duty_cycle": float(gen.uniform(0.3, 0.7)),
+            }
+        elif family == "kinetic":
+            trace = {
+                "family": "kinetic",
+                "duration": duration,
+                "dt": 1.0,
+                "burst_power_mw": float(gen.uniform(0.05, 0.12)),
+                "burst_rate_hz": 0.005,
+                "burst_length_s": 90.0,
+                "base_mw": 0.001,
+            }
+        else:
+            trace = {
+                "family": "rf",
+                "duration": duration,
+                "dt": 1.0,
+                "mean_mw": float(gen.uniform(0.005, 0.015)),
+            }
+        if i % 8 == 7:
+            # Intermittent baseline nodes keep the per-device fallback
+            # path honest inside the batched engine's full-scale workload.
+            profile, controller, execution = (
+                "sonic-single-exit",
+                {"kind": "fixed", "exit_index": 0},
+                "intermittent",
+            )
+        else:
+            profile, execution = "paper-multi-exit", "single-cycle"
+            controller = dict(controllers[i % len(controllers)])
+        devices.append(
+            DeviceSpec(
+                name=f"{family}-{i:04d}",
+                trace=trace,
+                profile=profile,
+                controller=controller,
+                events={"kind": "uniform", "count": 40},
+                execution=execution,
+                episodes=2 if controller["kind"] == "qlearning" else 1,
+            )
+        )
+    return FleetSpec(
+        name="city-block-1k",
+        seed=seed,
+        description="1000-device mixed-harvester city block",
+        devices=devices,
+    )
+
+
+@SCENARIOS.register(
     "dev-smoke",
     "5 tiny devices (one per harvesting family) for tests, docs, and CI.",
 )

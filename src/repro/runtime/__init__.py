@@ -1,7 +1,8 @@
 """Runtime exit selection and incremental inference (paper Section IV)."""
 
-from repro.runtime.state import RuntimeState
+from repro.runtime.state import RuntimeState, RuntimeStateBatch
 from repro.runtime.qlearning import QTable, discretize
+from repro.runtime.batched import batch_controllers, batchable
 from repro.runtime.policies import (
     ExitPolicy,
     GreedyEnergyPolicy,
@@ -23,8 +24,11 @@ from repro.runtime.controller import (
 
 __all__ = [
     "RuntimeState",
+    "RuntimeStateBatch",
     "QTable",
     "discretize",
+    "batch_controllers",
+    "batchable",
     "ExitPolicy",
     "GreedyEnergyPolicy",
     "FixedExitPolicy",

@@ -12,6 +12,8 @@ incremental continue/stop rule at the chosen exit.  The simulator calls:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigError
 from repro.runtime.incremental import CONTINUE, ContinueRule, IncrementalDecider, NeverContinue
 from repro.runtime.policies import (
@@ -228,9 +230,9 @@ def make_controller(
     kind: str,
     num_exits: int,
     exit_energies_mj=None,
-    capacity_mj: float = None,
+    capacity_mj: Optional[float] = None,
     rng=None,
-    continue_rule: ContinueRule = None,
+    continue_rule: Optional[ContinueRule] = None,
     **params,
 ):
     """Build a controller from a declarative description.

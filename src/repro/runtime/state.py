@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True, slots=True)
 class RuntimeState:
@@ -34,3 +36,75 @@ class RuntimeState:
         if self.peak_power_mw <= 0:
             return 0.0
         return min(1.0, max(0.0, self.charge_power_mw / self.peak_power_mw))
+
+
+class RuntimeStateBatch:
+    """:class:`RuntimeState` across a device axis (one array per field).
+
+    The batched fleet engine snapshots every lockstep device's energy
+    situation into numpy columns; batched controllers index these with the
+    device rows they own.  The normalization arithmetic mirrors the scalar
+    properties exactly (same clamp order, same zero guards), so a batched
+    decision sees bit-identical state to its per-device twin.
+
+    A deliberately mutable view: the engine allocates one instance per
+    episode and re-points ``time`` / ``charge_power_mw`` at each step's
+    columns (``energy_mj`` aliases the live storage-level column, which is
+    only ever mutated in place).  ``capacity_mj`` / ``peak_power_mw`` are
+    static, so their positivity guards are evaluated once here instead of
+    per decision.
+    """
+
+    __slots__ = (
+        "time", "energy_mj", "capacity_mj", "charge_power_mw",
+        "peak_power_mw", "_cap_positive", "_peak_positive",
+    )
+
+    def __init__(self, time, energy_mj, capacity_mj, charge_power_mw, peak_power_mw):
+        self.time = time                         # event times (s)
+        self.energy_mj = energy_mj               # stored energy E
+        self.capacity_mj = capacity_mj           # storage capacity
+        self.charge_power_mw = charge_power_mw   # recent harvest rate P
+        self.peak_power_mw = peak_power_mw       # normalization for P
+        self._cap_positive = bool(np.all(capacity_mj > 0))
+        self._peak_positive = bool(np.all(peak_power_mw > 0))
+
+    def energy_fraction(self, idx=None) -> np.ndarray:
+        """E normalized to [0, 1] for the devices in ``idx`` (None = all)."""
+        cap = self.capacity_mj if idx is None else self.capacity_mj[idx]
+        energy = self.energy_mj if idx is None else self.energy_mj[idx]
+        if self._cap_positive:
+            return np.minimum(1.0, np.maximum(0.0, energy / cap))
+        frac = np.where(cap > 0, energy / np.where(cap > 0, cap, 1.0), 0.0)
+        return np.minimum(1.0, np.maximum(0.0, frac))
+
+    def charge_fraction(self, idx=None) -> np.ndarray:
+        """P normalized to [0, 1] for the devices in ``idx`` (None = all)."""
+        peak = self.peak_power_mw if idx is None else self.peak_power_mw[idx]
+        power = self.charge_power_mw if idx is None else self.charge_power_mw[idx]
+        if self._peak_positive:
+            return np.minimum(1.0, np.maximum(0.0, power / peak))
+        frac = np.where(peak > 0, power / np.where(peak > 0, peak, 1.0), 0.0)
+        return np.minimum(1.0, np.maximum(0.0, frac))
+
+    def energy_ratio(self, idx=None) -> np.ndarray:
+        """E / capacity *without* the [0, 1] clamp.
+
+        Safe wherever the consumer clamps anyway (binning): the level
+        cannot exceed the capacity, so the ratio only leaves [0, 1] by a
+        float epsilon at the edges, which bin-clamping absorbs into the
+        same bucket the clamped value would land in.
+        """
+        cap = self.capacity_mj if idx is None else self.capacity_mj[idx]
+        energy = self.energy_mj if idx is None else self.energy_mj[idx]
+        if self._cap_positive:
+            return energy / cap
+        return self.energy_fraction(idx)
+
+    def charge_ratio(self, idx=None) -> np.ndarray:
+        """P / peak without the [0, 1] clamp (see :meth:`energy_ratio`)."""
+        peak = self.peak_power_mw if idx is None else self.peak_power_mw[idx]
+        power = self.charge_power_mw if idx is None else self.charge_power_mw[idx]
+        if self._peak_positive:
+            return power / peak
+        return self.charge_fraction(idx)

@@ -1,0 +1,495 @@
+"""Batched lockstep fleet engine: whole fleets as numpy device-arrays.
+
+:class:`BatchedFleetEngine` simulates N single-cycle, profile-mode devices
+of a fleet *inside one process*, holding every piece of mutable per-device
+state as a numpy column — storage level / capacity / ledger totals,
+``busy_until``, the charge bookkeeping (``t_charged`` / ``cum_charged``),
+and per-device event counts — and advancing all still-active devices one
+event-index step at a time.  Decision-independent quantities are
+precomputed per device up front exactly as :class:`~repro.sim.simulator.
+Simulator` does (cumulative harvested energy at event times via
+``PowerTrace._cum_bulk``, windowed observed charge power via
+``PowerTrace.mean_power``); the inner step then applies controller
+decisions across the device axis with fancy indexing through the batched
+controller groups of :mod:`repro.runtime.batched`.
+
+Determinism contract
+--------------------
+The engine is **bit-identical** to the per-device path
+(:func:`repro.fleet.runner.run_device` looped over the same devices), and
+``tests/golden/`` enforces it:
+
+* every device's random streams stay pinned to
+  ``SeedSequence(fleet_seed, spawn_key=(device_index,))`` — the same four
+  child seeds (trace, events, simulator, controller) the per-device worker
+  derives;
+* pooled variates are consumed through :class:`~repro.utils.rng.DrawBatch`
+  — per-device 256-wide pools refilled with the exact sampler calls
+  :class:`~repro.utils.rng.PooledDraws` makes, in each device's own call
+  order (difficulty before entropy, exploration before action), so the
+  realized per-device streams are the scalar ones;
+* all ledger arithmetic (charge / leak / draw, the 1e-12 affordability
+  epsilon, the max() guard on cumulative-energy crossings) replicates the
+  scalar operation sequence elementwise — float64 lanes round identically
+  to the scalar ops they shadow.
+
+Because devices never interact, lockstep order across devices is free;
+only the within-device order matters, and the step loop preserves it.
+
+Eligibility: the lockstep form covers profile-mode single-cycle execution
+with batchable controllers (no learned continue rule).  Dataset mode (per
+-event forward passes through a live network), intermittent execution
+(the SONIC baseline's multi-cycle engine), and csv traces (file-backed,
+deliberately uncached) fall back to the per-device path — see
+:func:`batch_eligible` and the ``engine`` knob on
+:class:`~repro.fleet.runner.FleetRunner`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.runtime.batched import batch_controllers, batchable
+from repro.runtime.controller import CONTROLLER_KINDS
+from repro.runtime.state import RuntimeStateBatch
+from repro.sim.results import RecordColumns, SimulationResult, percentile_dict
+from repro.utils.rng import DrawBatch, as_generator
+
+#: miss_reason codes used in the packed record buffers.
+_REASONS = ("", "busy", "energy")
+_MISS_NONE, _MISS_BUSY, _MISS_ENERGY = 0, 1, 2
+
+
+def batch_eligible(spec) -> bool:
+    """Can this :class:`~repro.fleet.spec.DeviceSpec` run under lockstep?
+
+    Mirrors the fallback list in the module docstring: single-cycle
+    execution, non-csv trace, and a controller family the batched protocol
+    covers with no learned continue rule.  (Duck-typed on the spec fields
+    rather than importing the fleet layer — this module sits below it.)
+    """
+    if spec.execution != "single-cycle":
+        return False
+    if dict(spec.trace).get("family") == "csv":
+        return False
+    controller = dict(spec.controller)
+    if controller.get("kind") not in CONTROLLER_KINDS:
+        return False
+    if controller.get("continue_rule") is not None:
+        return False
+    return True
+
+
+class _Device:
+    """Materialized per-device objects + precomputed event-time queries."""
+
+    __slots__ = (
+        "index", "spec", "trace", "events", "profile", "storage", "mcu",
+        "controller", "sim_rng", "cum_at_event", "charge_power",
+        "exit_energy", "exit_time", "exit_acc",
+    )
+
+    def __init__(self, index: int, spec: DeviceSpec, fleet_seed: int):
+        # Lazy import: the fleet runner imports this module at top level,
+        # so importing its builders here would be circular at import time.
+        from repro.fleet.runner import (
+            build_controller,
+            build_events,
+            build_mcu,
+            build_storage,
+            build_trace,
+            resolve_profile,
+        )
+
+        self.index = int(index)
+        self.spec = spec
+        child = np.random.SeedSequence(fleet_seed, spawn_key=(int(index),))
+        trace_seed, event_seed, sim_seed, ctrl_seed = (
+            int(s) for s in child.generate_state(4, np.uint32)
+        )
+        self.trace = build_trace(spec.trace, trace_seed)
+        self.events = np.asarray(
+            build_events(spec.events, self.trace.duration, event_seed),
+            dtype=np.float64,
+        )
+        if self.events.size and (
+            np.any(np.diff(self.events) < 0) or self.events[0] < 0
+        ):
+            raise SimulationError("events must be sorted and non-negative")
+        self.profile = resolve_profile(spec.profile)
+        self.storage = build_storage(spec.storage)
+        self.mcu = build_mcu(spec.mcu)
+        self.controller = build_controller(
+            spec.controller, self.profile, self.storage, ctrl_seed
+        )
+        self.sim_rng = as_generator(sim_seed)
+        trace = self.trace
+        duration = trace.duration
+        if self.events.size:
+            clipped = np.minimum(duration, np.maximum(0.0, self.events))
+            self.cum_at_event = trace._cum_bulk(clipped)
+            # mean_power inlined so its _cum_bulk(t) shares the event-time
+            # evaluation above (same clipped times, same arithmetic).
+            t0 = np.maximum(0.0, clipped - spec.power_window_s)
+            span = clipped - t0
+            degenerate = span <= 0.0
+            windowed = (self.cum_at_event - trace._cum_bulk(t0)) / np.where(
+                degenerate, 1.0, span
+            )
+            if degenerate.any():
+                windowed = np.where(degenerate, trace.power(clipped), windowed)
+            self.charge_power = windowed
+        else:
+            self.cum_at_event = np.empty(0)
+            self.charge_power = np.empty(0)
+        self.exit_energy = [float(e) for e in self.profile.exit_energy_mj]
+        self.exit_time = [
+            self.mcu.inference_time_s(f) for f in self.profile.exit_flops
+        ]
+        self.exit_acc = [float(a) for a in self.profile.exit_accuracies]
+
+
+class BatchedFleetEngine:
+    """Runs a list of eligible ``(index, DeviceSpec, fleet_seed)`` tasks.
+
+    Construction materializes every device (traces, profiles, controllers,
+    per-event precomputations); :meth:`run` plays all episodes in lockstep
+    and returns one :class:`~repro.fleet.results.DeviceResult` per task,
+    in task order.
+    """
+
+    def __init__(self, tasks):
+        if not tasks:
+            raise ConfigError("BatchedFleetEngine needs at least one device")
+        for _, spec, _ in tasks:
+            if not batch_eligible(spec):
+                raise ConfigError(
+                    f"device {spec.name!r} is not batch-eligible "
+                    "(dataset/intermittent/csv or unbatchable controller)"
+                )
+        self.devices = [_Device(i, spec, seed) for i, spec, seed in tasks]
+        for dev in self.devices:
+            if not batchable(dev.controller):
+                raise ConfigError(
+                    f"device {dev.spec.name!r}: controller cannot be batched"
+                )
+        m = len(self.devices)
+        self._m = m
+        max_ev = max(d.events.size for d in self.devices)
+        max_exits = max(d.profile.num_exits for d in self.devices)
+        self._n_events = np.array([d.events.size for d in self.devices], np.int64)
+        self._episodes = np.array([d.spec.episodes for d in self.devices], np.int64)
+        self._n_exits = np.array(
+            [d.profile.num_exits for d in self.devices], np.int64
+        )
+        # Padded per-event and per-exit lookups.  Cost pads with +inf so a
+        # padded exit can never look affordable; accuracy/time pad with 0.
+        # Per-event matrices are (event, device) so the step loop reads
+        # *contiguous* rows instead of strided columns.
+        self._events = np.zeros((max_ev, m))
+        self._cum_at_event = np.zeros((max_ev, m))
+        self._charge_power = np.zeros((max_ev, m))
+        self._exit_cost = np.full((m, max_exits), np.inf)
+        self._exit_time = np.zeros((m, max_exits))
+        self._exit_acc = np.zeros((m, max_exits))
+        for i, d in enumerate(self.devices):
+            n = d.events.size
+            self._events[:n, i] = d.events
+            self._cum_at_event[:n, i] = d.cum_at_event
+            self._charge_power[:n, i] = d.charge_power
+            k = d.profile.num_exits
+            self._exit_cost[i, :k] = d.exit_energy
+            self._exit_time[i, :k] = d.exit_time
+            self._exit_acc[i, :k] = d.exit_acc
+        # Storage columns (reset per episode) + fixed environment columns.
+        self._capacity = np.array([d.storage.capacity_mj for d in self.devices])
+        self._efficiency = np.array([d.storage.efficiency for d in self.devices])
+        self._leakage = np.array([d.storage.leakage_mw for d in self.devices])
+        self._initial = np.array([d.storage._initial_mj for d in self.devices])
+        self._peak = np.array(
+            [float(np.max(d.trace.samples_mw)) for d in self.devices]
+        )
+        self._duration = np.array([d.trace.duration for d in self.devices])
+        self._total_env = np.array(
+            [d.trace.total_energy_mj for d in self.devices]
+        )
+        self._sim_draws = DrawBatch([d.sim_rng for d in self.devices])
+        self._groups, self._group_of = batch_controllers(
+            [d.controller for d in self.devices], self._exit_cost
+        )
+        # Step-loop fast-path preconditions, hoisted out of the hot loop.
+        self._all_rows = np.arange(m)
+        self._active = np.arange(max_ev)[:, None] < self._n_events[None, :]
+        self._act_full = self._active.all(axis=1) if max_ev else np.empty(0, bool)
+        self._no_leak = bool((self._leakage == 0.0).all())
+
+    # ------------------------------------------------------------------ #
+    def run(self):
+        """Play every device's episodes; return DeviceResults in task order."""
+        from repro.fleet.results import DeviceResult
+
+        t0 = time.perf_counter()
+        m, max_ev = self._m, self._events.shape[0]
+        level = np.zeros(m)
+        total_drawn = np.zeros(m)
+        t_charged = np.zeros(m)
+        cum_charged = np.zeros(m)
+        busy_until = np.zeros(m)
+        # Record buffers, reused across episodes (finished devices are
+        # snapshotted by copy before the next reset).  With no learned
+        # continue rule the first exit always equals the final exit and
+        # "missed" is exactly "has a miss reason", so neither needs its
+        # own column; the storage waste/charge ledger is likewise not
+        # observable in any result and is skipped entirely.  (event,
+        # device) layout like the inputs: contiguous writes per step.
+        r_exit = np.empty((max_ev, m), np.int64)
+        r_correct = np.empty((max_ev, m), bool)
+        r_latency = np.empty((max_ev, m))
+        r_energy = np.empty((max_ev, m))
+        r_entropy = np.empty((max_ev, m))
+        r_reason = np.empty((max_ev, m), np.int8)
+        results = [None] * m
+        all_rows = self._all_rows
+        single = self._groups[0] if len(self._groups) == 1 else None
+        no_leak = self._no_leak
+        for ep in range(int(self._episodes.max())):
+            part = self._episodes > ep
+            part_all = bool(part.all())
+            # reset_storage=True semantics at the top of every run().
+            level[part] = self._initial[part]
+            total_drawn[part] = 0.0
+            t_charged[part] = 0.0
+            cum_charged[part] = 0.0
+            busy_until[part] = 0.0
+            r_exit[:, part] = -1
+            r_correct[:, part] = False
+            r_latency[:, part] = 0.0
+            r_energy[:, part] = 0.0
+            r_entropy[:, part] = 1.0
+            r_reason[:, part] = _MISS_NONE
+            state = RuntimeStateBatch(
+                time=None,
+                energy_mj=level,  # aliased: only ever mutated in place
+                capacity_mj=self._capacity,
+                charge_power_mw=None,
+                peak_power_mw=self._peak,
+            )
+            n_steps = int(self._n_events[part].max()) if part.any() else 0
+            for j in range(n_steps):
+                te = self._events[j]
+                act_full_j = part_all and bool(self._act_full[j])
+                act = self._active[j] if part_all else part & self._active[j]
+                busy = (te < busy_until) if act_full_j else act & (te < busy_until)
+                any_busy = bool(busy.any())
+                if any_busy:
+                    r_reason[j][busy] = _MISS_BUSY
+                    proc = act & ~busy
+                    if not proc.any():
+                        continue
+                else:
+                    proc = act
+                full = act_full_j and not any_busy
+                # Storage charging up to the event (precomputed increment).
+                cum_j = self._cum_at_event[j]
+                charging = proc & (te > t_charged)
+                if full and charging.all():
+                    inc = np.maximum(cum_j - cum_charged, 0.0)
+                    banked = inc * self._efficiency
+                    stored = np.minimum(banked, self._capacity - level)
+                    level += stored
+                    if not no_leak:
+                        lost = np.minimum(
+                            level, self._leakage * (te - t_charged)
+                        )
+                        level -= lost
+                    t_charged[:] = te
+                    cum_charged[:] = cum_j
+                elif charging.any():
+                    inc = np.where(
+                        charging, np.maximum(cum_j - cum_charged, 0.0), 0.0
+                    )
+                    banked = inc * self._efficiency
+                    stored = np.minimum(banked, self._capacity - level)
+                    level += stored
+                    if not no_leak:
+                        lost = np.where(
+                            charging,
+                            np.minimum(level, self._leakage * (te - t_charged)),
+                            0.0,
+                        )
+                        level -= lost
+                    t_charged = np.where(charging, te, t_charged)
+                    cum_charged = np.where(charging, cum_j, cum_charged)
+                # Controller decisions across the device axis.
+                state.time = te
+                state.charge_power_mw = self._charge_power[j]
+                pidx = all_rows if full else np.nonzero(proc)[0]
+                gids = None
+                if single is not None:
+                    k_sel = single.select_exit_batch(pidx, state)
+                else:
+                    k_sel = np.empty(len(pidx), np.int64)
+                    gids = self._group_of[pidx]
+                    for g, group in enumerate(self._groups):
+                        sub = gids == g
+                        if sub.any():
+                            k_sel[sub] = group.select_exit_batch(pidx[sub], state)
+                level_p = level if full else level[pidx]
+                if single is not None and single.always_valid:
+                    cost = self._exit_cost[pidx, k_sel]
+                    afford = level_p >= cost - 1e-12
+                else:
+                    valid = (k_sel >= 0) & (k_sel < self._n_exits[pidx])
+                    cost = self._exit_cost[pidx, np.where(valid, k_sel, 0)]
+                    afford = valid & (level_p >= cost - 1e-12)
+                n_afford = int(np.count_nonzero(afford))
+                aff_all = n_afford == len(pidx)
+                rewards = None
+                if not aff_all:
+                    mi = pidx[~afford]
+                    r_reason[j][mi] = _MISS_ENERGY
+                    busy_until[mi] = te[mi]
+                    rewards = np.zeros(len(pidx))
+                if n_afford:
+                    if aff_all:
+                        pi, kk, cost_p = pidx, k_sel, cost
+                    else:
+                        pi = pidx[afford]
+                        kk = k_sel[afford]
+                        cost_p = cost[afford]
+                    busy_s = self._exit_time[pi, kk]
+                    difficulty = self._sim_draws.random(pi)
+                    correct = difficulty < self._exit_acc[pi, kk]
+                    n_correct = int(np.count_nonzero(correct))
+                    if n_correct == len(pi):
+                        entropy = self._sim_draws.beta(2.0, 8.0, pi)
+                    elif not n_correct:
+                        entropy = self._sim_draws.beta(5.0, 3.0, pi)
+                    else:
+                        entropy = np.empty(len(pi))
+                        entropy[correct] = self._sim_draws.beta(
+                            2.0, 8.0, pi[correct]
+                        )
+                        wrong = ~correct
+                        entropy[wrong] = self._sim_draws.beta(5.0, 3.0, pi[wrong])
+                    if aff_all and full:
+                        # Whole fleet processed: contiguous row writes and
+                        # in-place ledger updates, no fancy indexing.
+                        np.subtract(level, cost_p, out=level)
+                        np.maximum(level, 0.0, out=level)
+                        total_drawn += cost_p
+                        r_exit[j] = kk
+                        r_correct[j] = correct
+                        r_latency[j] = busy_s
+                        r_energy[j] = cost_p
+                        r_entropy[j] = entropy
+                        np.add(te, busy_s, out=busy_until)
+                    else:
+                        level[pi] = np.maximum(0.0, level[pi] - cost_p)
+                        total_drawn[pi] += cost_p
+                        r_exit[j][pi] = kk
+                        r_correct[j][pi] = correct
+                        r_latency[j][pi] = busy_s
+                        r_energy[j][pi] = cost_p
+                        r_entropy[j][pi] = entropy
+                        busy_until[pi] = te[pi] + busy_s
+                    if aff_all:
+                        rewards = correct
+                    else:
+                        rewards[afford] = correct
+                if single is not None:
+                    if single.wants_rewards:
+                        single.report_event_batch(pidx, rewards)
+                else:
+                    for g, group in enumerate(self._groups):
+                        if not group.wants_rewards:
+                            continue
+                        sub = gids == g
+                        if sub.any():
+                            group.report_event_batch(pidx[sub], rewards[sub])
+            # Trailing charge to the end of the trace, then episode close.
+            tail = part & (self._duration > t_charged)
+            if tail.any():
+                inc = np.where(
+                    tail, np.maximum(self._total_env - cum_charged, 0.0), 0.0
+                )
+                banked = inc * self._efficiency
+                stored = np.minimum(banked, self._capacity - level)
+                level += stored
+                if not no_leak:
+                    lost = np.where(
+                        tail,
+                        np.minimum(
+                            level, self._leakage * (self._duration - t_charged)
+                        ),
+                        0.0,
+                    )
+                    level -= lost
+            prows = all_rows[part]
+            pgids = self._group_of[prows]
+            for g, group in enumerate(self._groups):
+                sub = prows[pgids == g]
+                if len(sub):
+                    group.end_episode_batch(sub)
+            finishing = part & (self._episodes == ep + 1)
+            for i in np.nonzero(finishing)[0].tolist():
+                results[i] = self._snapshot(
+                    i, total_drawn[i],
+                    r_exit, r_correct, r_latency, r_energy, r_entropy, r_reason,
+                )
+        wall = time.perf_counter() - t0
+        out = []
+        grid_cache: dict = {}
+        for i, d in enumerate(self.devices):
+            sim_result = results[i]
+            grid = grid_cache.get(d.trace.duration)
+            if grid is None:
+                grid = np.linspace(0.0, d.trace.duration, 512)
+                grid_cache[d.trace.duration] = grid
+            harvest = percentile_dict(d.trace.power(grid), qs=(10, 50, 90))
+            out.append(
+                DeviceResult.from_simulation(
+                    d.index,
+                    d.spec.name,
+                    sim_result,
+                    d.profile,
+                    harvest_percentiles=harvest,
+                    episodes=d.spec.episodes,
+                    wall_s=wall / self._m,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _snapshot(
+        self, i, drawn, r_exit, r_correct, r_latency, r_energy, r_entropy,
+        r_reason,
+    ) -> SimulationResult:
+        """Freeze device ``i``'s final-episode rows into a SimulationResult."""
+        n = int(self._n_events[i])
+        columns = RecordColumns()
+        reason = np.ascontiguousarray(r_reason[:n, i])
+        exits = np.ascontiguousarray(r_exit[:n, i])
+        columns.time = np.ascontiguousarray(self._events[:n, i])
+        columns.exit_index = exits
+        # No learned continue rule in the batched form, so the first exit
+        # is always the final one (and -1 for misses, like append_missed).
+        columns.first_exit_index = exits
+        columns.correct = np.ascontiguousarray(r_correct[:n, i])
+        columns.latency_s = np.ascontiguousarray(r_latency[:n, i])
+        columns.energy_mj = np.ascontiguousarray(r_energy[:n, i])
+        columns.confidence_entropy = np.ascontiguousarray(r_entropy[:n, i])
+        columns.continued = np.zeros(n, np.int64)
+        columns.missed = reason != _MISS_NONE
+        columns.miss_reason = [_REASONS[c] for c in reason.tolist()]
+        columns.power_cycles = np.ones(n, np.int64)
+        return SimulationResult.from_columns(
+            columns,
+            total_env_energy_mj=float(self._total_env[i]),
+            total_consumed_mj=float(drawn),
+            duration_s=float(self._duration[i]),
+            profile_name=self.devices[i].profile.name,
+        )

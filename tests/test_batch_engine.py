@@ -1,0 +1,234 @@
+"""Batched lockstep engine equivalence tests (the PR-4 contract).
+
+The batched engine promises **bit-identical** results to the per-device
+simulator path for every eligible device: same per-device random streams
+(`SeedSequence(fleet_seed, spawn_key=(i,))` consumed in the same order),
+same ledger arithmetic, same records.  These tests pin that promise over
+every registered scenario, every controller preset, the pooled dispatch
+path, and (via hypothesis) randomly composed small fleets.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fleet import SCENARIOS, DeviceSpec, FleetRunner, FleetSpec
+from repro.fleet.results import pack_device_results, unpack_device_results
+from repro.fleet.runner import run_device, run_device_batch
+from repro.runtime.controller import CONTROLLER_PRESETS, controller_preset
+from repro.sim.batch import BatchedFleetEngine, batch_eligible
+
+#: Small overrides that keep every scenario in the seconds range.
+SCENARIO_CASES = [(name, {"num_devices": 4}) for name in SCENARIOS.names()]
+
+
+def _payload(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("name,overrides", SCENARIO_CASES,
+                             ids=[c[0] for c in SCENARIO_CASES])
+    def test_batched_equals_device_equals_pooled(self, name, overrides):
+        spec = SCENARIOS.build(name, **overrides)
+        auto = FleetRunner(spec, workers=1, engine="auto").run()
+        device = FleetRunner(spec, workers=1, engine="device").run()
+        pooled = FleetRunner(
+            spec, workers=2, engine="auto", parallel_threshold=1
+        ).run()
+        assert _payload(auto) == _payload(device)
+        assert _payload(auto) == _payload(pooled)
+
+
+class TestPresetEquivalence:
+    @pytest.mark.parametrize("preset", sorted(CONTROLLER_PRESETS))
+    def test_every_preset_is_bit_identical(self, preset):
+        base = SCENARIOS.build("dev-smoke", num_devices=4)
+        devices = [
+            DeviceSpec(**{**d.to_dict(), "controller": controller_preset(preset)})
+            for d in base.devices
+        ]
+        spec = FleetSpec(name=f"preset-{preset}", seed=11, devices=devices)
+        batched = FleetRunner(spec, workers=1, engine="batched").run()
+        device = FleetRunner(spec, workers=1, engine="device").run()
+        assert _payload(batched) == _payload(device)
+
+
+class TestEligibility:
+    def test_intermittent_is_ineligible(self):
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
+        flags = {d.execution: batch_eligible(d) for d in spec.devices}
+        assert flags == {"single-cycle": True, "intermittent": False}
+
+    def test_csv_trace_is_ineligible(self):
+        d = DeviceSpec(
+            name="csv-dev",
+            trace={"family": "csv", "path": "nope.csv", "dt": 1.0},
+        )
+        assert not batch_eligible(d)
+
+    def test_engine_batched_raises_on_ineligible(self):
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
+        with pytest.raises(ConfigError, match="not batch-eligible"):
+            FleetRunner(spec, workers=1, engine="batched").run()
+
+    def test_engine_auto_splits_and_merges_in_index_order(self):
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
+        result = FleetRunner(spec, workers=1, engine="auto").run()
+        assert [d.index for d in result.devices] == list(range(12))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="engine"):
+            FleetRunner(SCENARIOS.build("dev-smoke"), engine="warp")
+        with pytest.raises(ConfigError, match="engine"):
+            run_device_batch([], engine="warp")
+
+    def test_engine_ctor_raises_on_ineligible_task(self):
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
+        bad = [(i, d, spec.seed) for i, d in enumerate(spec.devices)
+               if d.execution == "intermittent"]
+        with pytest.raises(ConfigError, match="batch-eligible"):
+            BatchedFleetEngine(bad[:1])
+
+
+class TestRunDeviceBatch:
+    def test_matches_per_device_loop(self):
+        spec = SCENARIOS.build("dev-smoke", num_devices=5)
+        tasks = [(i, d, spec.seed) for i, d in enumerate(spec.devices)]
+        batch = run_device_batch(tasks, engine="auto")
+        loop = [run_device(t) for t in tasks]
+        assert json.dumps([r.to_dict() for r in batch], sort_keys=True) == \
+            json.dumps([r.to_dict() for r in loop], sort_keys=True)
+
+    def test_engine_device_bypasses_lockstep(self):
+        spec = SCENARIOS.build("dev-smoke", num_devices=3)
+        tasks = [(i, d, spec.seed) for i, d in enumerate(spec.devices)]
+        assert json.dumps(
+            [r.to_dict() for r in run_device_batch(tasks, engine="device")],
+            sort_keys=True,
+        ) == json.dumps(
+            [r.to_dict() for r in run_device_batch(tasks, engine="batched")],
+            sort_keys=True,
+        )
+
+
+class TestPackedWireForm:
+    def test_round_trip_is_exact(self):
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
+        tasks = [(i, d, spec.seed) for i, d in enumerate(spec.devices)]
+        results = run_device_batch(tasks)
+        clones = unpack_device_results(pack_device_results(results))
+        assert json.dumps(
+            [r.to_dict(include_timing=True) for r in results], sort_keys=True
+        ) == json.dumps(
+            [r.to_dict(include_timing=True) for r in clones], sort_keys=True
+        )
+        # Plain Python types after the round trip (JSON-safe without
+        # numpy-aware encoders).
+        clone = clones[0]
+        assert type(clone.index) is int
+        assert type(clone.iepmj) is float
+        assert all(type(c) is int for c in clone.exit_counts)
+        assert all(type(v) is int for v in clone.miss_counts.values())
+
+    def test_packed_payload_is_smaller_than_dataclass_pickle(self):
+        import pickle
+
+        spec = SCENARIOS.build("solar-farm-100", num_devices=16)
+        tasks = [(i, d, spec.seed) for i, d in enumerate(spec.devices)]
+        results = run_device_batch(tasks)
+        packed = len(pickle.dumps(pack_device_results(results)))
+        plain = len(pickle.dumps(results))
+        assert packed < plain
+
+
+class TestParallelFallback:
+    def test_small_fleet_falls_back_to_serial(self):
+        spec = SCENARIOS.build("dev-smoke", num_devices=5)
+        runner = FleetRunner(spec, workers=4)
+        result = runner.run()
+        assert not runner.last_run_parallel
+        assert result.workers == 1  # timing section reports what really ran
+
+    def test_explicit_threshold_forces_pool(self):
+        spec = SCENARIOS.build("dev-smoke", num_devices=5)
+        runner = FleetRunner(spec, workers=2, parallel_threshold=1)
+        result = runner.run()
+        assert runner.last_run_parallel
+        assert result.workers == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError, match="parallel_threshold"):
+            FleetRunner(SCENARIOS.build("dev-smoke"), parallel_threshold=0)
+
+
+#: Trace families with cheap synthesis for the property test.
+_FAMILY = st.sampled_from(["solar", "rf", "piezo", "constant"])
+_PRESET = st.sampled_from(sorted(CONTROLLER_PRESETS))
+
+
+@st.composite
+def tiny_fleets(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    duration = draw(st.sampled_from([200.0, 350.0]))
+    devices = []
+    for i in range(n):
+        family = draw(_FAMILY)
+        trace = {"family": family, "duration": duration, "dt": 1.0}
+        if family == "constant":
+            trace["power_mw"] = draw(st.sampled_from([0.01, 0.04]))
+        elif family == "solar":
+            trace["peak_mw"] = 0.03
+        events = draw(
+            st.sampled_from(
+                [{"kind": "uniform", "count": 12}, {"kind": "poisson", "rate_hz": 0.05}]
+            )
+        )
+        devices.append(
+            DeviceSpec(
+                name=f"hyp-{i}",
+                trace=trace,
+                controller=controller_preset(draw(_PRESET)),
+                storage={"capacity_mj": draw(st.sampled_from([1.5, 2.0, 3.0]))},
+                events=events,
+                episodes=draw(st.integers(min_value=1, max_value=2)),
+            )
+        )
+    return FleetSpec(
+        name="hyp-fleet", seed=draw(st.integers(min_value=0, max_value=2**16)),
+        devices=devices,
+    )
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(spec=tiny_fleets())
+    def test_random_small_fleets_agree(self, spec):
+        batched = FleetRunner(spec, workers=1, engine="batched").run()
+        device = FleetRunner(spec, workers=1, engine="device").run()
+        assert _payload(batched) == _payload(device)
+
+
+@pytest.mark.fleet_heavy
+class TestFullScaleBatch:
+    def test_city_block_1k_batched_serial_and_parallel_agree(self):
+        spec = SCENARIOS.build("city-block-1k")
+        assert spec.num_devices == 1000
+        serial = FleetRunner(spec, workers=1, engine="auto").run()
+        parallel = FleetRunner(
+            spec, workers=4, engine="auto", parallel_threshold=1
+        ).run()
+        assert serial.num_devices == 1000
+        assert _payload(serial) == _payload(parallel)
+
+    def test_city_block_1k_batched_equals_device_sample(self):
+        """Spot-check the engines against each other at real scale on a
+        slice (full 1000-device double-run would double the lane's cost)."""
+        spec = SCENARIOS.build("city-block-1k", num_devices=64)
+        assert _payload(FleetRunner(spec, engine="auto").run()) == _payload(
+            FleetRunner(spec, engine="device").run()
+        )

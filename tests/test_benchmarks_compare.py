@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark trajectory gate (benchmarks/compare.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_COMPARE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "compare.py",
+)
+spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare)
+
+
+class TestThroughputMetrics:
+    def test_flattens_nested_throughput_keys_only(self):
+        payload = {
+            "bench": "x",
+            "rounds": 5,
+            "fleet": {"devices": 32, "serial_devices_per_s": 100.0,
+                      "best_s": 0.2},
+            "cells_per_second": 7.5,
+        }
+        assert compare.throughput_metrics(payload) == {
+            "fleet.serial_devices_per_s": 100.0,
+            "cells_per_second": 7.5,
+        }
+
+    def test_booleans_are_not_metrics(self):
+        assert compare.throughput_metrics({"smoke_per_s": True}) == {}
+
+
+class TestCompareFile:
+    def _write(self, path, payload):
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return str(path)
+
+    def test_within_threshold_passes(self, tmp_path):
+        base = self._write(tmp_path / "b.json", {"x_per_s": 100.0})
+        fresh = self._write(tmp_path / "f.json", {"x_per_s": 80.0})
+        assert compare.compare_file(fresh, base, max_regress=0.25) == []
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        base = self._write(tmp_path / "b.json", {"x_per_s": 100.0})
+        fresh = self._write(tmp_path / "f.json", {"x_per_s": 70.0})
+        problems = compare.compare_file(fresh, base, max_regress=0.25)
+        assert len(problems) == 1
+        assert "x_per_s" in problems[0]
+
+    def test_missing_metric_in_fresh_run_fails(self, tmp_path):
+        base = self._write(tmp_path / "b.json", {"x_per_s": 100.0})
+        fresh = self._write(tmp_path / "f.json", {"other": 1})
+        problems = compare.compare_file(fresh, base, max_regress=0.25)
+        assert "missing" in problems[0]
+
+    def test_faster_fresh_run_passes(self, tmp_path):
+        base = self._write(tmp_path / "b.json", {"x_per_s": 100.0})
+        fresh = self._write(tmp_path / "f.json", {"x_per_s": 400.0})
+        assert compare.compare_file(fresh, base, max_regress=0.25) == []
+
+    def test_fallback_recorded_parallel_metrics_are_not_gated(self, tmp_path):
+        """A serial-fallback 'parallel' timing must not gate a genuine pool
+        timing from a machine with a different CPU budget (either side)."""
+        base = self._write(
+            tmp_path / "b.json",
+            {"fleet": {"serial_per_s": 100.0, "parallel_devices_per_s": 1700.0,
+                       "parallel_fell_back_to_serial": True}},
+        )
+        fresh = self._write(
+            tmp_path / "f.json",
+            {"fleet": {"serial_per_s": 95.0, "parallel_devices_per_s": 600.0,
+                       "parallel_fell_back_to_serial": False}},
+        )
+        assert compare.compare_file(fresh, base, max_regress=0.25) == []
+        # ...but the serial metric in the same section is still gated.
+        slow = self._write(
+            tmp_path / "s.json",
+            {"fleet": {"serial_per_s": 10.0, "parallel_devices_per_s": 600.0,
+                       "parallel_fell_back_to_serial": False}},
+        )
+        problems = compare.compare_file(slow, base, max_regress=0.25)
+        assert len(problems) == 1 and "serial_per_s" in problems[0]
+
+
+class TestMain:
+    def test_missing_fresh_payload_is_a_failure(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        with open(baseline / "BENCH_x.json", "w") as fh:
+            json.dump({"a_per_s": 10.0}, fh)
+        rc = compare.main(["--fresh", str(fresh), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "did not run" in capsys.readouterr().err
+
+    def test_clean_pass_returns_zero(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        for d in (baseline, fresh):
+            with open(d / "BENCH_x.json", "w") as fh:
+                json.dump({"a_per_s": 10.0}, fh)
+        rc = compare.main(["--fresh", str(fresh), "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_no_baselines_is_an_error(self, tmp_path):
+        rc = compare.main(
+            ["--fresh", str(tmp_path), "--baseline", str(tmp_path)]
+        )
+        assert rc == 2
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            compare.main(
+                ["--fresh", str(tmp_path), "--baseline", str(tmp_path),
+                 "--max-regress", "1.5"]
+            )

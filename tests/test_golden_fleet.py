@@ -18,7 +18,8 @@ is intentional, regenerate every golden with::
     CASES = [("dev-smoke", {}), ("dev-smoke", {"num_devices": 4}),
              ("solar-farm-100", {"num_devices": 4}),
              ("indoor-rf-swarm", {"num_devices": 4}),
-             ("mixed-harvester-city", {"num_devices": 4})]
+             ("mixed-harvester-city", {"num_devices": 4}),
+             ("city-block-1k", {"num_devices": 4})]
     for scenario, overrides in CASES:
         result = FleetRunner(SCENARIOS.build(scenario, **overrides), workers=1).run()
         suffix = f"{overrides['num_devices']}dev" if overrides else "default"
@@ -62,16 +63,35 @@ def test_serial_aggregate_matches_golden(path):
     assert json.loads(json.dumps(result.aggregate())) == golden["aggregate"]
 
 
+@pytest.mark.parametrize("path", GOLDEN_FILES, ids=_case_id)
+@pytest.mark.parametrize("engine", ["batched", "device"])
+def test_engine_choice_matches_golden(path, engine):
+    """The lockstep batched engine must reproduce the same bits as the
+    per-device path on every golden (the PR-4 determinism contract)."""
+    golden = _load(path)
+    spec = SCENARIOS.build(golden["scenario"], **golden["overrides"])
+    eligible = all(d.execution == "single-cycle" for d in spec.devices)
+    if engine == "batched" and not eligible:
+        engine = "auto"  # mixed fleets route ineligible devices per-device
+    result = FleetRunner(spec, workers=1, engine=engine).run()
+    assert json.loads(json.dumps(result.aggregate())) == golden["aggregate"]
+
+
 @pytest.mark.parametrize(
     "path",
     [p for p in GOLDEN_FILES if "dev-smoke" in p or "mixed" in p],
     ids=_case_id,
 )
 def test_parallel_aggregate_matches_golden(path):
-    """Worker processes must reproduce the same bits as the serial run."""
+    """Worker processes must reproduce the same bits as the serial run.
+
+    ``parallel_threshold=1`` forces the pool path (these fleets are below
+    the auto fallback floor, and the whole point here is to exercise the
+    chunked batch dispatch + packed wire form end to end).
+    """
     golden = _load(path)
     spec = SCENARIOS.build(golden["scenario"], **golden["overrides"])
-    result = FleetRunner(spec, workers=2, chunksize=1).run()
+    result = FleetRunner(spec, workers=2, chunksize=1, parallel_threshold=1).run()
     assert json.loads(json.dumps(result.aggregate())) == golden["aggregate"]
 
 

@@ -1,0 +1,212 @@
+"""Unit tests for the batched controller groups (repro.runtime.batched)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.batched import (
+    FixedBatch,
+    GreedyBatch,
+    LUTBatch,
+    QLearningBatch,
+    batch_controllers,
+    batchable,
+    discretize_batch,
+)
+from repro.runtime.controller import (
+    Controller,
+    QLearningController,
+    StaticController,
+    make_controller,
+)
+from repro.runtime.incremental import ThresholdContinue
+from repro.runtime.policies import FixedExitPolicy, OraclePolicy
+from repro.runtime.qlearning import discretize
+from repro.runtime.state import RuntimeState, RuntimeStateBatch
+
+
+COSTS = [0.1, 0.3, 0.6, 1.0]
+
+
+def _state_batch(energy, charge, capacity=2.0, peak=1.0):
+    energy = np.asarray(energy, dtype=np.float64)
+    n = energy.size
+    return RuntimeStateBatch(
+        time=np.zeros(n),
+        energy_mj=energy,
+        capacity_mj=np.full(n, capacity),
+        charge_power_mw=np.asarray(charge, dtype=np.float64),
+        peak_power_mw=np.full(n, peak),
+    )
+
+
+class TestDiscretizeBatch:
+    def test_matches_scalar_discretize(self):
+        values = np.array([0.0, 0.09, 0.5, 0.999, 1.0])
+        got = discretize_batch(values, 10)
+        want = [discretize(float(v), 10) for v in values]
+        assert got.tolist() == want
+
+    def test_clamps_edges(self):
+        assert discretize_batch(np.array([1.5, -0.2]), 5).tolist() == [4, 0]
+
+
+class TestStateBatchGuards:
+    def test_zero_peak_charge_fraction_is_zero(self):
+        state = _state_batch([1.0], [0.5], peak=0.0)
+        idx = np.arange(1)
+        assert state.charge_fraction(idx).tolist() == [0.0]
+        assert state.charge_ratio(idx).tolist() == [0.0]
+
+    def test_fractions_match_scalar_runtime_state(self):
+        state = _state_batch([0.5, 2.0], [0.2, 1.5], capacity=2.0, peak=1.0)
+        idx = np.arange(2)
+        for i in range(2):
+            scalar = RuntimeState(
+                time=0.0, energy_mj=float(state.energy_mj[i]),
+                capacity_mj=2.0, charge_power_mw=float(state.charge_power_mw[i]),
+                peak_power_mw=1.0,
+            )
+            assert state.energy_fraction(idx)[i] == scalar.energy_fraction
+            assert state.charge_fraction(idx)[i] == scalar.charge_fraction
+
+
+class TestGroupDecisions:
+    def _controllers(self, kind, n, **params):
+        return [
+            make_controller(kind, 4, exit_energies_mj=COSTS, capacity_mj=2.0,
+                            rng=7 + i, **params)
+            for i in range(n)
+        ]
+
+    def _cost_matrix(self, n):
+        return np.tile(np.asarray(COSTS), (n, 1))
+
+    def test_fixed_batch_matches_scalar(self):
+        controllers = self._controllers("fixed", 3, exit_index=1)
+        group = FixedBatch(3, [0, 1, 2], controllers, self._cost_matrix(3))
+        state = _state_batch([0.05, 0.3, 1.0], [0.5, 0.5, 0.5])
+        got = group.select_exit_batch(np.arange(3), state).tolist()
+        want = [
+            c.select_exit(
+                RuntimeState(0.0, float(state.energy_mj[i]), 2.0, 0.5, 1.0),
+                COSTS,
+            )
+            for i, c in enumerate(controllers)
+        ]
+        assert got == want == [-1, 1, 1]
+
+    def test_greedy_batch_matches_scalar(self):
+        controllers = self._controllers("greedy", 4, reserve_fraction=0.2)
+        group = GreedyBatch(4, [0, 1, 2, 3], controllers, self._cost_matrix(4))
+        state = _state_batch([0.1, 0.5, 1.2, 2.0], [0.5] * 4)
+        got = group.select_exit_batch(np.arange(4), state).tolist()
+        want = [
+            c.select_exit(
+                RuntimeState(0.0, float(state.energy_mj[i]), 2.0, 0.5, 1.0),
+                COSTS,
+            )
+            for i, c in enumerate(controllers)
+        ]
+        assert got == want
+
+    def test_lut_batch_matches_scalar(self):
+        controllers = self._controllers("static-lut", 4)
+        group = LUTBatch(4, [0, 1, 2, 3], controllers, self._cost_matrix(4))
+        state = _state_batch([0.0, 0.31, 0.61, 2.0], [0.5] * 4)
+        got = group.select_exit_batch(np.arange(4), state).tolist()
+        want = [
+            c.select_exit(
+                RuntimeState(0.0, float(state.energy_mj[i]), 2.0, 0.5, 1.0),
+                COSTS,
+            )
+            for i, c in enumerate(controllers)
+        ]
+        assert got == want
+
+    def test_qlearning_batch_matches_scalar_episode(self):
+        """One full select/report/end_episode cycle against scalar twins."""
+        batched_ctrls = self._controllers("qlearning", 2, epsilon=0.25)
+        scalar_ctrls = self._controllers("qlearning", 2, epsilon=0.25)
+        group = QLearningBatch(2, [0, 1], batched_ctrls, self._cost_matrix(2))
+        idx = np.arange(2)
+        energies = [[1.0, 0.4], [0.9, 1.3], [0.2, 1.8]]
+        for energy in energies:
+            state = _state_batch(energy, [0.5, 0.7])
+            got = group.select_exit_batch(idx, state).tolist()
+            want = []
+            for i, c in enumerate(scalar_ctrls):
+                want.append(
+                    c.select_exit(
+                        RuntimeState(0.0, energy[i], 2.0,
+                                     float(state.charge_power_mw[i]), 1.0),
+                        COSTS,
+                    )
+                )
+            assert got == want
+            rewards = np.array([1.0, 0.0])
+            group.report_event_batch(idx, rewards)
+            for i, c in enumerate(scalar_ctrls):
+                c.report_event(float(rewards[i]))
+        group.end_episode_batch(idx)
+        for c in scalar_ctrls:
+            c.end_episode()
+        for i, c in enumerate(scalar_ctrls):
+            np.testing.assert_array_equal(group._tables[i], c.qtable.table)
+            assert group._epsilon[i] == c.qtable.epsilon
+
+
+class TestBatchability:
+    def test_presets_are_batchable(self):
+        for kind, params in (
+            ("qlearning", {}), ("static-lut", {}), ("greedy", {}),
+            ("fixed", {}),
+        ):
+            c = make_controller(kind, 4, exit_energies_mj=COSTS,
+                                capacity_mj=2.0, rng=0, **params)
+            assert batchable(c)
+
+    def test_learned_continue_rule_is_not_batchable(self):
+        c = make_controller(
+            "greedy", 4, exit_energies_mj=COSTS, capacity_mj=2.0,
+            continue_rule=ThresholdContinue(0.5),
+        )
+        assert not batchable(c)
+
+    def test_unknown_policy_is_not_batchable(self):
+        c = StaticController(OraclePolicy(COSTS, [], None, 2.0))
+        assert not batchable(c)
+        with pytest.raises(ConfigError, match="cannot be batched"):
+            batch_controllers([c], np.tile(np.asarray(COSTS), (1, 1)))
+
+    def test_groups_partition_by_family(self):
+        controllers = [
+            make_controller("fixed", 4, exit_energies_mj=COSTS, capacity_mj=2.0),
+            make_controller("greedy", 4, exit_energies_mj=COSTS, capacity_mj=2.0),
+            make_controller("fixed", 4, exit_energies_mj=COSTS, capacity_mj=2.0),
+        ]
+        groups, group_of = batch_controllers(
+            controllers, np.tile(np.asarray(COSTS), (3, 1))
+        )
+        assert len(groups) == 2
+        assert group_of[0] == group_of[2] != group_of[1]
+
+
+class TestFixedBatchValidation:
+    def test_out_of_range_exit_index_raises_at_construction(self):
+        """The scalar path IndexErrors on a fixed exit past the profile;
+        the batched group must surface the misconfiguration loudly too
+        instead of treating the +inf padding as a perpetual miss."""
+        controllers = [
+            StaticController(FixedExitPolicy(2)),  # only exits 0..1 exist
+            StaticController(FixedExitPolicy(0)),
+        ]
+        cost = np.array([[0.1, 0.3, np.inf], [0.1, 0.3, 0.6]])
+        with pytest.raises(ConfigError, match="exit_index"):
+            FixedBatch(2, [0, 1], controllers, cost)
+
+    def test_in_range_indices_construct(self):
+        controllers = [StaticController(FixedExitPolicy(1))]
+        group = FixedBatch(1, [0], controllers, np.array([[0.1, 0.3]]))
+        state = _state_batch([1.0], [0.5])
+        assert group.select_exit_batch(np.arange(1), state).tolist() == [1]

@@ -112,3 +112,69 @@ class TestPooledDraws:
     def test_rejects_bad_block(self):
         with pytest.raises(ValueError):
             PooledDraws(0, block=0)
+
+
+class TestDrawBatch:
+    """DrawBatch must reproduce each device's PooledDraws stream exactly."""
+
+    def _scalar_stream(self, seed, script):
+        pool = PooledDraws(seed)
+        out = []
+        for kind in script:
+            if kind == "r":
+                out.append(pool.random())
+            elif kind == "i":
+                out.append(pool.integers(4))
+            else:
+                out.append(pool.beta(2.0, 8.0))
+        return out
+
+    def test_matches_per_device_pooled_draws(self):
+        from repro.utils.rng import DrawBatch
+
+        seeds = [3, 11, 27]
+        batch = DrawBatch(seeds)
+        # Interleave kinds per device exactly like a scalar PooledDraws
+        # consumer would; cross-device interleaving must not matter.
+        script = "rribrirbbri"
+        got = {i: [] for i in range(len(seeds))}
+        all_idx = np.arange(len(seeds))
+        for kind in script:
+            if kind == "r":
+                vals = batch.random(all_idx)
+            elif kind == "i":
+                vals = batch.integers(4, all_idx)
+            else:
+                vals = batch.beta(2.0, 8.0, all_idx)
+            for i, v in enumerate(vals):
+                got[i].append(v)
+        for i, seed in enumerate(seeds):
+            assert got[i] == self._scalar_stream(seed, script)
+
+    def test_subset_takes_preserve_per_device_order(self):
+        from repro.utils.rng import DrawBatch
+
+        batch = DrawBatch([5, 6])
+        # Device 0 draws r, r; device 1 draws r only — via masked takes.
+        first = batch.random(np.arange(2))
+        second = batch.random(np.array([0]))
+        scalar0 = PooledDraws(5)
+        scalar1 = PooledDraws(6)
+        assert [first[0], second[0]] == [scalar0.random(), scalar0.random()]
+        assert [first[1]] == [scalar1.random()]
+
+    def test_refill_across_block_boundary_matches(self):
+        from repro.utils.rng import DrawBatch
+
+        batch = DrawBatch([9], block=4)
+        scalar = PooledDraws(9, block=4)
+        idx = np.arange(1)
+        got = [float(batch.random(idx)[0]) for _ in range(11)]
+        want = [scalar.random() for _ in range(11)]
+        assert got == want
+
+    def test_rejects_bad_block(self):
+        from repro.utils.rng import DrawBatch
+
+        with pytest.raises(ValueError):
+            DrawBatch([0], block=0)
