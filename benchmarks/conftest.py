@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
 
 from repro import zoo

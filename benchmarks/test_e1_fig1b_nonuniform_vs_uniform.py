@@ -7,7 +7,6 @@ selects.  (Paper values: full 64.9/72.0/73.0, uniform 57.3/65.2/67.5,
 nonuniform 61.9/68.5/69.9.)
 """
 
-from repro import zoo
 from repro.compress import Compressor, fit_uniform_spec
 from repro.compress.evaluator import evaluate_exits
 from repro.experiment import PAPER

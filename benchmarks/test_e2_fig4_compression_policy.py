@@ -9,7 +9,6 @@ the size budget by dropping to very low bitwidths (FC-B21/FC-B31 go to
 
 import numpy as np
 
-from repro.compress import Compressor
 from repro.experiment import PAPER
 from repro.models import MULTI_EXIT_LENET_LAYERS
 

@@ -7,8 +7,6 @@ latency: ours 18.0 time units vs 139.9 (Sonic), 183.4 (SpArSe), 56.7
 (LeNet) — 7.8x / 10.2x / 3.15x better.
 """
 
-from repro.models import PAPER_EXIT_FLOPS
-from repro.nn import profile_network
 
 from benchmarks.conftest import print_table
 

@@ -1,0 +1,201 @@
+"""P5 — batched intermittent-execution benchmarks, tracked across PRs.
+
+Measures what the PR-5 tentpole bought: the SONIC-style multi-power-cycle
+device class — previously the lockstep engine's biggest fallback — now
+runs through the vectorized
+:class:`~repro.intermittent.kernel.IntermittentFleetKernel`:
+
+* **all-intermittent 128** — a 128-device fleet of weak-RF SONIC
+  baselines through ``engine="batched"`` vs ``engine="device"``, measured
+  fresh in the same run; the acceptance floor is a 3x speedup (measured
+  ~4x on the reference container);
+* **intermittency-heavy scenarios** — the PR-5 ``brownout-grid-256`` and
+  ``duty-cycle-farm-512`` registry entries at full scale, end to end
+  through the strict batched engine (every device class they contain —
+  intermittent, threshold/learned continue rules — is batch-eligible);
+* **mixed city block 128** — a ``city-block-1k`` slice where the
+  intermittent baselines used to drag the whole fleet onto the
+  per-device path.
+
+Results land in ``benchmarks/BENCH_p5_intermittent_batch.json`` (or
+``benchmarks/.smoke/`` under ``BENCH_SMOKE=1``, which the CI regression
+gate diffs against the committed trajectory — see ``compare.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SMOKE as SMOKE
+from benchmarks.conftest import bench_output_path, print_table
+from repro.fleet import DeviceSpec, FleetSpec, SCENARIOS, FleetRunner
+
+ROUNDS = 1 if SMOKE else 3
+FLEET_SEED = 13
+
+#: Acceptance floor: batched vs per-device throughput on the
+#: all-intermittent 128-device fleet, measured fresh in the same run.
+SPEEDUP_FLOOR = 3.0
+
+BENCH_JSON = bench_output_path("BENCH_p5_intermittent_batch.json")
+
+_RESULTS: dict = {}
+
+
+def _all_intermittent_spec(devices: int = 128) -> FleetSpec:
+    """Weak-RF SONIC baselines: constant power cycling, busy + deadline
+    misses — the regime the scalar inner loop paid for per device."""
+    gen = np.random.default_rng(7)
+    specs = [
+        DeviceSpec(
+            name=f"int-{i:03d}",
+            trace={
+                "family": "rf",
+                "duration": 900.0,
+                "dt": 1.0,
+                "mean_mw": float(gen.uniform(0.004, 0.012)),
+            },
+            profile="sonic-single-exit",
+            controller={"kind": "fixed", "exit_index": 0},
+            storage={"capacity_mj": 1.0, "initial_fraction": 0.3},
+            events={"kind": "poisson", "rate_hz": 0.02},
+            execution="intermittent",
+        )
+        for i in range(devices)
+    ]
+    return FleetSpec(name=f"all-int-{devices}", seed=FLEET_SEED, devices=specs)
+
+
+def _best_run(make_runner, rounds: int = ROUNDS):
+    """(best wall seconds, last FleetResult) over fresh runner runs."""
+    make_runner().run()  # warm per-process caches (traces, profiles)
+    best, last = float("inf"), None
+    for _ in range(rounds):
+        result = make_runner().run()
+        best = min(best, result.wall_s)
+        last = result
+    return best, last
+
+
+def test_p5_all_intermittent_speedup():
+    devices = 128
+    spec = _all_intermittent_spec(devices)
+    batched_best, batched = _best_run(
+        lambda: FleetRunner(spec, workers=1, engine="batched")
+    )
+    device_best, device = _best_run(
+        lambda: FleetRunner(spec, workers=1, engine="device"),
+        rounds=1 if SMOKE else 2,
+    )
+    batched_dps = devices / batched_best
+    device_dps = devices / device_best
+    speedup = batched_dps / device_dps
+    _RESULTS["int128"] = {
+        "devices": devices,
+        "batched_best_s": batched_best,
+        "batched_devices_per_s": batched_dps,
+        "device_engine_best_s": device_best,
+        "device_engine_devices_per_s": device_dps,
+        "speedup": speedup,
+    }
+    print_table(
+        f"P5: {devices}-device all-intermittent fleet, engine comparison",
+        [
+            ("batched (kernel)", f"{batched_best * 1e3:.1f}", f"{batched_dps:.0f}"),
+            ("per-device", f"{device_best * 1e3:.1f}", f"{device_dps:.0f}"),
+        ],
+        ["engine", "best_ms", "devices/s"],
+    )
+    # Engines must agree bit-for-bit even under timing conditions.
+    assert json.dumps(batched.to_dict(), sort_keys=True) == json.dumps(
+        device.to_dict(), sort_keys=True
+    )
+    if not SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"intermittent batching too slow: {speedup:.2f}x < "
+            f"{SPEEDUP_FLOOR}x on the all-intermittent {devices}-device fleet"
+        )
+
+
+def test_p5_intermittency_heavy_scenarios():
+    """The new registry entries at full scale, strict batched engine."""
+    rows = []
+    section = {}
+    for name in ("brownout-grid-256", "duty-cycle-farm-512"):
+        spec = SCENARIOS.build(name)
+        best, result = _best_run(
+            lambda: FleetRunner(spec, workers=1, engine="batched"),
+            rounds=1 if SMOKE else 2,
+        )
+        dps = spec.num_devices / best
+        agg = result.aggregate()
+        section[name.replace("-", "_")] = {
+            "devices": spec.num_devices,
+            "batched_best_s": best,
+            "batched_devices_per_s": dps,
+            "missed": agg["missed"],
+            "processed": agg["processed"],
+        }
+        rows.append((name, spec.num_devices, f"{best:.3f}", f"{dps:.0f}"))
+    _RESULTS["scenarios"] = section
+    print_table(
+        "P5: intermittency-heavy scenarios, full scale (batched)",
+        rows,
+        ["scenario", "devices", "best_s", "devices/s"],
+    )
+    assert all(s["processed"] > 0 for s in section.values())
+
+
+def test_p5_mixed_city_block_slice():
+    """city-block-1k slice: the flagship mixed fleet no longer splits
+    across engines — every 8th (intermittent) device batches too."""
+    devices = 128
+    spec = SCENARIOS.build("city-block-1k", num_devices=devices)
+    batched_best, batched = _best_run(
+        lambda: FleetRunner(spec, workers=1, engine="batched"),
+        rounds=1 if SMOKE else 2,
+    )
+    device_best, device = _best_run(
+        lambda: FleetRunner(spec, workers=1, engine="device"),
+        rounds=1 if SMOKE else 2,
+    )
+    batched_dps = devices / batched_best
+    device_dps = devices / device_best
+    _RESULTS["cityblock128"] = {
+        "devices": devices,
+        "batched_best_s": batched_best,
+        "batched_devices_per_s": batched_dps,
+        "device_engine_best_s": device_best,
+        "device_engine_devices_per_s": device_dps,
+        "speedup": batched_dps / device_dps,
+    }
+    print_table(
+        f"P5: {devices}-device mixed city block, engine comparison",
+        [
+            ("batched", f"{batched_best * 1e3:.1f}", f"{batched_dps:.0f}"),
+            ("per-device", f"{device_best * 1e3:.1f}", f"{device_dps:.0f}"),
+        ],
+        ["engine", "best_ms", "devices/s"],
+    )
+    assert json.dumps(batched.to_dict(), sort_keys=True) == json.dumps(
+        device.to_dict(), sort_keys=True
+    )
+
+
+def test_p5_write_bench_json():
+    """Flush the machine-readable trajectory file (always runs last)."""
+    missing = {"int128", "scenarios", "cityblock128"} - set(_RESULTS)
+    assert not missing, f"earlier P5 sections did not run: {sorted(missing)}"
+    payload = {
+        "bench": "p5_intermittent_batch",
+        "smoke": SMOKE,
+        "rounds": ROUNDS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        **_RESULTS,
+    }
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nBENCH_p5_intermittent_batch: {json.dumps(payload, sort_keys=True)}")

@@ -25,7 +25,7 @@ import hashlib
 import json
 import re
 from typing import Optional
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.fleet.scenarios import SCENARIOS

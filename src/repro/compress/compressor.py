@@ -102,7 +102,7 @@ class CompressedModel:
         straight-through gradients; calling this after every optimizer
         step keeps the pruning structurally intact.
         """
-        by_name = {l.name: l for l in self.net.weighted_layers()}
+        by_name = {ly.name: ly for ly in self.net.weighted_layers()}
         for name, mask in self.masks.items():
             by_name[name].weight.data[~mask] = 0.0
 
@@ -140,7 +140,7 @@ def _consumer_edges(net: MultiExitNetwork) -> dict:
     when a conv feeds a linear through a Flatten (block mapping).
     """
     def weighted(seq):
-        return [l for l in seq if isinstance(l, (Conv2d, Linear))]
+        return [ly for ly in seq if isinstance(ly, (Conv2d, Linear))]
 
     edges: dict = {}
 
@@ -207,14 +207,14 @@ class Compressor:
         profile = profile_network(net, self.input_shape)
         clone = copy.deepcopy(net)
         layers = clone.weighted_layers()
-        names = [l.name for l in layers]
+        names = [ly.name for ly in layers]
         for name in names:
             if name not in spec:
                 raise CompressionError(f"spec is missing layer {name!r}")
 
         # --- pruning: choose kept input channels from original weights ----
         kept_in: dict = {}
-        weight_masks = {l.name: np.ones(l.weight.data.shape, dtype=bool) for l in layers}
+        weight_masks = {ly.name: np.ones(ly.weight.data.shape, dtype=bool) for ly in layers}
         for layer in layers:
             lc = spec[layer.name]
             kept = kept_channel_indices(
@@ -232,7 +232,6 @@ class Compressor:
         # --- producer-side cleanup: drop outputs no consumer keeps --------
         edges = _consumer_edges(clone)
         kept_out: dict = {}
-        by_name = {l.name: l for l in layers}
         for layer in layers:
             consumers = edges.get(layer.name, [])
             n = layer.weight.data.shape[0]

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.compress.compressor import CompressedModel
 from repro.data.dataset import Dataset

@@ -20,7 +20,7 @@ def make_uniform_spec(
     net: MultiExitNetwork, preserve_ratio: float, weight_bits: int = 32, act_bits: int = 32
 ) -> CompressionSpec:
     """Uniform spec over all weighted layers of ``net``."""
-    names = [l.name for l in net.weighted_layers()]
+    names = [ly.name for ly in net.weighted_layers()]
     return CompressionSpec.uniform(names, preserve_ratio, weight_bits, act_bits)
 
 

@@ -58,7 +58,7 @@ from repro.fleet.results import (
     pack_device_results,
     unpack_device_results,
 )
-from repro.fleet.spec import DeviceSpec, FleetSpec
+from repro.fleet.spec import FleetSpec
 from repro.intermittent.mcu import MSP432
 from repro.runtime.controller import make_controller
 from repro.sim.profiles import InferenceProfile
@@ -283,15 +283,17 @@ def run_device(task) -> DeviceResult:
 def run_device_batch(tasks, engine: str = "auto") -> list:
     """Simulate many devices in one process; returns DeviceResults in task order.
 
-    Batch-eligible devices (profile-mode single-cycle, non-csv trace,
-    batchable controller — see :func:`repro.sim.batch.batch_eligible`) run
-    in lockstep through one :class:`~repro.sim.batch.BatchedFleetEngine`;
-    the rest run one at a time through :func:`run_device`.  With
-    ``engine="batched"`` an ineligible device is a :class:`ConfigError`
+    Batch-eligible devices (profile-mode single-cycle or intermittent
+    execution, non-csv trace, batchable controller/continue rule — see
+    :func:`repro.sim.batch.batch_eligible`) run in lockstep through one
+    :class:`~repro.sim.batch.BatchedFleetEngine`; the rest run one at a
+    time through :func:`run_device`.  With ``engine="batched"`` an
+    ineligible device is a :class:`ConfigError` naming each offender and
+    *why* it cannot batch (execution mode vs trace family vs controller)
     instead of a fallback; ``engine="device"`` skips the lockstep engine
     entirely.  All three produce bit-identical results.
     """
-    from repro.sim.batch import BatchedFleetEngine, batch_eligible
+    from repro.sim.batch import BatchedFleetEngine, batch_eligible, batch_ineligibility
 
     if engine not in ENGINES:
         raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -299,9 +301,13 @@ def run_device_batch(tasks, engine: str = "auto") -> list:
         return [run_device(t) for t in tasks]
     eligible = [t for t in tasks if batch_eligible(t[1])]
     if engine == "batched" and len(eligible) != len(tasks):
-        names = [t[1].name for t in tasks if not batch_eligible(t[1])]
+        reasons = "; ".join(
+            f"{t[1].name}: {batch_ineligibility(t[1])}"
+            for t in tasks
+            if not batch_eligible(t[1])
+        )
         raise ConfigError(
-            f"engine='batched' but devices are not batch-eligible: {names}"
+            f"engine='batched' but devices are not batch-eligible: {reasons}"
         )
     by_index = {}
     if eligible:
@@ -394,11 +400,11 @@ class FleetRunner:
     ``engine`` selects the per-device simulation form:
 
     * ``"auto"`` (default) — the lockstep batched engine for every
-      batch-eligible device (profile-mode single-cycle fleets), with a
-      per-device fallback for the rest (dataset mode, intermittent
-      execution, csv traces, unbatchable controllers);
-    * ``"batched"`` — like auto, but an ineligible device raises instead
-      of falling back;
+      batch-eligible device (profile-mode single-cycle *and* intermittent
+      execution, continue rules included), with a per-device fallback for
+      the rest (dataset mode, csv traces, unbatchable controllers);
+    * ``"batched"`` — like auto, but an ineligible device raises (naming
+      each device and why) instead of falling back;
     * ``"device"`` — the original one-simulator-per-device path.
 
     All engines produce bit-identical results (see ``tests/golden/``).

@@ -322,6 +322,170 @@ def city_block(num_devices: int = 1000, seed: int = 31, duration: float = 3600.0
 
 
 @SCENARIOS.register(
+    "brownout-grid-256",
+    "256 urban grid-edge sensors riding brownout-prone harvesters: weak "
+    "RF links and shaded solar with undersized capacitors, so devices "
+    "power-cycle constantly.  Every other node is a SONIC-style "
+    "intermittent baseline; the single-cycle half mixes Q-learning and "
+    "greedy runtimes with threshold/learned continue rules — the full "
+    "PR-5 batched-engine eligibility surface in one fleet.",
+)
+def brownout_grid(num_devices: int = 256, seed: int = 47, duration: float = 1800.0) -> FleetSpec:
+    gen = _layout_rng(seed)
+    devices = []
+    for i in range(num_devices):
+        family = ("rf", "solar", "piezo")[i % 3]
+        if family == "rf":
+            trace = {
+                "family": "rf",
+                "duration": duration,
+                "dt": 1.0,
+                "mean_mw": float(gen.uniform(0.003, 0.009)),
+            }
+        elif family == "solar":
+            trace = {
+                "family": "solar",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": 0.02 * float(gen.uniform(0.5, 1.0)),
+                "cloud_bias": 0.8,  # heavy occlusion: long brown-out dips
+            }
+        else:
+            trace = {
+                "family": "piezo",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.015, 0.04)),
+                "duty_cycle": float(gen.uniform(0.25, 0.5)),
+            }
+        storage = {
+            "capacity_mj": float(gen.uniform(0.8, 1.4)),
+            "initial_fraction": 0.3,
+        }
+        if i % 2 == 1:
+            profile, controller, execution = (
+                "sonic-single-exit",
+                {"kind": "fixed", "exit_index": 0},
+                "intermittent",
+            )
+        else:
+            profile, execution = "paper-multi-exit", "single-cycle"
+            if i % 4 == 0:
+                controller = {
+                    "kind": "qlearning",
+                    "epsilon": 0.25,
+                    "epsilon_decay": 0.9,
+                    "continue_rule": {"kind": "learned", "epsilon": 0.2},
+                }
+            else:
+                controller = {
+                    "kind": "greedy",
+                    "reserve_fraction": 0.15,
+                    "continue_rule": {
+                        "kind": "threshold",
+                        "entropy_threshold": 0.45,
+                    },
+                }
+        devices.append(
+            DeviceSpec(
+                name=f"{family}-{i:03d}",
+                trace=trace,
+                profile=profile,
+                controller=controller,
+                storage=storage,
+                events={"kind": "poisson", "rate_hz": 0.015},
+                execution=execution,
+                episodes=2 if controller["kind"] == "qlearning" else 1,
+            )
+        )
+    return FleetSpec(
+        name="brownout-grid-256",
+        seed=seed,
+        description="brownout-prone urban grid-edge sensors",
+        devices=devices,
+    )
+
+
+@SCENARIOS.register(
+    "duty-cycle-farm-512",
+    "512 machine-mounted piezo/kinetic harvesters on a factory floor of "
+    "duty-cycled equipment.  Every 4th mount is a SONIC-style "
+    "intermittent baseline waiting out the off-cycles; the rest run "
+    "multi-exit inference with learned continue rules, leaking a little "
+    "charge between shifts — the batched engine's largest "
+    "intermittency-heavy workload after city-block-1k.",
+)
+def duty_cycle_farm(num_devices: int = 512, seed: int = 53, duration: float = 1800.0) -> FleetSpec:
+    gen = _layout_rng(seed)
+    devices = []
+    for i in range(num_devices):
+        if i % 2 == 0:
+            trace = {
+                "family": "piezo",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.02, 0.05)),
+                "duty_cycle": float(gen.uniform(0.3, 0.6)),
+                "cycle_period_s": float(gen.uniform(90.0, 180.0)),
+            }
+        else:
+            trace = {
+                "family": "kinetic",
+                "duration": duration,
+                "dt": 1.0,
+                "burst_power_mw": float(gen.uniform(0.04, 0.1)),
+                "burst_rate_hz": 0.006,
+                "burst_length_s": 60.0,
+                "base_mw": 0.0015,
+            }
+        storage = {
+            "capacity_mj": 1.6,
+            "initial_fraction": 0.4,
+            "leakage_mw": 0.0004,
+        }
+        if i % 4 == 3:
+            profile, controller, execution = (
+                "sonic-single-exit",
+                {"kind": "fixed", "exit_index": 0},
+                "intermittent",
+            )
+        else:
+            profile, execution = "paper-multi-exit", "single-cycle"
+            controller = {
+                "kind": "qlearning",
+                "epsilon": 0.25,
+                "epsilon_decay": 0.9,
+                "continue_rule": {"kind": "learned"},
+            }
+            if i % 8 == 2:
+                controller = {
+                    "kind": "static-lut",
+                    "continue_rule": {
+                        "kind": "threshold",
+                        "entropy_threshold": 0.5,
+                    },
+                }
+        devices.append(
+            DeviceSpec(
+                name=f"mount-{i:03d}",
+                trace=trace,
+                profile=profile,
+                controller=controller,
+                storage=storage,
+                events={"kind": "uniform", "count": 30},
+                execution=execution,
+                episodes=2 if controller["kind"] == "qlearning" else 1,
+            )
+        )
+    return FleetSpec(
+        name="duty-cycle-farm-512",
+        seed=seed,
+        description="duty-cycled factory-floor harvester farm",
+        devices=devices,
+    )
+
+
+@SCENARIOS.register(
     "dev-smoke",
     "5 tiny devices (one per harvesting family) for tests, docs, and CI.",
 )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.runtime.controller import CONTROLLER_KINDS
+from repro.runtime.incremental import CONTINUE_RULE_KINDS, ContinueRule
 
 #: Trace families the runner can build (see repro.energy.traces).
 TRACE_FAMILIES = ("solar", "kinetic", "rf", "wind", "piezo", "constant", "csv")
@@ -65,12 +66,25 @@ class DeviceSpec:
                 f"device {self.name!r}: trace family must be one of "
                 f"{TRACE_FAMILIES}, got {family!r}"
             )
-        kind = dict(self.controller).get("kind")
+        controller = dict(self.controller)
+        kind = controller.get("kind")
         if kind not in CONTROLLER_KINDS:
             raise ConfigError(
                 f"device {self.name!r}: controller kind must be one of "
                 f"{CONTROLLER_KINDS}, got {kind!r}"
             )
+        rule = controller.get("continue_rule")
+        if rule is not None and not isinstance(rule, ContinueRule):
+            # Live ContinueRule instances are accepted for in-process use
+            # (they ran through make_controller before declarative rules
+            # existed, and still route to the per-device engine); anything
+            # else must be a declarative {"kind": ...} dict.
+            rule_kind = dict(rule).get("kind") if isinstance(rule, dict) else None
+            if rule_kind not in CONTINUE_RULE_KINDS:
+                raise ConfigError(
+                    f"device {self.name!r}: continue_rule kind must be one "
+                    f"of {CONTINUE_RULE_KINDS}, got {rule!r}"
+                )
         ekind = dict(self.events).get("kind")
         if ekind not in EVENT_KINDS:
             raise ConfigError(

@@ -5,5 +5,13 @@ from repro.intermittent.execution import (
     IntermittentExecutionEngine,
     IntermittentRun,
 )
+from repro.intermittent.kernel import IntermittentFleetKernel, run_job_scalar
 
-__all__ = ["MCUSpec", "MSP432", "IntermittentExecutionEngine", "IntermittentRun"]
+__all__ = [
+    "MCUSpec",
+    "MSP432",
+    "IntermittentExecutionEngine",
+    "IntermittentRun",
+    "IntermittentFleetKernel",
+    "run_job_scalar",
+]

@@ -8,6 +8,12 @@ continues.  This engine reproduces that behaviour so the paper's baseline
 latency/miss characteristics (indefinite multi-cycle waits under weak
 harvesting) emerge from the same mechanics.
 
+The loop itself lives in :mod:`repro.intermittent.kernel`
+(:func:`~repro.intermittent.kernel.run_job_scalar`), which is also the
+bit-identity reference for the batched fleet engine's vectorized form
+(:class:`~repro.intermittent.kernel.IntermittentFleetKernel`) — this
+class is the per-device driver the simulator talks to.
+
 The paper's own approach never needs this engine for a *selected* exit —
 its exit selection guarantees completion within the current charge — but
 the engine is also what makes the "wait for enough energy" comparison
@@ -16,28 +22,13 @@ concrete.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.energy.storage import EnergyStorage
 from repro.energy.traces import PowerTrace
 from repro.errors import SimulationError
+from repro.intermittent.kernel import IntermittentRun, run_job_scalar
 from repro.intermittent.mcu import MCUSpec
 
-
-@dataclass
-class IntermittentRun:
-    """Outcome of one intermittent inference."""
-
-    start_time: float
-    finish_time: float
-    energy_consumed_mj: float      # compute energy (the useful work)
-    overhead_energy_mj: float      # checkpoint/restore energy
-    power_cycles: int
-    completed: bool
-
-    @property
-    def latency_s(self) -> float:
-        return self.finish_time - self.start_time
+__all__ = ["IntermittentExecutionEngine", "IntermittentRun"]
 
 
 class IntermittentExecutionEngine:
@@ -63,54 +54,7 @@ class IntermittentExecutionEngine:
         waits).  Returns an incomplete run if ``deadline`` (default: end
         of trace) arrives first.
         """
-        if energy_mj < 0:
-            raise SimulationError("job energy cannot be negative")
-        deadline = self.trace.duration if deadline is None else deadline
-        dt = self.time_step
-        t = t_start
-        work_left = energy_mj
-        consumed = 0.0
-        overhead = 0.0
-        cycles = 0
-        shutdown_level = self.mcu.shutdown_threshold * storage.capacity_mj
-        wakeup_level = self.mcu.wakeup_threshold * storage.capacity_mj
-        active_power = self.mcu.active_power_mw
-        on = storage.level_mj > shutdown_level  # can start on current charge
-
-        while work_left > 1e-12:
-            if t >= deadline:
-                return IntermittentRun(t_start, t, consumed, overhead, cycles, False)
-            if not on:
-                # Power failure: recharge until the wakeup threshold.
-                storage.charge(self.trace.energy_between(t, t + dt))
-                storage.leak(dt)
-                t += dt
-                if storage.level_mj >= wakeup_level:
-                    on = True
-                    cycles += 1
-                    # Restore checkpointed state.
-                    restore = min(self.mcu.checkpoint_energy_mj / 2, storage.level_mj)
-                    storage.draw(restore)
-                    overhead += restore
-                    t += self.mcu.checkpoint_time_s
-                continue
-            if cycles == 0:
-                cycles = 1  # started on the initial charge, no restore cost
-            # One compute step: harvest and spend simultaneously.
-            step_work = min(work_left, active_power * dt)
-            step_time = step_work / active_power
-            storage.charge(self.trace.energy_between(t, t + step_time))
-            storage.leak(step_time)
-            if not storage.can_afford(step_work):
-                step_work = max(0.0, storage.level_mj - 1e-12)
-            storage.draw(step_work)
-            work_left -= step_work
-            consumed += step_work
-            t += step_time
-            if work_left > 1e-12 and storage.level_mj <= shutdown_level:
-                # Dying: checkpoint progress before the lights go out.
-                save = min(self.mcu.checkpoint_energy_mj / 2, storage.level_mj)
-                storage.draw(save)
-                overhead += save
-                on = False
-        return IntermittentRun(t_start, t, consumed, overhead, cycles, True)
+        return run_job_scalar(
+            self.trace, self.mcu, self.time_step, energy_mj, t_start, storage,
+            deadline=deadline,
+        )

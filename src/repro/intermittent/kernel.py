@@ -1,0 +1,484 @@
+"""Shared intermittent-execution kernel: scalar and lockstep forms.
+
+SONIC-style execution [9] runs one fixed inference across however many
+power cycles the harvested energy dictates: compute while the capacitor
+lasts, checkpoint at the shutdown threshold, power off, recharge to the
+wakeup threshold, restore, continue.  This module is the single home of
+that loop's arithmetic:
+
+* :func:`run_job_scalar` is the per-device Python loop (the former body of
+  ``IntermittentExecutionEngine.run_inference``, moved verbatim) — the
+  reference the batched form shadows;
+* :class:`IntermittentFleetKernel` is its device-axis twin for the batched
+  fleet engine (:mod:`repro.sim.batch`): every piece of mutable per-device
+  state — checkpoint progress (``work_left``), power state (``on``),
+  partial-cycle energy accounting (``consumed`` / ``overhead``), clocks,
+  event cursors — lives in a numpy column, and all intermittent devices of
+  a fleet advance one *micro-step* per pass.  A micro-step is either one
+  event boundary (miss check, charge-to-event, job start) or one iteration
+  of the multi-cycle loop (one recharge ``dt`` or one compute slice), so
+  devices interleave freely across events: a device three events ahead
+  keeps vectorizing alongside one still recharging through its first.
+
+Determinism contract
+--------------------
+The batched form is **bit-identical** to :func:`run_job_scalar` driven by
+:meth:`Simulator._run_intermittent_event`: every ledger operation
+(charge / leak / draw, the ``1e-12`` affordability epsilon, the
+``min``/``max`` clamps) is replicated elementwise in the scalar operation
+order, per-device trace queries reproduce ``PowerTrace._cum_at``'s
+interpolation arithmetic over stacked sample/cumulative-energy rows, and
+the only random draws (result difficulty and confidence entropy on a
+*completed* inference) are consumed from the same per-device streams
+through :class:`~repro.utils.rng.DrawBatch`.  Devices never interact, so
+only the within-device operation order matters, and the micro-step loop
+preserves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: ``miss_reason`` codes in the kernel's packed record arrays; kept equal
+#: to the batched engine's codes (see ``_REASONS`` in repro.sim.batch).
+REASON_NONE, REASON_BUSY, REASON_ENERGY = 0, 1, 2
+
+#: Work below this is "done" (the scalar loop's termination epsilon).
+_WORK_EPS = 1e-12
+
+
+@dataclass
+class IntermittentRun:
+    """Outcome of one intermittent inference."""
+
+    start_time: float
+    finish_time: float
+    energy_consumed_mj: float  # compute energy (the useful work)
+    overhead_energy_mj: float  # checkpoint/restore energy
+    power_cycles: int
+    completed: bool
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_time - self.start_time
+
+
+def run_job_scalar(
+    trace,
+    mcu,
+    time_step: float,
+    energy_mj: float,
+    t_start: float,
+    storage,
+    deadline: float = None,
+) -> IntermittentRun:
+    """Execute one job needing ``energy_mj`` of compute energy.
+
+    Mutates ``storage`` (harvesting continues during compute and waits).
+    Returns an incomplete run if ``deadline`` (default: end of trace)
+    arrives first.  This is the scalar reference loop; the batched kernel
+    below replicates it operation-for-operation across the device axis.
+    """
+    if energy_mj < 0:
+        raise SimulationError("job energy cannot be negative")
+    deadline = trace.duration if deadline is None else deadline
+    dt = time_step
+    t = t_start
+    work_left = energy_mj
+    consumed = 0.0
+    overhead = 0.0
+    cycles = 0
+    shutdown_level = mcu.shutdown_threshold * storage.capacity_mj
+    wakeup_level = mcu.wakeup_threshold * storage.capacity_mj
+    active_power = mcu.active_power_mw
+    on = storage.level_mj > shutdown_level  # can start on current charge
+
+    while work_left > _WORK_EPS:
+        if t >= deadline:
+            return IntermittentRun(t_start, t, consumed, overhead, cycles, False)
+        if not on:
+            # Power failure: recharge until the wakeup threshold.
+            storage.charge(trace.energy_between(t, t + dt))
+            storage.leak(dt)
+            t += dt
+            if storage.level_mj >= wakeup_level:
+                on = True
+                cycles += 1
+                # Restore checkpointed state.
+                restore = min(mcu.checkpoint_energy_mj / 2, storage.level_mj)
+                storage.draw(restore)
+                overhead += restore
+                t += mcu.checkpoint_time_s
+            continue
+        if cycles == 0:
+            cycles = 1  # started on the initial charge, no restore cost
+        # One compute step: harvest and spend simultaneously.
+        step_work = min(work_left, active_power * dt)
+        step_time = step_work / active_power
+        storage.charge(trace.energy_between(t, t + step_time))
+        storage.leak(step_time)
+        if not storage.can_afford(step_work):
+            step_work = max(0.0, storage.level_mj - _WORK_EPS)
+        storage.draw(step_work)
+        work_left -= step_work
+        consumed += step_work
+        t += step_time
+        if work_left > _WORK_EPS and storage.level_mj <= shutdown_level:
+            # Dying: checkpoint progress before the lights go out.
+            save = min(mcu.checkpoint_energy_mj / 2, storage.level_mj)
+            storage.draw(save)
+            overhead += save
+            on = False
+    return IntermittentRun(t_start, t, consumed, overhead, cycles, True)
+
+
+class IntermittentFleetKernel:
+    """Lockstep multi-cycle execution for a fleet's intermittent devices.
+
+    Construction stacks the per-device environment — padded trace
+    sample/cumulative-energy rows, capacitor parameters, MCU thresholds,
+    the fixed job (the profile's only selectable exit) — into columns.
+    :meth:`run_episode` then plays one whole episode (the full event
+    stream) for every participating device, mutating the engine's shared
+    state columns in place and returning packed per-event records.
+    """
+
+    def __init__(self, rows, devices):
+        """``rows`` are engine rows; ``devices`` the matching materialized
+        device objects (``trace`` / ``mcu`` / ``storage`` / ``profile`` /
+        ``exit_energy`` / ``exit_acc`` attributes, one per row)."""
+        self.rows = np.asarray(rows, dtype=np.int64)
+        k = len(devices)
+        if k != len(self.rows):
+            raise SimulationError("rows and devices must align")
+        max_n = max(d.trace.samples_mw.size for d in devices)
+        self._samples = np.zeros((k, max_n))
+        self._cum = np.zeros((k, max_n))
+        for i, d in enumerate(devices):
+            n = d.trace.samples_mw.size
+            self._samples[i, :n] = d.trace.samples_mw
+            self._cum[i, :n] = d.trace._cum_energy
+        self._n = np.array([d.trace.samples_mw.size for d in devices], np.int64)
+        self._dt = np.array([float(d.trace.dt) for d in devices])
+        self._duration = np.array([d.trace.duration for d in devices])
+        self._cum_total = np.array([d.trace.total_energy_mj for d in devices])
+        self._capacity = np.array([d.storage.capacity_mj for d in devices])
+        self._efficiency = np.array([d.storage.efficiency for d in devices])
+        self._leakage = np.array([d.storage.leakage_mw for d in devices])
+        self._shutdown = np.array(
+            [d.mcu.shutdown_threshold * d.storage.capacity_mj for d in devices]
+        )
+        self._wakeup = np.array(
+            [d.mcu.wakeup_threshold * d.storage.capacity_mj for d in devices]
+        )
+        self._active_power = np.array([d.mcu.active_power_mw for d in devices])
+        self._ckpt_half = np.array([d.mcu.checkpoint_energy_mj / 2 for d in devices])
+        self._ckpt_time = np.array([d.mcu.checkpoint_time_s for d in devices])
+        # The SONIC-style job: the profile's last (only) exit, fixed.
+        self._job_exit = np.array([d.profile.num_exits - 1 for d in devices], np.int64)
+        self._job_energy = np.array(
+            [d.exit_energy[-1] for d in devices], dtype=np.float64
+        )
+        self._job_acc = np.array([d.exit_acc[-1] for d in devices], dtype=np.float64)
+        self._no_leak = bool((self._leakage == 0.0).all())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------ #
+    def _cum_at(self, k: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """``PowerTrace._cum_at(_clip_time(t))`` over kernel rows ``k``.
+
+        Same interpolation arithmetic bit-for-bit, including the scalar
+        early-return for positions at or past the last sample.
+        """
+        tc = np.minimum(np.maximum(t, 0.0), self._duration[k])
+        pos = tc / self._dt[k]
+        last = self._n[k] - 1
+        past_end = pos >= last
+        i = np.minimum(pos.astype(np.int64), last - 1)
+        frac = pos - i
+        p0 = self._samples[k, i]
+        pt = (1 - frac) * p0 + frac * self._samples[k, i + 1]
+        partial = self._cum[k, i] + 0.5 * (p0 + pt) * (frac * self._dt[k])
+        return np.where(past_end, self._cum_total[k], partial)
+
+    def _energy_between(self, k, t0, t1):
+        """``PowerTrace.energy_between`` over kernel rows ``k``.
+
+        Both interval endpoints are evaluated in one stacked
+        :meth:`_cum_at` pass — the cumulative query is elementwise, so
+        fusing halves the per-call numpy dispatch the micro-step loop
+        pays, without touching any lane's arithmetic.
+        """
+        n = len(k)
+        cum = self._cum_at(np.concatenate((k, k)), np.concatenate((t0, t1)))
+        return cum[n:] - cum[:n]
+
+    def _charge(self, k, harvested, level, charged, wasted):
+        """``EnergyStorage.charge`` elementwise over kernel rows ``k``."""
+        banked = harvested * self._efficiency[k]
+        stored = np.minimum(banked, self._capacity[k] - level[k])
+        level[k] += stored
+        charged[k] += stored
+        wasted[k] += banked - stored
+
+    def _leak(self, k, elapsed, level, leaked):
+        """``EnergyStorage.leak`` elementwise over kernel rows ``k``.
+
+        Skipped outright for leak-free fleets: subtracting the exact 0.0
+        the scalar path computes is the identity on non-negative levels.
+        """
+        if self._no_leak:
+            return
+        lost = np.minimum(level[k], self._leakage[k] * elapsed)
+        level[k] -= lost
+        leaked[k] += lost
+
+    # ------------------------------------------------------------------ #
+    def run_episode(
+        self,
+        part: np.ndarray,
+        events: np.ndarray,
+        cum_at_event: np.ndarray,
+        n_events: np.ndarray,
+        level: np.ndarray,
+        drawn: np.ndarray,
+        t_charged: np.ndarray,
+        cum_charged: np.ndarray,
+        busy_until: np.ndarray,
+        draws,
+    ) -> dict:
+        """Play one episode for the participating devices.
+
+        ``part`` masks kernel rows; ``events`` / ``cum_at_event`` are
+        ``(max_events, k)`` per-device columns; the five state columns are
+        ``(k,)`` views the caller owns (mutated in place).  ``draws`` is
+        the engine's :class:`~repro.utils.rng.DrawBatch`, indexed by
+        *engine* rows.  Returns ``(max_events, k)`` record arrays plus the
+        episode's conservation ledger (charged / leaked / wasted sums, for
+        the property suite — the scalar path tracks the same totals on
+        :class:`~repro.energy.storage.EnergyStorage`).
+        """
+        k_total = len(self.rows)
+        max_ev = events.shape[0]
+        r_exit = np.full((max_ev, k_total), -1, np.int64)
+        r_correct = np.zeros((max_ev, k_total), bool)
+        r_latency = np.zeros((max_ev, k_total))
+        r_energy = np.zeros((max_ev, k_total))
+        r_entropy = np.ones((max_ev, k_total))
+        r_reason = np.full((max_ev, k_total), REASON_NONE, np.int8)
+        r_cycles = np.ones((max_ev, k_total), np.int64)
+        charged = np.zeros(k_total)
+        leaked = np.zeros(k_total)
+        wasted = np.zeros(k_total)
+
+        ev = np.zeros(k_total, np.int64)
+        in_inf = np.zeros(k_total, bool)
+        work = np.zeros(k_total)
+        consumed = np.zeros(k_total)
+        overhead = np.zeros(k_total)
+        cycles = np.zeros(k_total, np.int64)
+        t = np.zeros(k_total)
+        start = np.zeros(k_total)
+        on = np.zeros(k_total, bool)
+
+        pending = part & (ev < n_events)
+        while pending.any():
+            # ---- event boundaries: miss check, charge-to-event, job start
+            bnd = pending & ~in_inf
+            if bnd.any():
+                bi = np.nonzero(bnd)[0]
+                te = events[ev[bi], bi]
+                busy = te < busy_until[bi]
+                if busy.any():
+                    mi = bi[busy]
+                    r_reason[ev[mi], mi] = REASON_BUSY
+                    ev[mi] += 1
+                go = bi[~busy]
+                if go.size:
+                    te_go = te[~busy]
+                    ce = cum_at_event[ev[go], go]
+                    charging = te_go > t_charged[go]
+                    if charging.any():
+                        cg = go[charging]
+                        inc = np.maximum(ce[charging] - cum_charged[cg], 0.0)
+                        self._charge(cg, inc, level, charged, wasted)
+                        if not self._no_leak:
+                            self._leak(
+                                cg,
+                                te_go[charging] - t_charged[cg],
+                                level,
+                                leaked,
+                            )
+                        t_charged[cg] = te_go[charging]
+                        cum_charged[cg] = ce[charging]
+                    work[go] = self._job_energy[go]
+                    consumed[go] = 0.0
+                    overhead[go] = 0.0
+                    cycles[go] = 0
+                    t[go] = te_go
+                    start[go] = te_go
+                    on[go] = level[go] > self._shutdown[go]
+                    in_inf[go] = True
+            # ---- one multi-cycle loop iteration for in-flight inferences
+            inf = np.nonzero(in_inf & part)[0]
+            if inf.size:
+                # Loop-top termination test first, like the scalar while.
+                done = work[inf] <= _WORK_EPS
+                if done.any():
+                    ci = inf[done]
+                    er = self.rows[ci]
+                    difficulty = draws.random(er)
+                    correct = difficulty < self._job_acc[ci]
+                    entropy = np.empty(len(ci))
+                    if correct.any():
+                        entropy[correct] = draws.beta(2.0, 8.0, er[correct])
+                    wrong = ~correct
+                    if wrong.any():
+                        entropy[wrong] = draws.beta(5.0, 3.0, er[wrong])
+                    e = ev[ci]
+                    r_exit[e, ci] = self._job_exit[ci]
+                    r_correct[e, ci] = correct
+                    r_latency[e, ci] = t[ci] - start[ci]
+                    r_energy[e, ci] = consumed[ci] + overhead[ci]
+                    r_entropy[e, ci] = entropy
+                    r_cycles[e, ci] = cycles[ci]
+                    self._close_inference(
+                        ci, t, busy_until, t_charged, cum_charged, in_inf, ev
+                    )
+                act = inf[~done]
+                if act.size:
+                    late = t[act] >= self._duration[act]
+                    if late.any():
+                        di = act[late]
+                        e = ev[di]
+                        r_reason[e, di] = REASON_ENERGY
+                        r_latency[e, di] = t[di] - start[di]
+                        r_cycles[e, di] = cycles[di]
+                        self._close_inference(
+                            di, t, busy_until, t_charged, cum_charged, in_inf, ev
+                        )
+                    run = act[~late]
+                    if run.size:
+                        on_run = on[run]
+                        off = run[~on_run]
+                        if off.size:
+                            self._recharge_step(
+                                off,
+                                level,
+                                drawn,
+                                t,
+                                on,
+                                cycles,
+                                overhead,
+                                charged,
+                                leaked,
+                                wasted,
+                            )
+                        comp = run[on_run]
+                        if comp.size:
+                            self._compute_step(
+                                comp,
+                                level,
+                                drawn,
+                                t,
+                                on,
+                                cycles,
+                                work,
+                                consumed,
+                                overhead,
+                                charged,
+                                leaked,
+                                wasted,
+                            )
+            pending = part & (in_inf | (ev < n_events))
+        return {
+            "exit": r_exit,
+            "correct": r_correct,
+            "latency": r_latency,
+            "energy": r_energy,
+            "entropy": r_entropy,
+            "reason": r_reason,
+            "cycles": r_cycles,
+            "charged": charged,
+            "leaked": leaked,
+            "wasted": wasted,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _close_inference(
+        self, k, t, busy_until, t_charged, cum_charged, in_inf, ev
+    ) -> None:
+        """Inference over (completed or deadline): resume the ledger at
+        the finish time, exactly like the scalar simulator does."""
+        busy_until[k] = t[k]
+        t_charged[k] = t[k]
+        cum_charged[k] = self._cum_at(k, t[k])
+        in_inf[k] = False
+        ev[k] += 1
+
+    def _recharge_step(
+        self, off, level, drawn, t, on, cycles, overhead, charged, leaked, wasted
+    ) -> None:
+        """One powered-off ``dt``: harvest, leak, maybe wake + restore."""
+        h = self._energy_between(off, t[off], t[off] + self._dt[off])
+        self._charge(off, h, level, charged, wasted)
+        self._leak(off, self._dt[off], level, leaked)
+        t[off] += self._dt[off]
+        wake = off[level[off] >= self._wakeup[off]]
+        if wake.size:
+            on[wake] = True
+            cycles[wake] += 1
+            restore = np.minimum(self._ckpt_half[wake], level[wake])
+            level[wake] = np.maximum(0.0, level[wake] - restore)
+            drawn[wake] += restore
+            overhead[wake] += restore
+            t[wake] += self._ckpt_time[wake]
+
+    def _compute_step(
+        self,
+        comp,
+        level,
+        drawn,
+        t,
+        on,
+        cycles,
+        work,
+        consumed,
+        overhead,
+        charged,
+        leaked,
+        wasted,
+    ) -> None:
+        """One powered-on compute slice: harvest while spending, then
+        checkpoint and power down if the charge dipped to shutdown."""
+        fresh = comp[cycles[comp] == 0]
+        if fresh.size:
+            cycles[fresh] = 1  # started on the initial charge, no restore
+        step_work = np.minimum(work[comp], self._active_power[comp] * self._dt[comp])
+        step_time = step_work / self._active_power[comp]
+        h = self._energy_between(comp, t[comp], t[comp] + step_time)
+        self._charge(comp, h, level, charged, wasted)
+        self._leak(comp, step_time, level, leaked)
+        short = ~(level[comp] >= step_work - _WORK_EPS)
+        if short.any():
+            step_work = np.where(
+                short, np.maximum(0.0, level[comp] - _WORK_EPS), step_work
+            )
+        level[comp] = np.maximum(0.0, level[comp] - step_work)
+        drawn[comp] += step_work
+        work[comp] -= step_work
+        consumed[comp] += step_work
+        t[comp] += step_time
+        dying = comp[(work[comp] > _WORK_EPS) & (level[comp] <= self._shutdown[comp])]
+        if dying.size:
+            save = np.minimum(self._ckpt_half[dying], level[dying])
+            level[dying] = np.maximum(0.0, level[dying] - save)
+            drawn[dying] += save
+            overhead[dying] += save
+            on[dying] = False

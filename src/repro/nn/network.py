@@ -186,9 +186,9 @@ class MultiExitNetwork:
 
         ordered = []
         for seg in self.segments:
-            ordered.extend(l for l in seg if isinstance(l, (Conv2d, Linear)))
+            ordered.extend(ly for ly in seg if isinstance(ly, (Conv2d, Linear)))
         for branch in self.branches:
-            ordered.extend(l for l in branch if isinstance(l, (Conv2d, Linear)))
+            ordered.extend(ly for ly in branch if isinstance(ly, (Conv2d, Linear)))
         return ordered
 
     def layer_by_name(self, name: str) -> Layer:
@@ -203,8 +203,8 @@ class MultiExitNetwork:
 
         names = []
         for seg in self.segments[: exit_index + 1]:
-            names.extend(l.name for l in seg if isinstance(l, (Conv2d, Linear)))
+            names.extend(ly.name for ly in seg if isinstance(ly, (Conv2d, Linear)))
         names.extend(
-            l.name for l in self.branches[exit_index] if isinstance(l, (Conv2d, Linear))
+            ly.name for ly in self.branches[exit_index] if isinstance(ly, (Conv2d, Linear))
         )
         return names

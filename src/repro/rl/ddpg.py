@@ -13,7 +13,7 @@ the whole search runs without any external autograd framework.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.nn.network import Sequential
 from repro.nn.optim import Adam
 from repro.rl.noise import TruncatedNormalNoise
 from repro.rl.replay_buffer import ReplayBuffer, Transition
-from repro.utils.rng import as_generator, spawn
+from repro.utils.rng import spawn
 
 
 @dataclass

@@ -11,7 +11,7 @@ and the agents are rewarded per Eq. 10-12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -218,7 +218,7 @@ class LayerwiseCompressionEnv:
         self.weight_bits_bounds = (int(weight_bits_bounds[0]), int(weight_bits_bounds[1]))
         self.act_bits_bounds = (int(act_bits_bounds[0]), int(act_bits_bounds[1]))
         profile = profile_network(objective.net, objective.input_shape)
-        ordered = [l.name for l in objective.net.weighted_layers()]
+        ordered = [ly.name for ly in objective.net.weighted_layers()]
         self.layers = [
             _LayerInfo(
                 name=lp.name,
@@ -230,11 +230,11 @@ class LayerwiseCompressionEnv:
             )
             for lp in sorted(profile.layers, key=lambda lp: ordered.index(lp.name))
         ]
-        self.total_flops = float(sum(l.flops for l in self.layers))
-        self.total_weights = float(sum(l.weights for l in self.layers))
-        self._max_cin = max(l.cin for l in self.layers)
-        self._max_cout = max(l.cout for l in self.layers)
-        self._max_weights = max(l.weights for l in self.layers)
+        self.total_flops = float(sum(ly.flops for ly in self.layers))
+        self.total_weights = float(sum(ly.weights for ly in self.layers))
+        self._max_cin = max(ly.cin for ly in self.layers)
+        self._max_cout = max(ly.cout for ly in self.layers)
+        self._max_weights = max(ly.weights for ly in self.layers)
         self._reset_state()
 
     # ------------------------------------------------------------------ #
@@ -274,8 +274,8 @@ class LayerwiseCompressionEnv:
             prev_alpha, prev_bw, prev_ba = self._choices[-1]
         else:
             prev_alpha, prev_bw, prev_ba = 1.0, 8, 8
-        flops_remaining = sum(l.flops for l in self.layers[i:])
-        size_remaining = sum(l.weights for l in self.layers[i:]) * 32.0
+        flops_remaining = sum(ly.flops for ly in self.layers[i:])
+        size_remaining = sum(ly.weights for ly in self.layers[i:]) * 32.0
         return np.array(
             [
                 i / max(1, self.num_layers - 1),

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compress.spec import CompressionSpec, LayerCompression
+from repro.compress.spec import CompressionSpec
 from repro.errors import ConfigError
 from repro.rl.ddpg import DDPGAgent, DDPGConfig
 from repro.rl.env import OBSERVATION_DIM, LayerwiseCompressionEnv, ObjectiveResult

@@ -14,7 +14,14 @@ whole *vector* of devices at once.  This module provides that protocol:
   ``(devices, E, P, actions)`` array, applies the Eq. 16 update with fancy
   indexing (each device touches only its own slice, so scatter writes
   cannot collide), and consumes exploration variates through a
-  :class:`~repro.utils.rng.DrawBatch` over the per-device generators.
+  :class:`~repro.utils.rng.DrawBatch` over the per-device generators;
+* :func:`batch_continue_rules` does the same for the *second* runtime
+  decision: threshold rules vectorize to arithmetic
+  (:class:`ThresholdRuleBatch`), learned rules stack their continue/stop
+  Q-tables and replay the scalar trajectory-credit pass
+  (:class:`LearnedRuleBatch`); devices with incremental inference off
+  (:class:`~repro.runtime.incremental.NeverContinue`) skip the continue
+  loop entirely.
 
 Bit-identity contract: every group replicates the scalar controller's
 arithmetic operation-for-operation and consumes per-device random streams
@@ -28,7 +35,12 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.controller import Controller, QLearningController, StaticController
-from repro.runtime.incremental import NeverContinue
+from repro.runtime.incremental import (
+    CONTINUE,
+    IncrementalDecider,
+    NeverContinue,
+    ThresholdContinue,
+)
 from repro.runtime.policies import (
     FixedExitPolicy,
     GreedyEnergyPolicy,
@@ -305,11 +317,242 @@ class QLearningBatch(BatchedControllerGroup):
         )
 
 
+# --------------------------------------------------------------------- #
+# Continue-rule groups: the second runtime decision, across the device axis
+# --------------------------------------------------------------------- #
+
+class BatchedRuleGroup:
+    """One homogeneous slice of a fleet's continue rules.
+
+    The engine's incremental-inference loop asks, for a vector of devices
+    that just produced a result, "continue to the next exit?".  A rule
+    group answers for the rows it owns with the scalar rule's arithmetic
+    applied elementwise; a learned group additionally records the
+    per-device decision trajectory the scalar
+    :meth:`~repro.runtime.controller.Controller.decide_continue` would
+    have appended, and replays the scalar
+    :meth:`~repro.runtime.incremental.IncrementalDecider.observe_trajectory`
+    update chain when the event's reward arrives.
+    """
+
+    #: Does :meth:`decide_batch` consume RNG / record trajectories?
+    learns = False
+
+    def __init__(self, num_rows: int, rows, rules):
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.rules = list(rules)
+        self._local = np.full(num_rows, -1, dtype=np.int64)
+        self._local[self.rows] = np.arange(len(self.rows), dtype=np.int64)
+
+    def decide_batch(
+        self,
+        idx: np.ndarray,
+        entropy: np.ndarray,
+        energy_fraction: np.ndarray,
+        affordable: np.ndarray,
+    ) -> np.ndarray:
+        """Continue mask for the devices in ``idx`` (True = CONTINUE)."""
+        raise NotImplementedError
+
+    def observe_batch(self, idx: np.ndarray, rewards: np.ndarray) -> None:
+        """Event resolved: credit the recorded trajectories (learning)."""
+
+    def end_episode_batch(self, idx: np.ndarray) -> None:
+        """Episode boundary for the devices in ``idx``."""
+
+
+class ThresholdRuleBatch(BatchedRuleGroup):
+    """Vectorized :class:`ThresholdContinue`: continue while entropy is
+    high and the marginal inference is affordable.  Stateless, no RNG."""
+
+    def __init__(self, num_rows, rows, rules):
+        super().__init__(num_rows, rows, rules)
+        self._threshold = np.array(
+            [r.entropy_threshold for r in rules], dtype=np.float64
+        )
+
+    def decide_batch(self, idx, entropy, energy_fraction, affordable):
+        return affordable & (entropy > self._threshold[self._local[idx]])
+
+
+class LearnedRuleBatch(BatchedRuleGroup):
+    """Stacked :class:`IncrementalDecider` Q-tables with pooled draws.
+
+    Decision order per device replicates the scalar path exactly: an
+    unaffordable marginal is a draw-free STOP, an affordable one consumes
+    one uniform (plus one integer when exploring) from the rule's own
+    generator through :class:`~repro.utils.rng.DrawBatch`; every decision
+    records ``(state bins, action)`` for the trajectory credit pass.
+    ``decay_rows`` are the engine rows whose *exit* controller is
+    Q-learning — the scalar path only anneals a rule's epsilon from
+    :meth:`QLearningController.end_episode`, so a static-controller
+    device's learned rule never decays, and the batched twin must not
+    either.
+    """
+
+    learns = True
+
+    def __init__(self, num_rows, rows, rules, max_steps: int, decay_rows):
+        super().__init__(num_rows, rows, rules)
+        shapes = {r.qtable.table.shape for r in rules}
+        if len(shapes) != 1:
+            raise ConfigError("one learned-rule group must share table shape")
+        self._conf_bins, self._energy_bins, _ = shapes.pop()
+        m = len(rules)
+        self._tables = np.stack([r.qtable.table for r in rules])
+        self._alpha = np.array([r.qtable.alpha for r in rules])
+        self._gamma = np.array([r.qtable.gamma for r in rules])
+        self._epsilon = np.array([r.qtable.epsilon for r in rules])
+        self._eps_decay = np.array([r.qtable.epsilon_decay for r in rules])
+        self._eps_min = np.array([r.qtable.epsilon_min for r in rules])
+        self._draws = DrawBatch([r.qtable._rng for r in rules])
+        self._decay = np.zeros(m, dtype=bool)
+        self._decay[self._local[np.asarray(decay_rows, dtype=np.int64)]] = True
+        # Per-device decision trajectories for the current event, as
+        # (step, device) columns; ``max_steps`` bounds the continue chain
+        # (at most num_exits - 1 decisions per event).
+        steps = max(int(max_steps), 1)
+        self._traj_c = np.zeros((steps, m), dtype=np.int64)
+        self._traj_e = np.zeros((steps, m), dtype=np.int64)
+        self._traj_a = np.zeros((steps, m), dtype=np.int64)
+        self._traj_len = np.zeros(m, dtype=np.int64)
+
+    def decide_batch(self, idx, entropy, energy_fraction, affordable):
+        loc = self._local[idx]
+        c = discretize_batch(entropy, self._conf_bins)
+        e = discretize_batch(energy_fraction, self._energy_bins)
+        action = np.zeros(len(loc), dtype=np.int64)  # STOP unless selected
+        if affordable.any():
+            al = loc[affordable]
+            r = self._draws.random(al)
+            explore = r < self._epsilon[al]
+            chosen = self._tables[al, c[affordable], e[affordable]].argmax(
+                axis=-1
+            )
+            if explore.any():
+                chosen[explore] = self._draws.integers(2, al[explore])
+            action[affordable] = chosen
+        step = self._traj_len[loc]
+        self._traj_c[step, loc] = c
+        self._traj_e[step, loc] = e
+        self._traj_a[step, loc] = action
+        self._traj_len[loc] = step + 1
+        return action == CONTINUE
+
+    def observe_batch(self, idx, rewards):
+        loc = self._local[idx]
+        length = self._traj_len[loc]
+        max_len = int(length.max()) if len(length) else 0
+        if not max_len:
+            return
+        # Intermediate transitions earn 0 and bootstrap on the next
+        # decision state; step order is preserved per device because
+        # update i can touch the cells update i+1 bootstraps from.
+        for i in range(max_len - 1):
+            has_next = length > i + 1
+            if not has_next.any():
+                continue
+            ml = loc[has_next]
+            boot = self._tables[
+                ml, self._traj_c[i + 1, ml], self._traj_e[i + 1, ml]
+            ].max(axis=-1)
+            c, e, a = self._traj_c[i, ml], self._traj_e[i, ml], self._traj_a[i, ml]
+            q = self._tables[ml, c, e, a]
+            td = self._gamma[ml] * boot - q
+            self._tables[ml, c, e, a] = q + self._alpha[ml] * td
+        # Final decision earns the event's realized correctness
+        # (terminal: gamma * 0 bootstrap, like the scalar next_state=None).
+        final = length > 0
+        fl = loc[final]
+        li = length[final] - 1
+        c, e, a = self._traj_c[li, fl], self._traj_e[li, fl], self._traj_a[li, fl]
+        q = self._tables[fl, c, e, a]
+        td = rewards[final] - q
+        self._tables[fl, c, e, a] = q + self._alpha[fl] * td
+        self._traj_len[loc] = 0
+
+    def end_episode_batch(self, idx):
+        loc = self._local[idx]
+        self._traj_len[loc] = 0
+        dec = loc[self._decay[loc]]
+        if len(dec):
+            self._epsilon[dec] = np.maximum(
+                self._eps_min[dec], self._epsilon[dec] * self._eps_decay[dec]
+            )
+
+
+def _rule_key(rule):
+    """Rule-batching key, or None when the rule cannot be batched."""
+    if isinstance(rule, NeverContinue):
+        return ("never",)
+    if isinstance(rule, ThresholdContinue):
+        return ("threshold",)
+    if isinstance(rule, IncrementalDecider):
+        return ("learned",) + rule.qtable.table.shape
+    return None
+
+
+def rule_batchable(rule) -> bool:
+    """Can this continue rule run under the lockstep engine?"""
+    return _rule_key(rule) is not None
+
+
+def batch_continue_rules(controllers, max_steps: int, rows=None):
+    """Partition per-device continue rules into batched rule groups.
+
+    Returns ``(groups, group_of)``; rows whose rule is
+    :class:`NeverContinue` get ``group_of[row] == -1`` (the engine skips
+    the continue loop for them entirely — the scalar rule is a draw-free,
+    state-free STOP, so skipping is bit-identical).  Unbatchable rules are
+    a :class:`ConfigError` (callers pre-filter with :func:`batchable`).
+    ``rows`` restricts grouping to a subset of engine rows (the batched
+    engine excludes intermittent-execution devices, whose controllers are
+    never consulted).
+    """
+    num_rows = len(controllers)
+    row_iter = range(num_rows) if rows is None else [int(r) for r in rows]
+    buckets: dict = {}
+    for row in row_iter:
+        rule = controllers[row].continue_rule
+        key = _rule_key(rule)
+        if key is None:
+            raise ConfigError(
+                f"continue rule {type(rule).__name__} cannot be batched"
+            )
+        if key == ("never",):
+            continue
+        buckets.setdefault(key, []).append(row)
+    groups = []
+    group_of = np.full(num_rows, -1, dtype=np.int64)
+    for key, members in buckets.items():
+        rules = [controllers[r].continue_rule for r in members]
+        if key[0] == "threshold":
+            group = ThresholdRuleBatch(num_rows, members, rules)
+        else:
+            decay_rows = [
+                r for r in members
+                if isinstance(controllers[r], QLearningController)
+            ]
+            group = LearnedRuleBatch(num_rows, members, rules, max_steps, decay_rows)
+        groups.append(group)
+        group_of[members] = len(groups) - 1
+    return groups, group_of
+
+
 def _group_key(controller: Controller):
     """Batching key, or None when the controller cannot be batched."""
-    if not isinstance(controller.continue_rule, NeverContinue):
+    rule = controller.continue_rule
+    if _rule_key(rule) is None:
         return None
     if isinstance(controller, QLearningController):
+        if (
+            isinstance(rule, IncrementalDecider)
+            and rule.qtable._rng is controller.qtable._rng
+        ):
+            # Shared generator state between the two tables: the scalar
+            # pools would interleave refills in a call-order the batched
+            # per-table DrawBatches cannot replicate.
+            return None
         return ("qlearning",) + controller.qtable.table.shape
     if isinstance(controller, StaticController):
         policy = controller.policy
@@ -331,30 +574,34 @@ def batchable(controller: Controller) -> bool:
     return _group_key(controller) is not None
 
 
-def batch_controllers(controllers, exit_cost_matrix):
+def batch_controllers(controllers, exit_cost_matrix, rows=None):
     """Partition per-device controllers into batched groups.
 
     ``controllers`` is one :class:`Controller` per engine row; the returned
     pair is ``(groups, group_of)`` where ``group_of[row]`` indexes into
     ``groups``.  Raises :class:`ConfigError` for controller families the
     lockstep engine cannot express (callers pre-filter with
-    :func:`batchable`).
+    :func:`batchable`).  ``rows`` restricts grouping to a subset of engine
+    rows; the rest get ``group_of == -1`` (the engine leaves
+    intermittent-execution devices ungrouped — their controller is never
+    consulted, exactly like the scalar SONIC path).
     """
     num_rows = len(controllers)
+    row_iter = range(num_rows) if rows is None else [int(r) for r in rows]
     buckets: dict = {}
-    for row, controller in enumerate(controllers):
-        key = _group_key(controller)
+    for row in row_iter:
+        key = _group_key(controllers[row])
         if key is None:
             raise ConfigError(
-                f"controller {type(controller).__name__} cannot be batched"
+                f"controller {type(controllers[row]).__name__} cannot be batched"
             )
         buckets.setdefault(key, []).append(row)
     groups = []
     group_of = np.full(num_rows, -1, dtype=np.int64)
-    for key, rows in buckets.items():
+    for key, members in buckets.items():
         cls = _GROUP_CLASSES[key[0]]
         groups.append(
-            cls(num_rows, rows, [controllers[r] for r in rows], exit_cost_matrix)
+            cls(num_rows, members, [controllers[r] for r in members], exit_cost_matrix)
         )
-        group_of[rows] = len(groups) - 1
+        group_of[members] = len(groups) - 1
     return groups, group_of

@@ -14,8 +14,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import ConfigError
-from repro.runtime.incremental import CONTINUE, ContinueRule, IncrementalDecider, NeverContinue
+from repro.runtime.incremental import (
+    CONTINUE,
+    ContinueRule,
+    IncrementalDecider,
+    NeverContinue,
+    resolve_continue_rule,
+)
 from repro.runtime.policies import (
     ExitPolicy,
     FixedExitPolicy,
@@ -226,13 +234,33 @@ register_controller_preset(
 )
 
 
+#: ``spawn_key`` deriving a learned continue rule's exploration stream
+#: from the controller seed.  Distinct from the exit-table stream so the
+#: two Q-tables never share (or interleave) pooled draws — which is also
+#: what lets the batched engine replay each stream independently.
+_RULE_SPAWN_KEY = 0x1C0DE
+
+
+def _rule_rng(rng):
+    """Derive the continue-rule RNG from a controller seed-like value."""
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng), spawn_key=(_RULE_SPAWN_KEY,))
+    if isinstance(rng, np.random.SeedSequence):
+        return rng.spawn(1)[0]
+    # A live Generator is shared as-is (single-process callers that want
+    # coupled randomness); such controllers stay on the scalar path.
+    return rng
+
+
 def make_controller(
     kind: str,
     num_exits: int,
     exit_energies_mj=None,
     capacity_mj: Optional[float] = None,
     rng=None,
-    continue_rule: Optional[ContinueRule] = None,
+    continue_rule=None,
     **params,
 ):
     """Build a controller from a declarative description.
@@ -242,7 +270,15 @@ def make_controller(
     forwarded to the underlying controller/policy constructor.
     ``exit_energies_mj``/``capacity_mj`` are required by ``"static-lut"``
     (the LUT is frozen against the deployed profile and the capacitor).
+
+    ``continue_rule`` is a :class:`~repro.runtime.incremental.ContinueRule`
+    instance or a declarative dict (``{"kind": "threshold", ...}`` /
+    ``{"kind": "learned", ...}``); a dict's learned rule draws exploration
+    from a stream derived from ``rng`` by a fixed spawn key, so one
+    controller seed pins both decision tables.
     """
+    if isinstance(continue_rule, dict):
+        continue_rule = resolve_continue_rule(continue_rule, rng=_rule_rng(rng))
     if kind == "qlearning":
         return QLearningController(
             num_exits, rng=rng, continue_rule=continue_rule, **params

@@ -108,3 +108,45 @@ class IncrementalDecider(ContinueRule):
 
     def decay_epsilon(self) -> None:
         self.qtable.decay_epsilon()
+
+
+#: Continue-rule kinds accepted by :func:`resolve_continue_rule` (and by
+#: the ``"continue_rule"`` entry of a declarative controller spec).
+CONTINUE_RULE_KINDS = ("never", "threshold", "learned")
+
+
+def resolve_continue_rule(spec, rng=None) -> ContinueRule:
+    """Build a :class:`ContinueRule` from a declarative description.
+
+    ``spec`` is ``None`` (incremental inference off), an existing
+    :class:`ContinueRule` instance (returned unchanged), or a dict
+    ``{"kind": <name>, **params}`` with ``kind`` one of
+    :data:`CONTINUE_RULE_KINDS`.  ``rng`` seeds the ``"learned"`` rule's
+    Q-table exploration; static rules ignore it.  The fleet layer composes
+    controllers from JSON, so rules must be nameable the same way
+    controller kinds are.
+    """
+    if spec is None:
+        return NeverContinue()
+    if isinstance(spec, ContinueRule):
+        return spec
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            f"continue_rule must be None, a ContinueRule, or a dict, "
+            f"got {type(spec).__name__}"
+        )
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if kind not in CONTINUE_RULE_KINDS:
+        raise ConfigError(
+            f"continue_rule kind must be one of {CONTINUE_RULE_KINDS}, "
+            f"got {kind!r}"
+        )
+    try:
+        if kind == "never":
+            return NeverContinue(**params)
+        if kind == "threshold":
+            return ThresholdContinue(**params)
+        return IncrementalDecider(rng=rng, **params)
+    except TypeError as exc:
+        raise ConfigError(f"{kind} continue_rule: {exc}") from exc

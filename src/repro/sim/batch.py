@@ -1,17 +1,34 @@
 """Batched lockstep fleet engine: whole fleets as numpy device-arrays.
 
-:class:`BatchedFleetEngine` simulates N single-cycle, profile-mode devices
-of a fleet *inside one process*, holding every piece of mutable per-device
-state as a numpy column — storage level / capacity / ledger totals,
-``busy_until``, the charge bookkeeping (``t_charged`` / ``cum_charged``),
-and per-device event counts — and advancing all still-active devices one
-event-index step at a time.  Decision-independent quantities are
-precomputed per device up front exactly as :class:`~repro.sim.simulator.
-Simulator` does (cumulative harvested energy at event times via
-``PowerTrace._cum_bulk``, windowed observed charge power via
-``PowerTrace.mean_power``); the inner step then applies controller
-decisions across the device axis with fancy indexing through the batched
-controller groups of :mod:`repro.runtime.batched`.
+:class:`BatchedFleetEngine` simulates the profile-mode devices of a fleet
+*inside one process*, holding every piece of mutable per-device state as a
+numpy column — storage level / capacity / ledger totals, ``busy_until``,
+the charge bookkeeping (``t_charged`` / ``cum_charged``), and per-device
+event counts — and advancing all still-active devices one event-index
+step at a time.  Decision-independent quantities are precomputed per
+device up front exactly as :class:`~repro.sim.simulator.Simulator` does
+(cumulative harvested energy at event times via ``PowerTrace._cum_bulk``,
+windowed observed charge power via ``PowerTrace.mean_power``); the inner
+step then applies controller decisions across the device axis with fancy
+indexing through the batched controller groups of
+:mod:`repro.runtime.batched`.
+
+Three device classes vectorize (everything a fleet spec can express short
+of csv traces):
+
+* **single-cycle, incremental inference off** — the original lockstep
+  form: one exit decision per event, records written in bulk;
+* **single-cycle with a continue rule** — after the first result, the
+  masked continuation loop asks the batched rule groups
+  (:func:`repro.runtime.batched.batch_continue_rules`) "continue?" for
+  every still-deciding device at once, drawing marginal energy and
+  resampling confidence entropy exactly like the scalar loop;
+* **intermittent execution** (the SONIC baseline) — the multi-power-cycle
+  state machine runs through the shared
+  :class:`~repro.intermittent.kernel.IntermittentFleetKernel`: all
+  checkpoint/restore progress, power state, and partial-cycle energy
+  accounting live in columns, and devices interleave micro-steps freely
+  across their own event streams.
 
 Determinism contract
 --------------------
@@ -26,8 +43,9 @@ The engine is **bit-identical** to the per-device path
 * pooled variates are consumed through :class:`~repro.utils.rng.DrawBatch`
   — per-device 256-wide pools refilled with the exact sampler calls
   :class:`~repro.utils.rng.PooledDraws` makes, in each device's own call
-  order (difficulty before entropy, exploration before action), so the
-  realized per-device streams are the scalar ones;
+  order (difficulty before entropy, exploration before action, continue
+  draws between entropy resamples), so the realized per-device streams
+  are the scalar ones;
 * all ledger arithmetic (charge / leak / draw, the 1e-12 affordability
   epsilon, the max() guard on cumulative-energy crossings) replicates the
   scalar operation sequence elementwise — float64 lanes round identically
@@ -36,51 +54,74 @@ The engine is **bit-identical** to the per-device path
 Because devices never interact, lockstep order across devices is free;
 only the within-device order matters, and the step loop preserves it.
 
-Eligibility: the lockstep form covers profile-mode single-cycle execution
-with batchable controllers (no learned continue rule).  Dataset mode (per
--event forward passes through a live network), intermittent execution
-(the SONIC baseline's multi-cycle engine), and csv traces (file-backed,
-deliberately uncached) fall back to the per-device path — see
-:func:`batch_eligible` and the ``engine`` knob on
-:class:`~repro.fleet.runner.FleetRunner`.
+Eligibility: dataset mode (per-event forward passes through a live
+network) and csv traces (file-backed, deliberately uncached) fall back to
+the per-device path — see :func:`batch_ineligibility` and the ``engine``
+knob on :class:`~repro.fleet.runner.FleetRunner`.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
-from repro.runtime.batched import batch_controllers, batchable
+from repro.intermittent.kernel import IntermittentFleetKernel
+from repro.runtime.batched import batch_continue_rules, batch_controllers, batchable
 from repro.runtime.controller import CONTROLLER_KINDS
+from repro.runtime.incremental import CONTINUE_RULE_KINDS
 from repro.runtime.state import RuntimeStateBatch
 from repro.sim.results import RecordColumns, SimulationResult, percentile_dict
 from repro.utils.rng import DrawBatch, as_generator
 
-#: miss_reason codes used in the packed record buffers.
+#: miss_reason codes used in the packed record buffers (shared with
+#: repro.intermittent.kernel's REASON_* codes).
 _REASONS = ("", "busy", "energy")
 _MISS_NONE, _MISS_BUSY, _MISS_ENERGY = 0, 1, 2
 
+#: Execution models the lockstep engine can express.
+_BATCHED_EXECUTIONS = ("single-cycle", "intermittent")
+
+
+def batch_ineligibility(spec) -> Optional[str]:
+    """Why this :class:`~repro.fleet.spec.DeviceSpec` cannot run under
+    lockstep — or ``None`` when it can.
+
+    Checks, in order: execution mode, trace family, controller family,
+    continue rule.  (Duck-typed on the spec fields rather than importing
+    the fleet layer — this module sits below it.)
+    """
+    if spec.execution not in _BATCHED_EXECUTIONS:
+        return (
+            f"execution mode {spec.execution!r} has no lockstep form "
+            f"(batched: {_BATCHED_EXECUTIONS})"
+        )
+    family = dict(spec.trace).get("family")
+    if family == "csv":
+        return "trace family 'csv' (file-backed, deliberately uncached)"
+    controller = dict(spec.controller)
+    kind = controller.get("kind")
+    if kind not in CONTROLLER_KINDS:
+        return (
+            f"controller kind {kind!r} has no batched twin "
+            f"(batched: {CONTROLLER_KINDS})"
+        )
+    rule = controller.get("continue_rule")
+    if rule is not None:
+        rule_kind = dict(rule).get("kind") if isinstance(rule, dict) else None
+        if rule_kind not in CONTINUE_RULE_KINDS:
+            return (
+                f"controller continue_rule {rule!r} has no batched twin "
+                f"(batched kinds: {CONTINUE_RULE_KINDS})"
+            )
+    return None
+
 
 def batch_eligible(spec) -> bool:
-    """Can this :class:`~repro.fleet.spec.DeviceSpec` run under lockstep?
-
-    Mirrors the fallback list in the module docstring: single-cycle
-    execution, non-csv trace, and a controller family the batched protocol
-    covers with no learned continue rule.  (Duck-typed on the spec fields
-    rather than importing the fleet layer — this module sits below it.)
-    """
-    if spec.execution != "single-cycle":
-        return False
-    if dict(spec.trace).get("family") == "csv":
-        return False
-    controller = dict(spec.controller)
-    if controller.get("kind") not in CONTROLLER_KINDS:
-        return False
-    if controller.get("continue_rule") is not None:
-        return False
-    return True
+    """Can this :class:`~repro.fleet.spec.DeviceSpec` run under lockstep?"""
+    return batch_ineligibility(spec) is None
 
 
 class _Device:
@@ -88,8 +129,9 @@ class _Device:
 
     __slots__ = (
         "index", "spec", "trace", "events", "profile", "storage", "mcu",
-        "controller", "sim_rng", "cum_at_event", "charge_power",
-        "exit_energy", "exit_time", "exit_acc",
+        "controller", "sim_rng", "intermittent", "cum_at_event",
+        "charge_power", "exit_energy", "exit_time", "exit_acc",
+        "inc_energy", "inc_time",
     )
 
     def __init__(self, index: int, spec: DeviceSpec, fleet_seed: int):
@@ -126,22 +168,32 @@ class _Device:
             spec.controller, self.profile, self.storage, ctrl_seed
         )
         self.sim_rng = as_generator(sim_seed)
+        self.intermittent = spec.execution == "intermittent"
         trace = self.trace
         duration = trace.duration
         if self.events.size:
             clipped = np.minimum(duration, np.maximum(0.0, self.events))
             self.cum_at_event = trace._cum_bulk(clipped)
-            # mean_power inlined so its _cum_bulk(t) shares the event-time
-            # evaluation above (same clipped times, same arithmetic).
-            t0 = np.maximum(0.0, clipped - spec.power_window_s)
-            span = clipped - t0
-            degenerate = span <= 0.0
-            windowed = (self.cum_at_event - trace._cum_bulk(t0)) / np.where(
-                degenerate, 1.0, span
-            )
-            if degenerate.any():
-                windowed = np.where(degenerate, trace.power(clipped), windowed)
-            self.charge_power = windowed
+            if self.intermittent:
+                # The SONIC baseline never consults the observed charging
+                # power P, so skip the windowed query (like the scalar
+                # simulator does).
+                self.charge_power = np.zeros(self.events.size)
+            else:
+                # mean_power inlined so its _cum_bulk(t) shares the
+                # event-time evaluation above (same clipped times, same
+                # arithmetic).
+                t0 = np.maximum(0.0, clipped - spec.power_window_s)
+                span = clipped - t0
+                degenerate = span <= 0.0
+                windowed = (
+                    self.cum_at_event - trace._cum_bulk(t0)
+                ) / np.where(degenerate, 1.0, span)
+                if degenerate.any():
+                    windowed = np.where(
+                        degenerate, trace.power(clipped), windowed
+                    )
+                self.charge_power = windowed
         else:
             self.cum_at_event = np.empty(0)
             self.charge_power = np.empty(0)
@@ -150,6 +202,12 @@ class _Device:
             self.mcu.inference_time_s(f) for f in self.profile.exit_flops
         ]
         self.exit_acc = [float(a) for a in self.profile.exit_accuracies]
+        self.inc_energy = [
+            float(e) for e in self.profile.incremental_energy_mj
+        ]
+        self.inc_time = [
+            self.mcu.inference_time_s(f) for f in self.profile.incremental_flops
+        ]
 
 
 class BatchedFleetEngine:
@@ -165,14 +223,14 @@ class BatchedFleetEngine:
         if not tasks:
             raise ConfigError("BatchedFleetEngine needs at least one device")
         for _, spec, _ in tasks:
-            if not batch_eligible(spec):
+            reason = batch_ineligibility(spec)
+            if reason is not None:
                 raise ConfigError(
-                    f"device {spec.name!r} is not batch-eligible "
-                    "(dataset/intermittent/csv or unbatchable controller)"
+                    f"device {spec.name!r} is not batch-eligible: {reason}"
                 )
         self.devices = [_Device(i, spec, seed) for i, spec, seed in tasks]
         for dev in self.devices:
-            if not batchable(dev.controller):
+            if not dev.intermittent and not batchable(dev.controller):
                 raise ConfigError(
                     f"device {dev.spec.name!r}: controller cannot be batched"
                 )
@@ -195,6 +253,9 @@ class BatchedFleetEngine:
         self._exit_cost = np.full((m, max_exits), np.inf)
         self._exit_time = np.zeros((m, max_exits))
         self._exit_acc = np.zeros((m, max_exits))
+        inc_width = max(max_exits - 1, 1)
+        self._inc_cost = np.full((m, inc_width), np.inf)
+        self._inc_time = np.zeros((m, inc_width))
         for i, d in enumerate(self.devices):
             n = d.events.size
             self._events[:n, i] = d.events
@@ -204,6 +265,8 @@ class BatchedFleetEngine:
             self._exit_cost[i, :k] = d.exit_energy
             self._exit_time[i, :k] = d.exit_time
             self._exit_acc[i, :k] = d.exit_acc
+            self._inc_cost[i, :len(d.inc_energy)] = d.inc_energy
+            self._inc_time[i, :len(d.inc_time)] = d.inc_time
         # Storage columns (reset per episode) + fixed environment columns.
         self._capacity = np.array([d.storage.capacity_mj for d in self.devices])
         self._efficiency = np.array([d.storage.efficiency for d in self.devices])
@@ -217,13 +280,41 @@ class BatchedFleetEngine:
             [d.trace.total_energy_mj for d in self.devices]
         )
         self._sim_draws = DrawBatch([d.sim_rng for d in self.devices])
+        # Execution-model split: intermittent devices run through the
+        # shared multi-cycle kernel and never consult a controller.
+        self._exec_int = np.array([d.intermittent for d in self.devices], bool)
+        self._has_int = bool(self._exec_int.any())
+        self._sc = ~self._exec_int
+        sc_rows = np.nonzero(self._sc)[0]
+        controllers = [d.controller for d in self.devices]
         self._groups, self._group_of = batch_controllers(
-            [d.controller for d in self.devices], self._exit_cost
+            controllers, self._exit_cost, rows=sc_rows
         )
+        self._rule_groups, self._rule_of = batch_continue_rules(
+            controllers, max_steps=inc_width, rows=sc_rows
+        )
+        self._has_rules = bool(self._rule_groups)
+        if self._has_int:
+            int_rows = np.nonzero(self._exec_int)[0]
+            self._int_rows = int_rows
+            self._int_kernel = IntermittentFleetKernel(
+                int_rows, [self.devices[r] for r in int_rows]
+            )
+            self._int_events = np.ascontiguousarray(self._events[:, int_rows])
+            self._int_cum = np.ascontiguousarray(self._cum_at_event[:, int_rows])
+            self._int_nev = self._n_events[int_rows]
         # Step-loop fast-path preconditions, hoisted out of the hot loop.
+        # The whole-array fast paths write every device column at once, so
+        # they are only sound when every engine row is a stepping
+        # single-cycle device.
         self._all_rows = np.arange(m)
-        self._active = np.arange(max_ev)[:, None] < self._n_events[None, :]
-        self._act_full = self._active.all(axis=1) if max_ev else np.empty(0, bool)
+        active = np.arange(max_ev)[:, None] < self._n_events[None, :]
+        self._active_sc = active & self._sc[None, :]
+        self._full_ok = not self._has_int
+        self._act_full = (
+            self._active_sc.all(axis=1) if (max_ev and self._full_ok)
+            else np.zeros(max_ev, bool)
+        )
         self._no_leak = bool((self._leakage == 0.0).all())
 
     # ------------------------------------------------------------------ #
@@ -233,24 +324,29 @@ class BatchedFleetEngine:
 
         t0 = time.perf_counter()
         m, max_ev = self._m, self._events.shape[0]
+        has_int, has_rules = self._has_int, self._has_rules
         level = np.zeros(m)
         total_drawn = np.zeros(m)
         t_charged = np.zeros(m)
         cum_charged = np.zeros(m)
         busy_until = np.zeros(m)
         # Record buffers, reused across episodes (finished devices are
-        # snapshotted by copy before the next reset).  With no learned
-        # continue rule the first exit always equals the final exit and
-        # "missed" is exactly "has a miss reason", so neither needs its
-        # own column; the storage waste/charge ledger is likewise not
-        # observable in any result and is skipped entirely.  (event,
-        # device) layout like the inputs: contiguous writes per step.
+        # snapshotted by copy before the next reset).  Without continue
+        # rules the first exit always equals the final exit, and without
+        # intermittent devices every record's power_cycles is 1, so those
+        # columns only materialize when a device class needs them; the
+        # storage waste/charge ledger is likewise not observable in any
+        # result and is skipped entirely.  (event, device) layout like
+        # the inputs: contiguous writes per step.
         r_exit = np.empty((max_ev, m), np.int64)
         r_correct = np.empty((max_ev, m), bool)
         r_latency = np.empty((max_ev, m))
         r_energy = np.empty((max_ev, m))
         r_entropy = np.empty((max_ev, m))
         r_reason = np.empty((max_ev, m), np.int8)
+        r_first = np.empty((max_ev, m), np.int64) if has_rules else None
+        r_continued = np.empty((max_ev, m), np.int64) if has_rules else None
+        r_cycles = np.empty((max_ev, m), np.int64) if has_int else None
         results = [None] * m
         all_rows = self._all_rows
         single = self._groups[0] if len(self._groups) == 1 else None
@@ -270,6 +366,11 @@ class BatchedFleetEngine:
             r_energy[:, part] = 0.0
             r_entropy[:, part] = 1.0
             r_reason[:, part] = _MISS_NONE
+            if has_rules:
+                r_first[:, part] = -1
+                r_continued[:, part] = 0
+            if has_int:
+                r_cycles[:, part] = 1
             state = RuntimeStateBatch(
                 time=None,
                 energy_mj=level,  # aliased: only ever mutated in place
@@ -277,11 +378,23 @@ class BatchedFleetEngine:
                 charge_power_mw=None,
                 peak_power_mw=self._peak,
             )
-            n_steps = int(self._n_events[part].max()) if part.any() else 0
+            if has_int:
+                self._run_intermittent_pass(
+                    part, level, total_drawn, t_charged, cum_charged,
+                    busy_until, r_exit, r_correct, r_latency, r_energy,
+                    r_entropy, r_reason, r_cycles,
+                )
+            part_sc = part & self._sc
+            n_steps = int(self._n_events[part_sc].max()) if part_sc.any() else 0
             for j in range(n_steps):
                 te = self._events[j]
-                act_full_j = part_all and bool(self._act_full[j])
-                act = self._active[j] if part_all else part & self._active[j]
+                act_full_j = (
+                    self._full_ok and part_all and bool(self._act_full[j])
+                )
+                act = (
+                    self._active_sc[j] if part_all
+                    else part & self._active_sc[j]
+                )
                 busy = (te < busy_until) if act_full_j else act & (te < busy_until)
                 any_busy = bool(busy.any())
                 if any_busy:
@@ -375,7 +488,27 @@ class BatchedFleetEngine:
                         )
                         wrong = ~correct
                         entropy[wrong] = self._sim_draws.beta(5.0, 3.0, pi[wrong])
-                    if aff_all and full:
+                    if has_rules:
+                        # Incremental-inference path: draw the base exit
+                        # now (the scalar order), then run the masked
+                        # continuation loop before any record writes.
+                        kk = kk.copy()
+                        busy_s = busy_s.copy()
+                        correct, entropy, energy_spent, first_k, continued = (
+                            self._run_continue_loop(
+                                pi, kk, busy_s, cost_p, difficulty,
+                                correct, entropy, level, total_drawn,
+                            )
+                        )
+                        r_exit[j][pi] = kk
+                        r_first[j][pi] = first_k
+                        r_correct[j][pi] = correct
+                        r_latency[j][pi] = busy_s
+                        r_energy[j][pi] = energy_spent
+                        r_entropy[j][pi] = entropy
+                        r_continued[j][pi] = continued
+                        busy_until[pi] = te[pi] + busy_s
+                    elif aff_all and full:
                         # Whole fleet processed: contiguous row writes and
                         # in-place ledger updates, no fancy indexing.
                         np.subtract(level, cost_p, out=level)
@@ -400,6 +533,15 @@ class BatchedFleetEngine:
                         rewards = correct
                     else:
                         rewards[afford] = correct
+                    if has_rules:
+                        # Credit the recorded continue trajectories with
+                        # the event's realized correctness.
+                        for g, group in enumerate(self._rule_groups):
+                            if not group.learns:
+                                continue
+                            sub = self._rule_of[pi] == g
+                            if sub.any():
+                                group.observe_batch(pi[sub], correct[sub])
                 if single is not None:
                     if single.wants_rewards:
                         single.report_event_batch(pidx, rewards)
@@ -434,11 +576,16 @@ class BatchedFleetEngine:
                 sub = prows[pgids == g]
                 if len(sub):
                     group.end_episode_batch(sub)
+            for g, group in enumerate(self._rule_groups):
+                sub = prows[self._rule_of[prows] == g]
+                if len(sub):
+                    group.end_episode_batch(sub)
             finishing = part & (self._episodes == ep + 1)
             for i in np.nonzero(finishing)[0].tolist():
                 results[i] = self._snapshot(
-                    i, total_drawn[i],
-                    r_exit, r_correct, r_latency, r_energy, r_entropy, r_reason,
+                    i, total_drawn[i], r_exit, r_correct, r_latency,
+                    r_energy, r_entropy, r_reason, r_first, r_continued,
+                    r_cycles,
                 )
         wall = time.perf_counter() - t0
         out = []
@@ -464,9 +611,107 @@ class BatchedFleetEngine:
         return out
 
     # ------------------------------------------------------------------ #
+    def _run_intermittent_pass(
+        self, part, level, total_drawn, t_charged, cum_charged, busy_until,
+        r_exit, r_correct, r_latency, r_energy, r_entropy, r_reason, r_cycles,
+    ) -> None:
+        """One episode of every participating intermittent device, through
+        the shared multi-cycle kernel; scatters records and writes the
+        mutated state columns back."""
+        rows = self._int_rows
+        ipart = part[rows]
+        if not ipart.any():
+            return
+        lvl = level[rows]
+        drw = total_drawn[rows]
+        tch = t_charged[rows]
+        cch = cum_charged[rows]
+        bsy = busy_until[rows]
+        rec = self._int_kernel.run_episode(
+            ipart, self._int_events, self._int_cum, self._int_nev,
+            lvl, drw, tch, cch, bsy, self._sim_draws,
+        )
+        level[rows] = lvl
+        total_drawn[rows] = drw
+        t_charged[rows] = tch
+        cum_charged[rows] = cch
+        busy_until[rows] = bsy
+        cols = rows[ipart]
+        r_exit[:, cols] = rec["exit"][:, ipart]
+        r_correct[:, cols] = rec["correct"][:, ipart]
+        r_latency[:, cols] = rec["latency"][:, ipart]
+        r_energy[:, cols] = rec["energy"][:, ipart]
+        r_entropy[:, cols] = rec["entropy"][:, ipart]
+        r_reason[:, cols] = rec["reason"][:, ipart]
+        r_cycles[:, cols] = rec["cycles"][:, ipart]
+
+    # ------------------------------------------------------------------ #
+    def _run_continue_loop(
+        self, pi, kk, busy_s, cost_p, difficulty, correct, entropy,
+        level, total_drawn,
+    ):
+        """Masked incremental-inference loop for the processed devices.
+
+        Mirrors the scalar ``while k < last_exit`` loop: draw the base
+        exit's energy, then repeatedly ask each device's continue rule
+        whether to advance to the next exit, drawing the marginal energy
+        and resampling confidence entropy for the devices that do.
+        ``kk`` / ``busy_s`` are mutated in place; returns the final
+        record columns.
+        """
+        level[pi] = np.maximum(0.0, level[pi] - cost_p)
+        total_drawn[pi] += cost_p
+        energy_spent = cost_p.copy()
+        first_k = kk.copy()
+        continued = np.zeros(len(pi), np.int64)
+        last = self._n_exits[pi] - 1
+        cand = np.nonzero((self._rule_of[pi] >= 0) & (kk < last))[0]
+        while cand.size:
+            rows_c = pi[cand]
+            k_c = kk[cand]
+            marginal = self._inc_cost[rows_c, k_c]
+            affordable = level[rows_c] >= marginal - 1e-12
+            frac = level[rows_c] / self._capacity[rows_c]
+            ent_c = entropy[cand]
+            cont = np.zeros(len(cand), bool)
+            gids = self._rule_of[rows_c]
+            for g, group in enumerate(self._rule_groups):
+                sub = gids == g
+                if sub.any():
+                    cont[sub] = group.decide_batch(
+                        rows_c[sub], ent_c[sub], frac[sub], affordable[sub]
+                    )
+            go = cand[cont]
+            if not go.size:
+                break
+            rows_g = pi[go]
+            m_g = self._inc_cost[rows_g, kk[go]]
+            level[rows_g] = np.maximum(0.0, level[rows_g] - m_g)
+            total_drawn[rows_g] += m_g
+            energy_spent[go] += m_g
+            busy_s[go] += self._inc_time[rows_g, kk[go]]
+            kk[go] += 1
+            continued[go] += 1
+            corr_g = difficulty[go] < self._exit_acc[rows_g, kk[go]]
+            correct[go] = corr_g
+            ent_new = np.empty(len(go))
+            if corr_g.any():
+                ent_new[corr_g] = self._sim_draws.beta(
+                    2.0, 8.0, rows_g[corr_g]
+                )
+            wrong_g = ~corr_g
+            if wrong_g.any():
+                ent_new[wrong_g] = self._sim_draws.beta(
+                    5.0, 3.0, rows_g[wrong_g]
+                )
+            entropy[go] = ent_new
+            cand = go[kk[go] < last[go]]
+        return correct, entropy, energy_spent, first_k, continued
+
+    # ------------------------------------------------------------------ #
     def _snapshot(
         self, i, drawn, r_exit, r_correct, r_latency, r_energy, r_entropy,
-        r_reason,
+        r_reason, r_first, r_continued, r_cycles,
     ) -> SimulationResult:
         """Freeze device ``i``'s final-episode rows into a SimulationResult."""
         n = int(self._n_events[i])
@@ -475,17 +720,24 @@ class BatchedFleetEngine:
         exits = np.ascontiguousarray(r_exit[:n, i])
         columns.time = np.ascontiguousarray(self._events[:n, i])
         columns.exit_index = exits
-        # No learned continue rule in the batched form, so the first exit
-        # is always the final one (and -1 for misses, like append_missed).
-        columns.first_exit_index = exits
+        if r_first is None:
+            # No continue rules in the fleet, so the first exit is always
+            # the final one (and -1 for misses, like append_missed).
+            columns.first_exit_index = exits
+            columns.continued = np.zeros(n, np.int64)
+        else:
+            columns.first_exit_index = np.ascontiguousarray(r_first[:n, i])
+            columns.continued = np.ascontiguousarray(r_continued[:n, i])
         columns.correct = np.ascontiguousarray(r_correct[:n, i])
         columns.latency_s = np.ascontiguousarray(r_latency[:n, i])
         columns.energy_mj = np.ascontiguousarray(r_energy[:n, i])
         columns.confidence_entropy = np.ascontiguousarray(r_entropy[:n, i])
-        columns.continued = np.zeros(n, np.int64)
         columns.missed = reason != _MISS_NONE
         columns.miss_reason = [_REASONS[c] for c in reason.tolist()]
-        columns.power_cycles = np.ones(n, np.int64)
+        if r_cycles is None:
+            columns.power_cycles = np.ones(n, np.int64)
+        else:
+            columns.power_cycles = np.ascontiguousarray(r_cycles[:n, i])
         return SimulationResult.from_columns(
             columns,
             total_env_energy_mj=float(self._total_env[i]),

@@ -305,6 +305,11 @@ class Simulator:
 
         Appends the event's outcome to ``columns`` and returns the finish
         time (the device is busy and the storage ledger advanced to it).
+        The multi-cycle loop itself is the shared kernel
+        (:func:`repro.intermittent.kernel.run_job_scalar`), which the
+        batched fleet engine replicates across the device axis
+        (:class:`~repro.intermittent.kernel.IntermittentFleetKernel`) —
+        keep the two in lockstep when touching either.
         """
         k = self._num_exits - 1  # single-exit nets: their only exit
         energy_needed = self._exit_energy[k]

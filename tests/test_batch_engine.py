@@ -10,7 +10,6 @@ path, and (via hypothesis) randomly composed small fleets.
 
 import json
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -20,7 +19,7 @@ from repro.fleet import SCENARIOS, DeviceSpec, FleetRunner, FleetSpec
 from repro.fleet.results import pack_device_results, unpack_device_results
 from repro.fleet.runner import run_device, run_device_batch
 from repro.runtime.controller import CONTROLLER_PRESETS, controller_preset
-from repro.sim.batch import BatchedFleetEngine, batch_eligible
+from repro.sim.batch import BatchedFleetEngine, batch_eligible, batch_ineligibility
 
 #: Small overrides that keep every scenario in the seconds range.
 SCENARIO_CASES = [(name, {"num_devices": 4}) for name in SCENARIOS.names()]
@@ -43,6 +42,107 @@ class TestScenarioEquivalence:
         assert _payload(auto) == _payload(device)
         assert _payload(auto) == _payload(pooled)
 
+    def test_every_registered_scenario_is_fully_batch_eligible(self):
+        """The PR-5 acceptance bar: no registered device class falls back
+        to the per-device path under engine="auto" anymore."""
+        for name in SCENARIOS.names():
+            spec = SCENARIOS.build(name, num_devices=8)
+            offenders = {
+                d.name: batch_ineligibility(d)
+                for d in spec.devices
+                if not batch_eligible(d)
+            }
+            assert not offenders, f"{name}: {offenders}"
+
+
+class TestContinueRuleEquivalence:
+    """Bit-identity of the batched incremental-inference path."""
+
+    def _fleet(self, rule, controller_kind="qlearning", execution="single-cycle"):
+        devices = []
+        for i in range(5):
+            controller = {"kind": controller_kind}
+            if controller_kind == "greedy":
+                controller["reserve_fraction"] = 0.1
+            if rule is not None:
+                controller["continue_rule"] = dict(rule)
+            devices.append(
+                DeviceSpec(
+                    name=f"r{i}",
+                    trace={"family": "solar", "duration": 500.0, "dt": 1.0,
+                           "peak_mw": 0.04},
+                    controller=controller,
+                    events={"kind": "uniform", "count": 25},
+                    episodes=2,
+                    execution=execution,
+                )
+            )
+        return FleetSpec(name="rule-fleet", seed=29, devices=devices)
+
+    @pytest.mark.parametrize("rule", [
+        {"kind": "threshold", "entropy_threshold": 0.35},
+        {"kind": "learned"},
+        {"kind": "learned", "epsilon": 0.3, "epsilon_decay": 0.95},
+    ], ids=["threshold", "learned", "learned-tuned"])
+    @pytest.mark.parametrize("kind", ["qlearning", "greedy"])
+    def test_rule_fleets_bit_identical(self, rule, kind):
+        spec = self._fleet(rule, controller_kind=kind)
+        batched = FleetRunner(spec, workers=1, engine="batched").run()
+        device = FleetRunner(spec, workers=1, engine="device").run()
+        assert _payload(batched) == _payload(device)
+
+    def test_continuations_actually_happen(self):
+        """Guard against the continue loop silently never firing (which
+        would make the equivalence tests vacuous)."""
+        spec = self._fleet({"kind": "threshold", "entropy_threshold": 0.1})
+        result = FleetRunner(spec, workers=1, engine="batched").run()
+        agg = result.aggregate()
+        assert agg["mean_exit_depth"] > 0.0
+        assert agg["processed"] > 0
+
+
+class TestIntermittentEquivalence:
+    """Bit-identity of the vectorized multi-cycle kernel."""
+
+    def _fleet(self, mean_mw, capacity=1.0, initial=0.3, events=20, n=6):
+        devices = [
+            DeviceSpec(
+                name=f"i{i}",
+                trace={"family": "rf", "duration": 1000.0, "dt": 1.0,
+                       "mean_mw": mean_mw},
+                profile="sonic-single-exit",
+                controller={"kind": "fixed", "exit_index": 0},
+                storage={"capacity_mj": capacity, "initial_fraction": initial},
+                events={"kind": "poisson", "rate_hz": events / 1000.0},
+                execution="intermittent",
+            )
+            for i in range(n)
+        ]
+        return FleetSpec(name="int-fleet", seed=41, devices=devices)
+
+    @pytest.mark.parametrize("mean_mw", [0.003, 0.01, 0.05],
+                             ids=["starved", "weak", "comfortable"])
+    def test_all_intermittent_fleet_bit_identical(self, mean_mw):
+        spec = self._fleet(mean_mw)
+        batched = FleetRunner(spec, workers=1, engine="batched").run()
+        device = FleetRunner(spec, workers=1, engine="device").run()
+        assert _payload(batched) == _payload(device)
+
+    def test_starved_fleet_reaches_deadline_misses(self):
+        """The starved regime must actually exercise the incomplete-run
+        branch (deadline miss with latency + power-cycle counts)."""
+        result = FleetRunner(
+            self._fleet(0.003), workers=1, engine="batched"
+        ).run()
+        assert result.aggregate()["miss_counts"].get("energy", 0) > 0
+
+    def test_multi_cycle_runs_happen(self):
+        result = FleetRunner(
+            self._fleet(0.01), workers=1, engine="batched"
+        ).run()
+        processed = result.aggregate()["processed"]
+        assert processed > 0
+
 
 class TestPresetEquivalence:
     @pytest.mark.parametrize("preset", sorted(CONTROLLER_PRESETS))
@@ -59,22 +159,75 @@ class TestPresetEquivalence:
 
 
 class TestEligibility:
-    def test_intermittent_is_ineligible(self):
+    def test_intermittent_is_now_eligible(self):
+        """The PR-5 tentpole: the SONIC baseline class batches too."""
         spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
         flags = {d.execution: batch_eligible(d) for d in spec.devices}
-        assert flags == {"single-cycle": True, "intermittent": False}
+        assert flags == {"single-cycle": True, "intermittent": True}
 
-    def test_csv_trace_is_ineligible(self):
+    def test_continue_rule_devices_are_eligible(self):
+        for rule in (
+            {"kind": "threshold", "entropy_threshold": 0.4},
+            {"kind": "learned"},
+        ):
+            d = DeviceSpec(
+                name="rule-dev",
+                trace={"family": "constant", "power_mw": 0.02, "duration": 100.0},
+                controller={"kind": "qlearning", "continue_rule": rule},
+            )
+            assert batch_eligible(d)
+            assert batch_ineligibility(d) is None
+
+    def test_instance_continue_rule_still_accepted_and_falls_back(self):
+        """A live ContinueRule object in a controller dict predates the
+        declarative rule specs and must keep working end-to-end — it just
+        routes to the per-device path instead of the lockstep engine."""
+        from repro.runtime.incremental import ThresholdContinue
+
+        d = DeviceSpec(
+            name="instance-rule",
+            trace={"family": "constant", "power_mw": 0.05, "duration": 200.0},
+            controller={
+                "kind": "greedy",
+                "reserve_fraction": 0.1,
+                "continue_rule": ThresholdContinue(0.5),
+            },
+            events={"kind": "uniform", "count": 10},
+        )
+        assert not batch_eligible(d)
+        assert "continue_rule" in batch_ineligibility(d)
+        result = FleetRunner(
+            FleetSpec(name="inst", seed=3, devices=[d]), workers=1
+        ).run()
+        assert result.num_devices == 1
+
+    def test_csv_trace_is_ineligible_with_reason(self):
         d = DeviceSpec(
             name="csv-dev",
             trace={"family": "csv", "path": "nope.csv", "dt": 1.0},
         )
         assert not batch_eligible(d)
+        assert "csv" in batch_ineligibility(d)
 
-    def test_engine_batched_raises_on_ineligible(self):
-        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
-        with pytest.raises(ConfigError, match="not batch-eligible"):
-            FleetRunner(spec, workers=1, engine="batched").run()
+    def test_engine_batched_error_names_device_and_reason(self):
+        """The error must say *why* each device cannot batch, not just
+        which ones (execution mode vs trace family vs controller)."""
+        spec = SCENARIOS.build("dev-smoke", num_devices=2)
+        bad = DeviceSpec(
+            name="csv-straggler",
+            trace={"family": "csv", "path": "nope.csv", "dt": 1.0},
+        )
+        mixed = FleetSpec(
+            name="mixed", seed=3, devices=list(spec.devices) + [bad]
+        )
+        with pytest.raises(ConfigError) as err:
+            run_device_batch(
+                [(i, d, mixed.seed) for i, d in enumerate(mixed.devices)],
+                engine="batched",
+            )
+        message = str(err.value)
+        assert "csv-straggler" in message
+        assert "csv" in message  # the reason, not just the name
 
     def test_engine_auto_splits_and_merges_in_index_order(self):
         spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
@@ -88,11 +241,12 @@ class TestEligibility:
             run_device_batch([], engine="warp")
 
     def test_engine_ctor_raises_on_ineligible_task(self):
-        spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
-        bad = [(i, d, spec.seed) for i, d in enumerate(spec.devices)
-               if d.execution == "intermittent"]
+        bad = DeviceSpec(
+            name="csv-dev",
+            trace={"family": "csv", "path": "nope.csv", "dt": 1.0},
+        )
         with pytest.raises(ConfigError, match="batch-eligible"):
-            BatchedFleetEngine(bad[:1])
+            BatchedFleetEngine([(0, bad, 7)])
 
 
 class TestRunDeviceBatch:
@@ -169,6 +323,17 @@ class TestParallelFallback:
 #: Trace families with cheap synthesis for the property test.
 _FAMILY = st.sampled_from(["solar", "rf", "piezo", "constant"])
 _PRESET = st.sampled_from(sorted(CONTROLLER_PRESETS))
+_RULE = st.sampled_from(
+    [
+        None,
+        {"kind": "threshold", "entropy_threshold": 0.4},
+        {"kind": "learned"},
+    ]
+)
+#: Weighted toward single-cycle; intermittent still appears regularly.
+_EXECUTION = st.sampled_from(
+    ["single-cycle", "single-cycle", "intermittent"]
+)
 
 
 @st.composite
@@ -188,14 +353,20 @@ def tiny_fleets(draw):
                 [{"kind": "uniform", "count": 12}, {"kind": "poisson", "rate_hz": 0.05}]
             )
         )
+        execution = draw(_EXECUTION)
+        controller = controller_preset(draw(_PRESET))
+        rule = draw(_RULE)
+        if rule is not None:
+            controller["continue_rule"] = dict(rule)
         devices.append(
             DeviceSpec(
                 name=f"hyp-{i}",
                 trace=trace,
-                controller=controller_preset(draw(_PRESET)),
+                controller=controller,
                 storage={"capacity_mj": draw(st.sampled_from([1.5, 2.0, 3.0]))},
                 events=events,
                 episodes=draw(st.integers(min_value=1, max_value=2)),
+                execution=execution,
             )
         )
     return FleetSpec(
@@ -218,7 +389,9 @@ class TestFullScaleBatch:
     def test_city_block_1k_batched_serial_and_parallel_agree(self):
         spec = SCENARIOS.build("city-block-1k")
         assert spec.num_devices == 1000
-        serial = FleetRunner(spec, workers=1, engine="auto").run()
+        # Strict engine="batched": since PR 5 every city-block device
+        # (including the intermittent baselines) is batch-eligible.
+        serial = FleetRunner(spec, workers=1, engine="batched").run()
         parallel = FleetRunner(
             spec, workers=4, engine="auto", parallel_threshold=1
         ).run()
@@ -232,3 +405,19 @@ class TestFullScaleBatch:
         assert _payload(FleetRunner(spec, engine="auto").run()) == _payload(
             FleetRunner(spec, engine="device").run()
         )
+
+    @pytest.mark.parametrize(
+        "name", ["brownout-grid-256", "duty-cycle-farm-512"]
+    )
+    def test_intermittency_heavy_scenarios_full_scale(self, name):
+        """The PR-5 scenarios at their registered size: strict batched
+        run, serial == parallel, and an engine cross-check on a slice."""
+        spec = SCENARIOS.build(name)
+        serial = FleetRunner(spec, workers=1, engine="batched").run()
+        parallel = FleetRunner(
+            spec, workers=4, engine="auto", parallel_threshold=1
+        ).run()
+        assert _payload(serial) == _payload(parallel)
+        small = SCENARIOS.build(name, num_devices=32)
+        assert _payload(FleetRunner(small, engine="batched").run()) == \
+            _payload(FleetRunner(small, engine="device").run())

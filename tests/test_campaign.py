@@ -14,7 +14,6 @@ import pytest
 
 from repro.campaign import (
     CAMPAIGNS,
-    CampaignResult,
     CampaignRunner,
     CampaignSpec,
     CampaignStore,

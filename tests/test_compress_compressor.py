@@ -16,7 +16,7 @@ def compressor():
 
 @pytest.fixture
 def identity_spec(tiny_net):
-    return CompressionSpec.identity([l.name for l in tiny_net.weighted_layers()])
+    return CompressionSpec.identity([ly.name for ly in tiny_net.weighted_layers()])
 
 
 class TestIdentitySpec:
@@ -137,7 +137,7 @@ class TestQuantizationBookkeeping:
             }
         )
         model = compressor.apply(tiny_net, spec)
-        by_name = {l.name: l for l in model.net.weighted_layers()}
+        by_name = {ly.name: ly for ly in model.net.weighted_layers()}
         assert by_name["t.c1"].weight_quantizer is not None
         assert by_name["t.c1"].input_quantizer is not None
         assert by_name["t.c2"].weight_quantizer is None
@@ -150,7 +150,7 @@ class TestQuantizationBookkeeping:
     def test_first_layer_quantizer_is_signed(self, tiny_net, compressor, rng):
         spec = make_uniform_spec(tiny_net, 1.0, 32, 8)
         model = compressor.apply(tiny_net, spec, calibration_x=rng.normal(size=(8, 2, 8, 8)))
-        by_name = {l.name: l for l in model.net.weighted_layers()}
+        by_name = {ly.name: ly for ly in model.net.weighted_layers()}
         assert by_name["t.c1"].input_quantizer.signed
         assert not by_name["t.c2"].input_quantizer.signed
 

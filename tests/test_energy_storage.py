@@ -1,6 +1,5 @@
 """Energy-storage invariants, including a property-based random walk."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiment import PAPER, PaperExperiment
+from repro.experiment import PAPER
 from repro import zoo
 
 

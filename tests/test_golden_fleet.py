@@ -19,7 +19,9 @@ is intentional, regenerate every golden with::
              ("solar-farm-100", {"num_devices": 4}),
              ("indoor-rf-swarm", {"num_devices": 4}),
              ("mixed-harvester-city", {"num_devices": 4}),
-             ("city-block-1k", {"num_devices": 4})]
+             ("city-block-1k", {"num_devices": 4}),
+             ("brownout-grid-256", {"num_devices": 4}),
+             ("duty-cycle-farm-512", {"num_devices": 4})]
     for scenario, overrides in CASES:
         result = FleetRunner(SCENARIOS.build(scenario, **overrides), workers=1).run()
         suffix = f"{overrides['num_devices']}dev" if overrides else "default"
@@ -70,9 +72,9 @@ def test_engine_choice_matches_golden(path, engine):
     per-device path on every golden (the PR-4 determinism contract)."""
     golden = _load(path)
     spec = SCENARIOS.build(golden["scenario"], **golden["overrides"])
-    eligible = all(d.execution == "single-cycle" for d in spec.devices)
-    if engine == "batched" and not eligible:
-        engine = "auto"  # mixed fleets route ineligible devices per-device
+    # Every registered scenario is fully batch-eligible since PR 5
+    # (intermittent execution and continue rules batch too), so the
+    # strict "batched" engine must reproduce every golden directly.
     result = FleetRunner(spec, workers=1, engine=engine).run()
     assert json.loads(json.dumps(result.aggregate())) == golden["aggregate"]
 

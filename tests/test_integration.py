@@ -4,12 +4,11 @@ These tie the full pipeline together at reduced scale and assert the
 paper's qualitative claims rather than exact numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.compress import Compressor, fit_uniform_spec, make_uniform_spec
 from repro.compress.evaluator import evaluate_exits
-from repro.data import Dataset, SyntheticConfig, make_cifar_like
+from repro.data import SyntheticConfig, make_cifar_like
 from repro.energy import EnergyStorage, solar_trace, uniform_random_events
 from repro.intermittent import MSP432
 from repro.models import make_multi_exit_lenet

@@ -1,9 +1,8 @@
 """MCU model and SONIC-style intermittent execution tests."""
 
-import numpy as np
 import pytest
 
-from repro.energy import EnergyStorage, constant_trace, trace_from_samples
+from repro.energy import EnergyStorage, constant_trace
 from repro.errors import ConfigError, SimulationError
 from repro.intermittent import MSP432, IntermittentExecutionEngine, MCUSpec
 

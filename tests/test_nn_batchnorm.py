@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ShapeError
 from repro.nn.layers import BatchNorm2d
-from tests.test_nn_layers import check_layer_gradients
 
 
 class TestForward:

@@ -1,19 +1,17 @@
 """Static FLOPs/size profiling tests, including the paper's constants."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ShapeError
 from repro.models import (
     MULTI_EXIT_LENET_LAYERS,
     PAPER_EXIT_FLOPS,
-    make_multi_exit_lenet,
     make_sonic_net,
     make_sparse_net,
     make_lenet_cifar,
 )
 from repro.nn.flops import incremental_flops, profile_network
-from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.layers import Conv2d, Flatten, Linear
 from repro.nn.network import MultiExitNetwork, Sequential
 
 

@@ -55,7 +55,7 @@ class TestMultiExitCrossEntropy:
         labels = rng.integers(0, 3, 4)
         joint = MultiExitCrossEntropy(2, [1.0, 0.5])
         total = joint(logits, labels)
-        individual = [CrossEntropyLoss()(l, labels) for l in logits]
+        individual = [CrossEntropyLoss()(ly, labels) for ly in logits]
         np.testing.assert_allclose(total, individual[0] + 0.5 * individual[1])
 
     def test_last_exit_losses_recorded(self, rng):
@@ -64,7 +64,7 @@ class TestMultiExitCrossEntropy:
         joint = MultiExitCrossEntropy(3)
         joint(logits, labels)
         assert len(joint.last_exit_losses) == 3
-        assert all(l > 0 for l in joint.last_exit_losses)
+        assert all(ly > 0 for ly in joint.last_exit_losses)
 
     def test_backward_scales_by_weight(self, rng):
         logits = [rng.normal(size=(2, 3)) for _ in range(2)]

@@ -41,7 +41,7 @@ class TestForward:
     def test_forward_all_returns_one_logits_per_exit(self, tiny_net, x):
         logits = tiny_net.forward_all(x)
         assert len(logits) == 2
-        assert all(l.shape == (4, 5) for l in logits)
+        assert all(ly.shape == (4, 5) for ly in logits)
 
     def test_forward_to_exit_matches_forward_all(self, tiny_net, x):
         logits = tiny_net.forward_all(x)
@@ -118,7 +118,7 @@ class TestBackwardAll:
 
 class TestIntrospection:
     def test_weighted_layers_order(self, tiny_net):
-        names = [l.name for l in tiny_net.weighted_layers()]
+        names = [ly.name for ly in tiny_net.weighted_layers()]
         assert names == ["t.c1", "t.c2", "t.f1", "t.f2"]
 
     def test_layer_by_name(self, tiny_net):

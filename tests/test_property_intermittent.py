@@ -1,0 +1,184 @@
+"""Hypothesis property suite for the vectorized intermittent kernel.
+
+The batched fleet engine routes SONIC-style devices through
+:class:`repro.intermittent.kernel.IntermittentFleetKernel`, whose
+multi-cycle loop re-implements the :class:`EnergyStorage` ledger as raw
+column arithmetic.  Two families of properties keep that honest:
+
+* **equivalence** — a kernel episode is bit-identical to the scalar
+  :func:`repro.intermittent.kernel.run_job_scalar` loop driven over the
+  same devices (state columns, draws-free outcomes, finish times);
+* **conservation** — across arbitrary harvest/capacity/job regimes, the
+  kernel's energy accounting never invents or loses energy across
+  power-loss boundaries:
+  ``level == initial + charged - drawn - leaked`` (the scalar storage
+  invariant from ``test_property_storage.py``), every charge splits into
+  banked + wasted, and the level stays inside ``[0, capacity]``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.storage import EnergyStorage
+from repro.energy.traces import constant_trace, rf_trace
+from repro.intermittent.kernel import (
+    REASON_ENERGY,
+    REASON_NONE,
+    IntermittentFleetKernel,
+    run_job_scalar,
+)
+from repro.intermittent.mcu import MSP432
+from repro.utils.rng import DrawBatch
+
+
+class _KernelDevice:
+    """The duck-typed device view IntermittentFleetKernel consumes."""
+
+    class _Profile:
+        num_exits = 1
+        name = "prop"
+
+    def __init__(self, trace, storage, job_mj, acc=0.8):
+        self.trace = trace
+        self.storage = storage
+        self.mcu = MSP432
+        self.profile = self._Profile()
+        self.exit_energy = [float(job_mj)]
+        self.exit_acc = [float(acc)]
+
+
+def _make_trace(kind, power_mw, duration, seed):
+    if kind == "constant":
+        return constant_trace(power_mw, duration, dt=1.0)
+    return rf_trace(duration=duration, dt=1.0, mean_mw=power_mw, seed=seed)
+
+
+CASES = st.lists(
+    st.tuples(
+        st.sampled_from(["constant", "rf"]),
+        st.floats(0.001, 0.08, allow_nan=False),  # harvest power (mW)
+        st.floats(0.5, 4.0, allow_nan=False),  # capacity (mJ)
+        st.floats(0.0, 1.0, allow_nan=False),  # initial fraction
+        st.floats(0.05, 3.0, allow_nan=False),  # job energy (mJ)
+        st.floats(0.0, 0.002, allow_nan=False),  # leakage (mW)
+        st.floats(0.0, 300.0, allow_nan=False),  # event time (s)
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _build(cases, seed):
+    devices = []
+    storages = []
+    for i, (kind, p, cap, frac, job, leak, _te) in enumerate(cases):
+        trace = _make_trace(kind, p, 600.0, seed + i)
+        storage = EnergyStorage(
+            cap, efficiency=0.8, leakage_mw=leak, initial_mj=cap * frac
+        )
+        storages.append(storage)
+        devices.append(_KernelDevice(trace, storage, job))
+    kernel = IntermittentFleetKernel(np.arange(len(devices)), devices)
+    return kernel, devices, storages
+
+
+def _run_kernel_episode(kernel, devices, cases, seed):
+    k = len(devices)
+    events = np.array([[c[6] for c in cases]])
+    cum = np.array(
+        [
+            [
+                d.trace._cum_at(d.trace._clip_time(c[6]))
+                for d, c in zip(devices, cases)
+            ]
+        ]
+    )
+    n_events = np.ones(k, np.int64)
+    level = np.array([d.storage._initial_mj for d in devices])
+    drawn = np.zeros(k)
+    t_charged = np.zeros(k)
+    cum_charged = np.zeros(k)
+    busy_until = np.zeros(k)
+    draws = DrawBatch([np.random.default_rng(seed + 100 + i) for i in range(k)])
+    rec = kernel.run_episode(
+        np.ones(k, bool),
+        events,
+        cum,
+        n_events,
+        level,
+        drawn,
+        t_charged,
+        cum_charged,
+        busy_until,
+        draws,
+    )
+    return rec, level, drawn, busy_until
+
+
+@given(cases=CASES, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_kernel_matches_scalar_loop_bit_for_bit(cases, seed):
+    """One event per device: the kernel's outcome must be the scalar
+    charge-to-event + run_job_scalar sequence, value for value."""
+    kernel, devices, _ = _build(cases, seed)
+    rec, level, drawn, busy_until = _run_kernel_episode(kernel, devices, cases, seed)
+    for i, (device, case) in enumerate(zip(devices, cases)):
+        te = case[6]
+        storage = device.storage
+        trace = device.trace
+        # Scalar reference: the simulator's charge-to-event block, then
+        # the shared scalar loop.
+        if te > 0.0:
+            storage.charge(max(trace._cum_at(trace._clip_time(te)) - 0.0, 0.0))
+            storage.leak(te - 0.0)
+        run = run_job_scalar(
+            trace,
+            MSP432,
+            trace.dt,
+            device.exit_energy[0],
+            te,
+            storage,
+            deadline=trace.duration,
+        )
+        assert busy_until[i] == run.finish_time
+        assert level[i] == storage.level_mj
+        assert drawn[i] == storage.total_drawn_mj
+        if run.completed:
+            assert rec["reason"][0, i] == REASON_NONE
+            assert rec["energy"][0, i] == (
+                run.energy_consumed_mj + run.overhead_energy_mj
+            )
+        else:
+            assert rec["reason"][0, i] == REASON_ENERGY
+        assert rec["cycles"][0, i] == run.power_cycles
+        assert rec["latency"][0, i] == run.latency_s
+
+
+@given(cases=CASES, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_kernel_conserves_energy_ledger(cases, seed):
+    """Across power-loss boundaries (checkpoint, off, restore), the
+    column ledger must balance exactly like EnergyStorage's."""
+    kernel, devices, _ = _build(cases, seed)
+    initial = np.array([d.storage._initial_mj for d in devices])
+    capacity = np.array([d.storage.capacity_mj for d in devices])
+    rec, level, drawn, _ = _run_kernel_episode(kernel, devices, cases, seed)
+    reconstructed = initial + rec["charged"] - drawn - rec["leaked"]
+    assert level == pytest.approx(reconstructed, abs=1e-9)
+    assert np.all(rec["wasted"] >= -1e-12)
+    assert np.all(level >= 0.0)
+    assert np.all(level <= capacity + 1e-9)
+    assert np.all(np.isfinite(level))
+
+
+@given(cases=CASES, seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_kernel_never_overdraws(cases, seed):
+    """Total drawn energy never exceeds what was ever available:
+    initial charge plus everything banked."""
+    kernel, devices, _ = _build(cases, seed)
+    initial = np.array([d.storage._initial_mj for d in devices])
+    rec, level, drawn, _ = _run_kernel_episode(kernel, devices, cases, seed)
+    assert np.all(drawn <= initial + rec["charged"] + 1e-9)

@@ -7,19 +7,21 @@ from repro.errors import ConfigError
 from repro.runtime.batched import (
     FixedBatch,
     GreedyBatch,
+    LearnedRuleBatch,
     LUTBatch,
     QLearningBatch,
+    ThresholdRuleBatch,
+    batch_continue_rules,
     batch_controllers,
     batchable,
     discretize_batch,
 )
-from repro.runtime.controller import (
-    Controller,
-    QLearningController,
-    StaticController,
-    make_controller,
+from repro.runtime.controller import StaticController, make_controller
+from repro.runtime.incremental import (
+    CONTINUE,
+    IncrementalDecider,
+    ThresholdContinue,
 )
-from repro.runtime.incremental import ThresholdContinue
 from repro.runtime.policies import FixedExitPolicy, OraclePolicy
 from repro.runtime.qlearning import discretize
 from repro.runtime.state import RuntimeState, RuntimeStateBatch
@@ -166,10 +168,25 @@ class TestBatchability:
                                 capacity_mj=2.0, rng=0, **params)
             assert batchable(c)
 
-    def test_learned_continue_rule_is_not_batchable(self):
+    def test_continue_rules_are_batchable(self):
+        for rule in (
+            ThresholdContinue(0.5),
+            {"kind": "threshold", "entropy_threshold": 0.4},
+            {"kind": "learned"},
+        ):
+            c = make_controller(
+                "greedy", 4, exit_energies_mj=COSTS, capacity_mj=2.0,
+                rng=3, continue_rule=rule,
+            )
+            assert batchable(c)
+
+    def test_rule_sharing_the_exit_table_generator_is_not_batchable(self):
+        """One Generator feeding both pooled-draw streams cannot be
+        replayed per table; such controllers stay on the scalar path."""
+        gen = np.random.default_rng(0)
         c = make_controller(
-            "greedy", 4, exit_energies_mj=COSTS, capacity_mj=2.0,
-            continue_rule=ThresholdContinue(0.5),
+            "qlearning", 4, rng=gen,
+            continue_rule=IncrementalDecider(rng=gen),
         )
         assert not batchable(c)
 
@@ -190,6 +207,85 @@ class TestBatchability:
         )
         assert len(groups) == 2
         assert group_of[0] == group_of[2] != group_of[1]
+
+
+class TestContinueRuleGroups:
+    def test_threshold_group_matches_scalar(self):
+        rules = [ThresholdContinue(0.3), ThresholdContinue(0.6)]
+        group = ThresholdRuleBatch(2, [0, 1], rules)
+        entropy = np.array([0.5, 0.5])
+        frac = np.array([0.4, 0.4])
+        for affordable in (np.array([True, True]), np.array([False, True])):
+            got = group.decide_batch(np.arange(2), entropy, frac, affordable)
+            want = [
+                rules[i].decide(float(entropy[i]), float(frac[i]), bool(affordable[i]))
+                == CONTINUE
+                for i in range(2)
+            ]
+            assert got.tolist() == want
+
+    def test_learned_group_matches_scalar_episode(self):
+        """Decide/observe/end_episode against scalar twins, including the
+        trajectory-credit chain and the unaffordable draw-free STOP."""
+        batched_rules = [IncrementalDecider(rng=31 + i) for i in range(2)]
+        scalar_rules = [IncrementalDecider(rng=31 + i) for i in range(2)]
+        group = LearnedRuleBatch(2, [0, 1], batched_rules, max_steps=3,
+                                 decay_rows=[0])
+        idx = np.arange(2)
+        steps = [
+            (np.array([0.9, 0.2]), np.array([0.8, 0.5]), np.array([True, True])),
+            (np.array([0.7, 0.6]), np.array([0.5, 0.3]), np.array([False, True])),
+        ]
+        scalar_trajs = [[], []]
+        for entropy, frac, affordable in steps:
+            got = group.decide_batch(idx, entropy, frac, affordable)
+            for i, rule in enumerate(scalar_rules):
+                action = rule.decide(
+                    float(entropy[i]), float(frac[i]), bool(affordable[i])
+                )
+                scalar_trajs[i].append(
+                    (rule.state_of(float(entropy[i]), float(frac[i])), action)
+                )
+                assert got[i] == (action == CONTINUE)
+        rewards = np.array([1.0, 0.0])
+        group.observe_batch(idx, rewards)
+        for i, rule in enumerate(scalar_rules):
+            rule.observe_trajectory(scalar_trajs[i], float(rewards[i]))
+        group.end_episode_batch(idx)
+        scalar_rules[0].decay_epsilon()  # row 0 is the qlearning parent
+        for i, rule in enumerate(scalar_rules):
+            np.testing.assert_array_equal(
+                group._tables[i], rule.qtable.table
+            )
+            assert group._epsilon[i] == rule.qtable.epsilon
+
+    def test_batch_continue_rules_partition(self):
+        controllers = [
+            make_controller("greedy", 4, exit_energies_mj=COSTS,
+                            capacity_mj=2.0, rng=1,
+                            continue_rule={"kind": "threshold"}),
+            make_controller("qlearning", 4, rng=2,
+                            continue_rule={"kind": "learned"}),
+            make_controller("fixed", 4, exit_energies_mj=COSTS,
+                            capacity_mj=2.0, rng=3),
+        ]
+        groups, group_of = batch_continue_rules(controllers, max_steps=3)
+        assert len(groups) == 2
+        assert group_of[2] == -1  # NeverContinue rows stay ungrouped
+        assert group_of[0] != group_of[1]
+
+    def test_rows_subset_restricts_grouping(self):
+        controllers = [
+            make_controller("greedy", 4, exit_energies_mj=COSTS,
+                            capacity_mj=2.0, rng=i,
+                            continue_rule={"kind": "threshold"})
+            for i in range(3)
+        ]
+        groups, group_of = batch_continue_rules(
+            controllers, max_steps=3, rows=[0, 2]
+        )
+        assert group_of.tolist() == [0, -1, 0]
+        assert groups[0].rows.tolist() == [0, 2]
 
 
 class TestFixedBatchValidation:

@@ -1,6 +1,5 @@
 """Controller wiring tests: pending transitions and learning hooks."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
@@ -9,7 +8,7 @@ from repro.runtime import (
     QLearningController,
     StaticController,
 )
-from repro.runtime.incremental import CONTINUE, IncrementalDecider, ThresholdContinue
+from repro.runtime.incremental import IncrementalDecider, ThresholdContinue
 from repro.runtime.state import RuntimeState
 
 ENERGIES = [0.2, 0.8, 1.6]

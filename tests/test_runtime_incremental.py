@@ -9,6 +9,7 @@ from repro.runtime.incremental import (
     IncrementalDecider,
     NeverContinue,
     ThresholdContinue,
+    resolve_continue_rule,
 )
 
 
@@ -73,3 +74,42 @@ class TestIncrementalDecider:
         decider = IncrementalDecider(epsilon=0.4, epsilon_decay=0.5, rng=0)
         decider.decay_epsilon()
         assert decider.qtable.epsilon == pytest.approx(0.2)
+
+
+class TestResolveContinueRule:
+    def test_none_is_never(self):
+        assert isinstance(resolve_continue_rule(None), NeverContinue)
+
+    def test_instance_passes_through(self):
+        rule = ThresholdContinue(0.3)
+        assert resolve_continue_rule(rule) is rule
+
+    def test_declarative_kinds(self):
+        assert isinstance(
+            resolve_continue_rule({"kind": "never"}), NeverContinue
+        )
+        threshold = resolve_continue_rule(
+            {"kind": "threshold", "entropy_threshold": 0.25}
+        )
+        assert isinstance(threshold, ThresholdContinue)
+        assert threshold.entropy_threshold == 0.25
+        learned = resolve_continue_rule(
+            {"kind": "learned", "epsilon": 0.4}, rng=7
+        )
+        assert isinstance(learned, IncrementalDecider)
+        assert learned.qtable.epsilon == 0.4
+
+    def test_learned_rng_is_deterministic(self):
+        a = resolve_continue_rule({"kind": "learned"}, rng=11)
+        b = resolve_continue_rule({"kind": "learned"}, rng=11)
+        assert a.qtable.select_action((0, 0)) == b.qtable.select_action((0, 0))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="continue_rule kind"):
+            resolve_continue_rule({"kind": "warp"})
+        with pytest.raises(ConfigError, match="continue_rule"):
+            resolve_continue_rule("threshold")
+
+    def test_bad_params_surface_as_config_errors(self):
+        with pytest.raises(ConfigError, match="threshold"):
+            resolve_continue_rule({"kind": "threshold", "bogus": 1})

@@ -9,7 +9,6 @@ from repro.errors import ConfigError
 from repro.intermittent import MSP432
 from repro.sim import InferenceProfile
 
-import numpy as np
 
 
 def valid_profile(**overrides):
