@@ -16,6 +16,7 @@ testbed; see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -57,6 +58,29 @@ def bench_output_path(filename: str) -> str:
     smoke_dir = os.path.join(base, ".smoke")
     os.makedirs(smoke_dir, exist_ok=True)
     return os.path.join(smoke_dir, filename)
+
+
+def bench_provenance() -> dict:
+    """Provenance block embedded in every ``BENCH_*.json`` payload.
+
+    Throughput numbers are only comparable on the same machine; the
+    manifest (git SHA, python/numpy versions, hostname, CPU count, smoke
+    flag) lets a reader of the committed trajectory check that before
+    reading anything into a delta.
+    """
+    from repro.obs.manifest import build_manifest
+
+    return build_manifest(bench_smoke=BENCH_SMOKE)
+
+
+def write_bench_json(path: str, payload: dict) -> dict:
+    """Write a bench payload with its ``provenance`` block; returns it."""
+    out = dict(payload)
+    out["provenance"] = bench_provenance()
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return out
 
 
 def print_table(title: str, rows, headers):

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Attribute the mixed city-block speedup gap with the phase profiler.
+
+The P5 trajectory shows the batched engine winning ~3.6x on an
+all-intermittent 128-device fleet but only ~1.1x on the mixed
+``city-block-1k`` 128-device slice.  This script runs that slice under
+``repro.obs`` with the phase profiler on, splits the batched engine's
+wall clock between its single-cycle lockstep loop and the intermittent
+kernel, measures the same split on the per-device engine from its
+per-device wall times, and writes the attribution as a committed
+artifact::
+
+    PYTHONPATH=src python benchmarks/profile_cityblock.py \
+        [--devices 128] [--rounds 3] [--out benchmarks/PROFILE_p6_cityblock128.json]
+
+The committed ``PROFILE_p6_cityblock128.json`` is the PR-6 deliverable:
+a machine-readable answer to "where does the mixed-fleet speedup go?",
+with the dominant overhead named in ``attribution.finding``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))  # for conftest
+from conftest import bench_provenance  # noqa: E402
+
+from repro.fleet import SCENARIOS, FleetRunner  # noqa: E402
+from repro.obs import Recorder, recording  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "PROFILE_p6_cityblock128.json"
+)
+
+
+def _profiled_batched_run(spec, rounds: int):
+    """Best-of-``rounds`` batched run; returns (best_s, that round's profile)."""
+    FleetRunner(spec, workers=1, engine="batched").run()  # warm caches
+    best_s, best_profile = float("inf"), None
+    for _ in range(rounds):
+        recorder = Recorder(metrics=True, profile=True)
+        with recording(recorder):
+            result = FleetRunner(spec, workers=1, engine="batched").run()
+        if result.wall_s < best_s:
+            best_s = result.wall_s
+            best_profile = recorder.profiler.to_dict()
+    return best_s, best_profile
+
+
+def _device_engine_split(spec, rounds: int):
+    """Best device-engine wall + per-execution-class device wall split."""
+    FleetRunner(spec, workers=1, engine="device").run()  # warm caches
+    best_s, best_result = float("inf"), None
+    for _ in range(rounds):
+        result = FleetRunner(spec, workers=1, engine="device").run()
+        if result.wall_s < best_s:
+            best_s, best_result = result.wall_s, result
+    split = {"intermittent": 0.0, "single-cycle": 0.0}
+    for device, d_spec in zip(best_result.devices, spec.devices):
+        split[d_spec.execution] += device.wall_s
+    return best_s, split
+
+
+def build_profile(devices: int, rounds: int) -> dict:
+    spec = SCENARIOS.build("city-block-1k", num_devices=devices)
+    n_int = sum(1 for d in spec.devices if d.execution == "intermittent")
+
+    batched_s, profile = _profiled_batched_run(spec, rounds)
+    device_s, device_split = _device_engine_split(spec, rounds)
+
+    phases = profile["phases"]
+    counts = profile["counts"]
+    run_s = phases["batch.run"]["wall_s"]
+    int_s = phases.get("batch.intermittent", {}).get("wall_s", 0.0)
+    lockstep_s = phases.get("batch.lockstep", {}).get("wall_s", 0.0)
+    micro_passes = counts.get("intermittent.micro_passes", 0)
+    active_lanes = sum(
+        counts.get(f"intermittent.{k}_lanes", 0)
+        for k in ("boundary", "compute", "recharge")
+    )
+    lanes_per_pass = active_lanes / micro_passes if micro_passes else 0.0
+
+    int_frac = int_s / run_s if run_s else 0.0
+    finding = (
+        f"{n_int}/{devices} intermittent devices take {int_frac:.0%} of the "
+        f"batched engine's wall clock: the intermittent kernel runs "
+        f"{micro_passes} micro-step passes over a lane set capped at "
+        f"{n_int} devices (~{lanes_per_pass:.1f} active lanes/pass), far "
+        f"too narrow to amortize per-pass numpy dispatch, so it executes "
+        f"near scalar speed while the {devices - n_int} single-cycle "
+        f"devices finish in the lockstep loop in {lockstep_s:.3f}s. "
+        f"Amdahl on the kernel-bound tail caps the mixed-fleet speedup "
+        f"near the ~1.1x the P5 trajectory records; the same kernel at "
+        f"128-wide lanes wins ~3.6x (BENCH_p5 int128)."
+    )
+
+    return {
+        "profile": "p6_cityblock128",
+        "scenario": "city-block-1k",
+        "devices": devices,
+        "intermittent_devices": n_int,
+        "rounds": rounds,
+        "fleet_digest": spec.digest(),
+        "batched": {
+            "best_s": batched_s,
+            "phases": phases,
+            "counts": counts,
+        },
+        "device_engine": {
+            "best_s": device_s,
+            "wall_split_s": device_split,
+        },
+        "attribution": {
+            "speedup": device_s / batched_s if batched_s else None,
+            "batched_intermittent_frac": int_frac,
+            "batched_lockstep_frac": lockstep_s / run_s if run_s else 0.0,
+            "kernel_micro_passes": micro_passes,
+            "kernel_active_lanes_per_pass": lanes_per_pass,
+            "kernel_max_lane_width": n_int,
+            "dominant_overhead": "intermittent-kernel micro-step passes "
+            "over a narrow (intermittent-only) lane set",
+            "finding": finding,
+        },
+        "provenance": bench_provenance(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--devices", type=int, default=128)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    payload = build_profile(args.devices, args.rounds)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    att = payload["attribution"]
+    print(f"wrote {args.out}")
+    print(f"  speedup (device/batched): {att['speedup']:.2f}x")
+    print(
+        f"  batched wall in intermittent kernel: "
+        f"{att['batched_intermittent_frac']:.0%}"
+    )
+    print(f"  {att['finding']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

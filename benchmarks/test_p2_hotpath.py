@@ -25,7 +25,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import BENCH_SMOKE as SMOKE
-from benchmarks.conftest import bench_output_path, print_table
+from benchmarks.conftest import bench_output_path, print_table, write_bench_json
 from repro.energy.traces import solar_trace
 from repro.fleet import SCENARIOS, FleetRunner
 from repro.fleet.runner import run_device
@@ -167,7 +167,5 @@ def test_p2_write_bench_json():
     # Smoke runs land in benchmarks/.smoke/ (bench_output_path), so the
     # tracked trajectory is never overwritten but the regression gate
     # still gets fresh numbers to diff.
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    payload = write_bench_json(BENCH_JSON, payload)
     print(f"\nBENCH_p2_hotpath: {json.dumps(payload, sort_keys=True)}")

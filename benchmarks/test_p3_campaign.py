@@ -11,11 +11,10 @@ so future PRs can track the numbers.  Set ``BENCH_SMOKE=1`` for the CI
 smoke lane: one round, shrunken grid, no timing assertions.
 """
 
-import json
 import time
 
 from benchmarks.conftest import BENCH_SMOKE as SMOKE
-from benchmarks.conftest import bench_output_path, print_table
+from benchmarks.conftest import bench_output_path, print_table, write_bench_json
 from repro.campaign import CAMPAIGNS, run_campaign
 
 OUT_PATH = bench_output_path("BENCH_p3_campaign.json")
@@ -62,9 +61,7 @@ def test_p3_campaign_throughput(benchmark):
         "pooled_wall_s": parallel_wall,
         "pooled_cells_per_s": cells / parallel_wall,
     }
-    with open(OUT_PATH, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(OUT_PATH, payload)
 
     # Worker count must never change the grid's report (determinism contract).
     assert serial_result.to_dict() == parallel_result.to_dict()

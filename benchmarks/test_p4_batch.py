@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 
 from benchmarks.conftest import BENCH_SMOKE as SMOKE
-from benchmarks.conftest import bench_output_path, print_table
+from benchmarks.conftest import bench_output_path, print_table, write_bench_json
 from repro.fleet import SCENARIOS, FleetRunner
 from repro.fleet.runner import usable_cpus
 
@@ -184,7 +184,5 @@ def test_p4_write_bench_json():
         "baseline": {"p2_serial_devices_per_s": P2_SERIAL_DEVICES_PER_S},
         **_RESULTS,
     }
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    payload = write_bench_json(BENCH_JSON, payload)
     print(f"\nBENCH_p4_batch: {json.dumps(payload, sort_keys=True)}")

@@ -29,7 +29,7 @@ import json
 import numpy as np
 
 from benchmarks.conftest import BENCH_SMOKE as SMOKE
-from benchmarks.conftest import bench_output_path, print_table
+from benchmarks.conftest import bench_output_path, print_table, write_bench_json
 from repro.fleet import DeviceSpec, FleetSpec, SCENARIOS, FleetRunner
 
 ROUNDS = 1 if SMOKE else 3
@@ -195,7 +195,5 @@ def test_p5_write_bench_json():
         "speedup_floor": SPEEDUP_FLOOR,
         **_RESULTS,
     }
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    payload = write_bench_json(BENCH_JSON, payload)
     print(f"\nBENCH_p5_intermittent_batch: {json.dumps(payload, sort_keys=True)}")

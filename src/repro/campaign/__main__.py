@@ -14,6 +14,11 @@ run continues with ``--resume`` (or the ``resume`` subcommand, which
 reads the grid back from the store) and produces a report byte-identical
 to an uninterrupted run.  ``report`` re-aggregates from checkpoints
 without executing anything.
+
+``run`` also takes ``--trace-out`` (span JSONL, first line the run's
+provenance manifest) and ``--metrics-out`` (metrics summary JSON); every
+run stamps ``manifest.json`` into the store.  Observability never touches
+the simulation — reports stay byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -22,11 +27,15 @@ import argparse
 import os
 import sys
 
+import json
+
 from repro.campaign.builtins import CAMPAIGNS
 from repro.campaign.runner import CampaignRunner, report_from_store
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.errors import ConfigError, ReproError
+from repro.obs.manifest import build_manifest
+from repro.obs.recorder import Recorder, recording
 
 
 def _build_spec(args) -> CampaignSpec:
@@ -49,13 +58,33 @@ def _progress(cell, status) -> None:
 
 def _run(
     spec: CampaignSpec, out: str, workers: int, resume: bool, report_json,
-    engine: str = "auto",
+    engine: str = "auto", trace_out=None, metrics_out=None,
 ) -> int:
     store = CampaignStore(out)
     runner = CampaignRunner(
         spec, store=store, workers=workers, resume=resume, engine=engine
     )
-    result = runner.run(progress=_progress)
+    recorder = None
+    if trace_out or metrics_out:
+        recorder = Recorder(metrics=True, trace=trace_out)
+        if recorder.trace is not None:
+            recorder.trace.emit(
+                {
+                    "type": "manifest",
+                    **build_manifest(
+                        campaign=spec.name,
+                        campaign_digest=spec.digest(),
+                        workers=workers,
+                        engine=engine,
+                    ),
+                }
+            )
+    if recorder is None:
+        result = runner.run(progress=_progress)
+    else:
+        with recording(recorder):
+            result = runner.run(progress=_progress)
+        recorder.close()
     print(
         f"campaign {spec.name!r}: {runner.executed} cell(s) executed, "
         f"{runner.skipped} loaded from checkpoints"
@@ -65,6 +94,23 @@ def _run(
     if report_json:
         result.to_json(report_json)
         print(f"wrote report copy to {report_json}")
+    if recorder is not None:
+        if trace_out:
+            print(f"wrote trace to {trace_out}")
+        if metrics_out:
+            payload = {
+                "manifest": build_manifest(
+                    campaign=spec.name,
+                    campaign_digest=spec.digest(),
+                    workers=workers,
+                    engine=engine,
+                ),
+            }
+            payload.update(recorder.to_dict())
+            with open(metrics_out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote metrics to {metrics_out}")
     return 0
 
 
@@ -91,6 +137,11 @@ def main(argv=None) -> int:
     run.add_argument("--resume", action="store_true",
                      help="skip cells already checkpointed under --out")
     run.add_argument("--report-json", default=None, help="also write the report here")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write tracing spans as JSON lines (first line: "
+                          "the run manifest)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the collected metrics summary as JSON")
 
     resume = sub.add_parser("resume", help="continue an interrupted run from its store")
     resume.add_argument("out", help="checkpoint directory of the interrupted run")
@@ -118,7 +169,8 @@ def main(argv=None) -> int:
         if args.command == "run":
             spec = _build_spec(args)
             return _run(spec, args.out, args.workers, args.resume, args.report_json,
-                        engine=args.engine)
+                        engine=args.engine, trace_out=args.trace_out,
+                        metrics_out=args.metrics_out)
         if args.command == "resume":
             spec = CampaignStore(args.out).load_spec()
             return _run(spec, args.out, args.workers, True, args.report_json)

@@ -30,6 +30,8 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.errors import ConfigError
 from repro.fleet.runner import FleetRunner, worker_pool
+from repro.obs.recorder import get_recorder
+from repro.obs.tracing import span
 from repro.fleet.scenarios import SCENARIOS
 from repro.fleet.spec import FleetSpec
 
@@ -47,14 +49,19 @@ def run_cell(
 ) -> dict:
     """Execute one cell and summarize it as a JSON-safe checkpoint payload.
 
-    The payload is deterministic in the cell alone — no wall-clock, no
-    worker count, no engine choice (the batched engine is bit-identical to
-    the per-device path) — which is what lets resumed runs mix
-    checkpointed and freshly-executed cells into one byte-identical
-    report.
+    Everything outside the ``"timing"`` key is deterministic in the cell
+    alone — no wall-clock, no worker count, no engine choice (the batched
+    engine is bit-identical to the per-device path) — which is what lets
+    resumed runs mix checkpointed and freshly-executed cells into one
+    byte-identical report: :class:`~repro.campaign.report.CampaignResult`
+    strips ``"timing"`` into a side table before aggregating, so it
+    reaches ``campaign report``'s per-cell columns but never
+    ``report.json``.
     """
-    fleet_spec = build_cell_fleet(cell)
-    result = FleetRunner(fleet_spec, workers=workers, engine=engine).run(pool=pool)
+    with span("campaign.cell", cell=cell.key):
+        fleet_spec = build_cell_fleet(cell)
+        runner = FleetRunner(fleet_spec, workers=workers, engine=engine)
+        result = runner.run(pool=pool)
     return {
         "key": cell.key,
         "scenario_label": cell.scenario_label,
@@ -65,6 +72,12 @@ def run_cell(
         "seed": cell.seed,
         "devices": result.num_devices,
         "fleet": result.aggregate(),
+        "timing": {
+            "wall_s": result.wall_s,
+            "engine": engine,
+            "workers": result.workers,
+            "parallel": bool(runner.last_run_parallel),
+        },
     }
 
 
@@ -103,12 +116,21 @@ class CampaignRunner:
         done = set()
         if self.store is not None:
             self.store.initialize(self.spec, resume=self.resume)
+            self.store.write_run_manifest(
+                campaign=self.spec.name,
+                campaign_digest=self.spec.digest(),
+                workers=self.workers,
+                engine=self.engine,
+                resume=self.resume,
+            )
             if self.resume:
                 done = self.store.completed_keys()
         payloads = {}
         self.executed = 0
         self.skipped = 0
-        with worker_pool(self.workers) as pool:
+        with span(
+            "campaign.run", campaign=self.spec.name, cells=len(cells)
+        ), worker_pool(self.workers) as pool:
             for cell in cells:
                 if cell.key in done:
                     if progress is not None:
@@ -125,6 +147,11 @@ class CampaignRunner:
                     self.store.save_cell(cell.key, payload)
                 payloads[cell.key] = payload
                 self.executed += 1
+        metrics = get_recorder().metrics
+        if metrics is not None:
+            metrics.inc("campaign.runs")
+            metrics.inc("campaign.cells.executed", self.executed)
+            metrics.inc("campaign.cells.skipped", self.skipped)
         result = CampaignResult(self.spec, payloads)
         if self.store is not None:
             self.store.write_report(result.to_dict())

@@ -5,6 +5,8 @@ Layout under the store root::
     campaign.json          # the CampaignSpec that owns this directory
     cells/<cell-key>.json  # deterministic payload of one completed cell
     report.json            # aggregate report (rewritten after every run)
+    manifest.json          # provenance of the latest run (git SHA, host,
+                           # versions — see repro.obs.manifest)
 
 Every write is atomic (temp file + ``os.replace`` in the same directory),
 so a campaign killed mid-cell leaves either a complete artifact or none —
@@ -45,6 +47,7 @@ class CampaignStore:
 
     SPEC_FILE = "campaign.json"
     REPORT_FILE = "report.json"
+    MANIFEST_FILE = "manifest.json"
     CELLS_DIR = "cells"
 
     def __init__(self, root: str):
@@ -60,6 +63,10 @@ class CampaignStore:
     @property
     def report_path(self) -> str:
         return os.path.join(self.root, self.REPORT_FILE)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, self.MANIFEST_FILE)
 
     @property
     def cells_dir(self) -> str:
@@ -130,6 +137,30 @@ class CampaignStore:
                 return json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             raise ConfigError(f"cannot load cell artifact {path!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Run manifest (provenance of the latest run; never read by resume)
+    # ------------------------------------------------------------------ #
+    def write_run_manifest(self, **extra) -> str:
+        """Stamp the store with this run's provenance (rewritten per run).
+
+        The manifest is observability metadata only — resume and report
+        logic never consult it, so it carries wall-clock content without
+        threatening report byte-identity.
+        """
+        from repro.obs.manifest import build_manifest
+
+        atomic_write_json(self.manifest_path, build_manifest(**extra))
+        return self.manifest_path
+
+    def load_run_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"cannot load run manifest {self.manifest_path!r}: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     # Report

@@ -3,11 +3,21 @@
     python -m repro.fleet list
     python -m repro.fleet show solar-farm-100 [--spec-json fleet.json]
     python -m repro.fleet run solar-farm-100 --workers 4 --json out.json
+    python -m repro.fleet run city-block-1k --explain
+    python -m repro.fleet run solar-farm-100 --trace-out run.jsonl \
+        --metrics-out metrics.json [--profile]
 
 ``run`` executes a named scenario (or a ``--spec`` JSON file exported by
 ``show``), prints the fleet report, and optionally dumps the full JSON
 report.  The JSON payload is deterministic in (scenario, seed): worker
 count and chunking never change it, only the ``--timing`` section.
+
+Observability (all off by default, and guaranteed not to change results):
+``--trace-out`` streams span records as JSON lines (first line: the run's
+provenance manifest), ``--metrics-out`` writes the collected metrics
+summary (+ phase profile with ``--profile``), and ``--explain`` prints
+the engine-selection table — which devices the lockstep engine takes and
+why the rest fall back — without simulating anything.
 """
 
 from __future__ import annotations
@@ -21,6 +31,8 @@ from repro.errors import ConfigError, ReproError
 from repro.fleet.runner import FleetRunner
 from repro.fleet.scenarios import SCENARIOS
 from repro.fleet.spec import FleetSpec
+from repro.obs.manifest import build_manifest
+from repro.obs.recorder import Recorder, recording
 
 
 def _build_spec(args) -> FleetSpec:
@@ -44,6 +56,49 @@ def _build_spec(args) -> FleetSpec:
             )
         return FleetSpec.from_json(args.spec)
     return SCENARIOS.build(args.scenario, **overrides)
+
+
+def _print_explain(spec: FleetSpec, engine: str) -> None:
+    """Per-device engine-selection table: lockstep or fallback, and why."""
+    from repro.sim.batch import _ineligibility
+
+    print(
+        f"fleet {spec.name!r}: engine selection for --engine {engine} "
+        f"({spec.num_devices} devices)"
+    )
+    fallbacks = 0
+    for device in spec.devices:
+        found = None if engine == "device" else _ineligibility(device)
+        if engine == "device":
+            verdict = "per-device (forced by --engine device)"
+        elif found is None:
+            verdict = "batched lockstep"
+        else:
+            code, reason = found
+            verdict = f"per-device fallback [{code}]: {reason}"
+            fallbacks += 1
+        print(f"  {device.name:<18} {verdict}")
+    if engine == "batched" and fallbacks:
+        print(
+            f"  note: --engine batched would refuse this fleet "
+            f"({fallbacks} ineligible device(s))"
+        )
+    elif engine != "device":
+        print(
+            f"  {spec.num_devices - fallbacks} device(s) batched, "
+            f"{fallbacks} per-device fallback(s)"
+        )
+
+
+def _run_manifest(spec: FleetSpec, args) -> dict:
+    return build_manifest(
+        fleet=spec.name,
+        devices=spec.num_devices,
+        seed=spec.seed,
+        scenario_digest=spec.digest(),
+        engine=args.engine,
+        workers=args.workers,
+    )
 
 
 def _print_report(result, quiet: bool) -> None:
@@ -105,6 +160,17 @@ def main(argv=None) -> int:
     run.add_argument("--timing", action="store_true",
                      help="include wall-clock timing in the JSON report")
     run.add_argument("--quiet", action="store_true", help="suppress the per-device table")
+    run.add_argument("--explain", action="store_true",
+                     help="print per-device engine selection (and fallback "
+                          "reasons) instead of running")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write tracing spans as JSON lines (first line: "
+                          "the run manifest)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the collected metrics summary as JSON")
+    run.add_argument("--profile", action="store_true",
+                     help="collect the engine phase profile (reported via "
+                          "--metrics-out)")
 
     args = parser.parse_args(argv)
     try:
@@ -126,13 +192,41 @@ def main(argv=None) -> int:
         if not args.spec and not args.scenario:
             run.error("need a scenario name or --spec FILE")
         spec = _build_spec(args)
-        result = FleetRunner(
+        if args.explain:
+            _print_explain(spec, args.engine)
+            return 0
+        runner = FleetRunner(
             spec, workers=args.workers, chunksize=args.chunksize, engine=args.engine
-        ).run()
+        )
+        recorder = None
+        if args.trace_out or args.metrics_out or args.profile:
+            recorder = Recorder(
+                metrics=True, trace=args.trace_out, profile=args.profile
+            )
+            if recorder.trace is not None:
+                recorder.trace.emit(
+                    {"type": "manifest", **_run_manifest(spec, args)}
+                )
+        if recorder is None:
+            result = runner.run()
+        else:
+            with recording(recorder):
+                result = runner.run()
+            recorder.close()
         _print_report(result, quiet=args.quiet)
         if args.json:
             result.to_json(args.json, include_timing=args.timing)
             print(f"wrote JSON report to {args.json}")
+        if recorder is not None:
+            if args.trace_out:
+                print(f"wrote trace to {args.trace_out}")
+            if args.metrics_out:
+                payload = {"manifest": _run_manifest(spec, args)}
+                payload.update(recorder.to_dict())
+                with open(args.metrics_out, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote metrics to {args.metrics_out}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -60,6 +60,8 @@ from repro.fleet.results import (
 )
 from repro.fleet.spec import FleetSpec
 from repro.intermittent.mcu import MSP432
+from repro.obs.recorder import Recorder, get_recorder, set_recorder
+from repro.obs.tracing import span
 from repro.runtime.controller import make_controller
 from repro.sim.profiles import InferenceProfile
 from repro.sim.results import percentile_dict
@@ -322,9 +324,44 @@ def run_device_batch(tasks, engine: str = "auto") -> list:
 
 
 def _run_chunk_packed(args) -> dict:
-    """Worker entry for chunked dispatch: run a batch, ship packed arrays."""
-    tasks, engine = args
-    return pack_device_results(run_device_batch(tasks, engine))
+    """Worker entry for chunked dispatch: run a batch, ship packed arrays.
+
+    ``obs`` is ``None`` when the parent had observability off; otherwise a
+    small flags dict.  The worker never writes to the parent's sinks (a
+    fork-inherited recorder would share the trace file descriptor): it
+    scopes a *fresh* metrics(+profiler) recorder around the batch and
+    ships its wire snapshot home under the payload's ``"obs"`` key, to be
+    merged parent-side in dispatch order.
+    """
+    tasks, engine, obs = args
+    if obs is None:
+        return pack_device_results(run_device_batch(tasks, engine))
+    recorder = Recorder(metrics=True, profile=bool(obs.get("profile")))
+    previous = set_recorder(recorder)
+    try:
+        payload = pack_device_results(run_device_batch(tasks, engine))
+    finally:
+        set_recorder(previous)
+        recorder.close()
+    wire = {"metrics": recorder.metrics.to_wire()}
+    if recorder.profiler is not None:
+        wire["profiler"] = recorder.profiler.to_wire()
+    payload["obs"] = wire
+    return payload
+
+
+def _merge_worker_obs(rec, payloads) -> None:
+    """Fold worker obs snapshots into the active recorder, in dispatch
+    order (which makes histogram splicing deterministic — see
+    :mod:`repro.obs.metrics`)."""
+    for payload in payloads:
+        wire = payload.pop("obs", None)
+        if not wire:
+            continue
+        if rec.metrics is not None and "metrics" in wire:
+            rec.metrics.merge_wire(wire["metrics"])
+        if rec.profiler is not None and "profiler" in wire:
+            rec.profiler.merge_wire(wire["profiler"])
 
 
 def usable_cpus() -> int:
@@ -489,8 +526,14 @@ class FleetRunner:
             return pool.map(
                 run_device, tasks, chunksize=self._chunk(len(tasks), fanout)
             )
-        args = [(chunk, self.engine) for chunk in self._batch_chunks(tasks, fanout)]
+        rec = get_recorder()
+        obs = {"profile": rec.profiler is not None} if rec.enabled else None
+        args = [
+            (chunk, self.engine, obs) for chunk in self._batch_chunks(tasks, fanout)
+        ]
         payloads = pool.map(_run_chunk_packed, args, chunksize=1)
+        if obs is not None:
+            _merge_worker_obs(rec, payloads)
         return [d for p in payloads for d in unpack_device_results(p)]
 
     def run(self, pool=None) -> FleetResult:
@@ -506,22 +549,68 @@ class FleetRunner:
         tasks = self._tasks()
         self.last_run_parallel = self._should_parallelize(len(tasks), pool)
         workers_used = 1
-        if not self.last_run_parallel:
-            device_results = run_device_batch(tasks, self.engine)
-        elif pool is not None:
-            workers_used = self._pool_fanout(pool)
-            device_results = self._run_parallel(tasks, pool)
-        else:
-            workers_used = max(self.workers, 1)
-            with worker_pool(self.workers) as owned:
-                device_results = self._run_parallel(tasks, owned)
-        return FleetResult(
+        with span(
+            "fleet.run",
+            fleet=self.spec.name,
+            devices=len(tasks),
+            engine=self.engine,
+            parallel=self.last_run_parallel,
+        ):
+            if not self.last_run_parallel:
+                device_results = run_device_batch(tasks, self.engine)
+            elif pool is not None:
+                workers_used = self._pool_fanout(pool)
+                device_results = self._run_parallel(tasks, pool)
+            else:
+                workers_used = max(self.workers, 1)
+                with worker_pool(self.workers) as owned:
+                    device_results = self._run_parallel(tasks, owned)
+        result = FleetResult(
             fleet_name=self.spec.name,
             seed=self.spec.seed,
             devices=device_results,
             workers=workers_used,
             wall_s=time.perf_counter() - t0,
         )
+        rec = get_recorder()
+        if rec.metrics is not None:
+            self._record_fleet_metrics(rec.metrics, result)
+        return result
+
+    def _record_fleet_metrics(self, metrics, result: FleetResult) -> None:
+        """Parent-side outcome metrics, computed from the aggregated device
+        results *after* dispatch — serial and pooled runs therefore build
+        identical outcome registries regardless of worker count or
+        chunking.  (Engine internals — ``batch.*`` counters and profiler
+        phases — are recorded where the engine runs and are
+        chunking-granular by nature.)  Includes the engine-selection
+        telemetry: one ``fleet.fallback.<code>`` counter per device that
+        the lockstep engine would refuse.
+        """
+        from repro.sim.batch import batch_ineligibility_code
+
+        metrics.inc("fleet.runs")
+        metrics.inc("fleet.devices", result.num_devices)
+        metrics.inc("fleet.events", result.num_events)
+        metrics.inc("fleet.events.processed", result.num_processed)
+        metrics.inc("fleet.events.missed", result.num_missed)
+        metrics.inc("fleet.events.correct", result.num_correct)
+        metrics.observe_many(
+            "fleet.device.iepmj", [d.iepmj for d in result.devices]
+        )
+        metrics.observe("fleet.run.wall_s", result.wall_s)
+        metrics.set_gauge("fleet.engine", self.engine)
+        metrics.set_gauge("fleet.workers", result.workers)
+        metrics.set_gauge("fleet.parallel", bool(self.last_run_parallel))
+        if self.engine != "device":
+            fallbacks = 0
+            for device in self.spec.devices:
+                code = batch_ineligibility_code(device)
+                if code is not None:
+                    fallbacks += 1
+                    metrics.inc(f"fleet.fallback.{code}")
+            metrics.inc("fleet.devices.batched", result.num_devices - fallbacks)
+            metrics.inc("fleet.devices.fallback", fallbacks)
 
 
 def run_fleet(

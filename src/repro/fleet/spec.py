@@ -204,6 +204,16 @@ class FleetSpec:
             devices=[DeviceSpec.from_dict(d) for d in data["devices"]],
         )
 
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """Content hash of the fleet — stamped into run manifests so an
+        observability artifact pins exactly which fleet produced it."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
     def to_json(self, path: str) -> None:
         with open(path, "w") as fh:
             json.dump(self.to_dict(), fh, indent=2, sort_keys=True)

@@ -252,6 +252,7 @@ class IntermittentFleetKernel:
         cum_charged: np.ndarray,
         busy_until: np.ndarray,
         draws,
+        prof=None,
     ) -> dict:
         """Play one episode for the participating devices.
 
@@ -263,6 +264,11 @@ class IntermittentFleetKernel:
         episode's conservation ledger (charged / leaked / wasted sums, for
         the property suite — the scalar path tracks the same totals on
         :class:`~repro.energy.storage.EnergyStorage`).
+
+        ``prof`` is an optional :class:`~repro.obs.profiler.PhaseProfiler`
+        tallying micro-step work (passes, lane counts, power-state
+        transitions); it never touches ledger state or random streams, so
+        results are bit-identical with or without it.
         """
         k_total = len(self.rows)
         max_ev = events.shape[0]
@@ -287,12 +293,20 @@ class IntermittentFleetKernel:
         start = np.zeros(k_total)
         on = np.zeros(k_total, bool)
 
+        # Local tallies flushed to ``prof`` once at episode end; the
+        # profiling-off path never executes a tally line.
+        n_micro = n_bnd = n_comp = n_rech = n_done = n_dead = 0
+
         pending = part & (ev < n_events)
         while pending.any():
+            if prof is not None:
+                n_micro += 1
             # ---- event boundaries: miss check, charge-to-event, job start
             bnd = pending & ~in_inf
             if bnd.any():
                 bi = np.nonzero(bnd)[0]
+                if prof is not None:
+                    n_bnd += bi.size
                 te = events[ev[bi], bi]
                 busy = te < busy_until[bi]
                 if busy.any():
@@ -332,6 +346,8 @@ class IntermittentFleetKernel:
                 done = work[inf] <= _WORK_EPS
                 if done.any():
                     ci = inf[done]
+                    if prof is not None:
+                        n_done += ci.size
                     er = self.rows[ci]
                     difficulty = draws.random(er)
                     correct = difficulty < self._job_acc[ci]
@@ -356,6 +372,8 @@ class IntermittentFleetKernel:
                     late = t[act] >= self._duration[act]
                     if late.any():
                         di = act[late]
+                        if prof is not None:
+                            n_dead += di.size
                         e = ev[di]
                         r_reason[e, di] = REASON_ENERGY
                         r_latency[e, di] = t[di] - start[di]
@@ -368,6 +386,8 @@ class IntermittentFleetKernel:
                         on_run = on[run]
                         off = run[~on_run]
                         if off.size:
+                            if prof is not None:
+                                n_rech += off.size
                             self._recharge_step(
                                 off,
                                 level,
@@ -379,9 +399,12 @@ class IntermittentFleetKernel:
                                 charged,
                                 leaked,
                                 wasted,
+                                prof=prof,
                             )
                         comp = run[on_run]
                         if comp.size:
+                            if prof is not None:
+                                n_comp += comp.size
                             self._compute_step(
                                 comp,
                                 level,
@@ -395,8 +418,16 @@ class IntermittentFleetKernel:
                                 charged,
                                 leaked,
                                 wasted,
+                                prof=prof,
                             )
             pending = part & (in_inf | (ev < n_events))
+        if prof is not None:
+            prof.tally("intermittent.micro_passes", n_micro)
+            prof.tally("intermittent.boundary_lanes", int(n_bnd))
+            prof.tally("intermittent.compute_lanes", int(n_comp))
+            prof.tally("intermittent.recharge_lanes", int(n_rech))
+            prof.tally("intermittent.completed", int(n_done))
+            prof.tally("intermittent.deadline_misses", int(n_dead))
         return {
             "exit": r_exit,
             "correct": r_correct,
@@ -423,7 +454,18 @@ class IntermittentFleetKernel:
         ev[k] += 1
 
     def _recharge_step(
-        self, off, level, drawn, t, on, cycles, overhead, charged, leaked, wasted
+        self,
+        off,
+        level,
+        drawn,
+        t,
+        on,
+        cycles,
+        overhead,
+        charged,
+        leaked,
+        wasted,
+        prof=None,
     ) -> None:
         """One powered-off ``dt``: harvest, leak, maybe wake + restore."""
         h = self._energy_between(off, t[off], t[off] + self._dt[off])
@@ -432,6 +474,8 @@ class IntermittentFleetKernel:
         t[off] += self._dt[off]
         wake = off[level[off] >= self._wakeup[off]]
         if wake.size:
+            if prof is not None:
+                prof.tally("intermittent.wake_transitions", int(wake.size))
             on[wake] = True
             cycles[wake] += 1
             restore = np.minimum(self._ckpt_half[wake], level[wake])
@@ -454,6 +498,7 @@ class IntermittentFleetKernel:
         charged,
         leaked,
         wasted,
+        prof=None,
     ) -> None:
         """One powered-on compute slice: harvest while spending, then
         checkpoint and power down if the charge dipped to shutdown."""
@@ -477,6 +522,8 @@ class IntermittentFleetKernel:
         t[comp] += step_time
         dying = comp[(work[comp] > _WORK_EPS) & (level[comp] <= self._shutdown[comp])]
         if dying.size:
+            if prof is not None:
+                prof.tally("intermittent.shutdown_transitions", int(dying.size))
             save = np.minimum(self._ckpt_half[dying], level[dying])
             level[dying] = np.maximum(0.0, level[dying] - save)
             drawn[dying] += save

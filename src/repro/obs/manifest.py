@@ -1,0 +1,101 @@
+"""Per-run provenance manifests.
+
+Every observability sink — trace JSONL files, metrics payloads, campaign
+run directories, committed BENCH_*.json artifacts — embeds the same
+manifest so a payload can always be traced back to the exact tree,
+interpreter, and host that produced it::
+
+    {"schema": "repro.obs.manifest/1", "git_sha": ..., "git_dirty": ...,
+     "python": ..., "numpy": ..., "platform": ..., "hostname": ...,
+     "cpu_count": ..., "usable_cpus": ..., "pid": ...,
+     "created_unix": ..., "created_utc": ..., "bench_smoke": ...}
+
+The git lookup shells out once per process and is cached; outside a git
+checkout both git fields are ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+
+MANIFEST_SCHEMA = "repro.obs.manifest/1"
+
+_GIT: "tuple | None" = None
+
+
+def _git_state() -> tuple:
+    """(sha, dirty) of the tree containing this file; (None, None) if no git."""
+    global _GIT
+    if _GIT is None:
+        sha = dirty = None
+        root = os.path.dirname(os.path.abspath(__file__))
+        try:
+            sha = (
+                subprocess.run(
+                    ["git", "rev-parse", "HEAD"],
+                    cwd=root,
+                    capture_output=True,
+                    text=True,
+                    timeout=10,
+                    check=True,
+                ).stdout.strip()
+                or None
+            )
+            status = subprocess.run(
+                ["git", "status", "--porcelain"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout
+            dirty = bool(status.strip())
+        except Exception:
+            sha = dirty = None
+        _GIT = (sha, dirty)
+    return _GIT
+
+
+def build_manifest(**extra) -> dict:
+    """Provenance snapshot of this process; ``extra`` keys ride along."""
+    import numpy as np
+
+    sha, dirty = _git_state()
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        usable = os.cpu_count() or 1
+    now = time.time()
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "pid": os.getpid(),
+        "created_unix": round(now, 3),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "bench_smoke": os.environ.get("BENCH_SMOKE", "").lower()
+        in {"1", "true", "yes", "on"},
+    }
+    manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path, **extra) -> dict:
+    """Write :func:`build_manifest` to ``path`` as JSON; returns it."""
+    manifest = build_manifest(**extra)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return manifest

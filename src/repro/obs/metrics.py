@@ -1,0 +1,193 @@
+"""Metrics primitives: counters, gauges, and timing histograms.
+
+A :class:`MetricsRegistry` is a flat name -> instrument map with three
+instrument kinds:
+
+* :class:`Counter` — monotonically accumulating totals (``inc``);
+* :class:`Gauge` — last-write-wins point-in-time values (``set``);
+* :class:`Histogram` — raw observation lists summarized as
+  count/mean/p50/p95/max at read time.
+
+Registries are built to **merge**: worker processes run their own
+registry and ship it back through the same packed-arrays wire form the
+fleet layer uses for device results (:meth:`MetricsRegistry.to_wire` /
+:meth:`MetricsRegistry.merge_wire`).  Merge semantics are chosen so that
+merging per-worker registries *in dispatch order* reproduces exactly the
+registry a serial run would have built from the same per-item
+observations:
+
+* counters add;
+* histograms concatenate (observation order within a worker is
+  preserved, workers splice in dispatch order);
+* gauges overwrite (last write wins, like the serial timeline).
+
+Summaries are plain floats computed with ``np.percentile`` on the raw
+observations, so a merged registry's summary equals the serial one
+bit-for-bit — the property ``tests/test_obs.py`` locks in with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Counter:
+    """Monotonic accumulator (ints stay ints until a float is added)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value; ``None`` until first set."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+
+class Histogram:
+    """Raw observation list with percentile summaries at read time."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self):
+        self._values = []
+
+    def observe(self, value):
+        self._values.append(float(value))
+
+    def observe_many(self, values):
+        self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def summary(self) -> dict:
+        """JSON-safe ``{count, total, mean, min, p50, p95, max}``."""
+        if not self._values:
+            return {"count": 0}
+        arr = self.values()
+        p50, p95 = np.percentile(arr, [50.0, 95.0])
+        return {
+            "count": int(arr.size),
+            "total": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "min": float(arr.min()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "max": float(arr.max()),
+        }
+
+
+class MetricsRegistry:
+    """Flat name -> instrument map with cross-process merge support."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self):
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Instruments (created on first touch)
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, n=1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value) -> None:
+        self.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values) -> None:
+        self.histogram(name).observe_many(values)
+
+    def counter_value(self, name: str, default=0):
+        c = self._counters.get(name)
+        return default if c is None else c.value
+
+    def gauge_value(self, name: str, default=None):
+        g = self._gauges.get(name)
+        return default if g is None else g.value
+
+    def names(self) -> dict:
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wire form + merge
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """Compact picklable snapshot (histograms as numpy columns)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.values() for k, h in self._histograms.items()},
+        }
+
+    def merge_wire(self, wire: dict) -> None:
+        """Splice one worker snapshot in (call in dispatch order)."""
+        for name, value in wire.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in wire.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, values in wire.get("histograms", {}).items():
+            self.histogram(name).observe_many(values)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_wire(other.to_wire())
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-safe summary (sorted names, histogram percentiles)."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].summary() for k in sorted(self._histograms)
+            },
+        }

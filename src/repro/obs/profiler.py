@@ -1,0 +1,122 @@
+"""Phase profiler: wall-clock + counter attribution for engine hot loops.
+
+The batched fleet engine (:mod:`repro.sim.batch`) and the intermittent
+kernel (:mod:`repro.intermittent.kernel`) are instrumented against this
+class: named **phases** accumulate wall time and call counts, named
+**tallies** count hot-loop work items (lockstep passes, device-lane
+steps, kernel micro-steps, power-state transitions), and **memory
+probes** snapshot peak RSS (and tracemalloc peaks when tracing is
+already active).
+
+A profiler only exists when a :class:`~repro.obs.recorder.Recorder` was
+built with ``profile=True``; the engines fetch it once per run and guard
+every touch with ``if prof is not None`` — the no-op path costs one local
+branch, which is what keeps observability-off runs inside the ≤2% budget
+asserted in ``benchmarks/test_p6_obs.py``.
+
+Profilers merge like metrics (phases and tallies add, memory peaks max),
+so worker-process profiles ship home with the packed result payloads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+
+def memory_snapshot() -> dict:
+    """Peak-RSS (and tracemalloc, when tracing) snapshot of this process.
+
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS; the raw value is
+    reported alongside a Linux-normalized ``peak_rss_mb`` since the CI
+    and reference containers are Linux.
+    """
+    out: dict = {}
+    try:
+        import resource
+
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        out["ru_maxrss"] = int(maxrss)
+        out["peak_rss_mb"] = round(maxrss / 1024.0, 3)
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        pass
+    try:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            out["tracemalloc_current_mb"] = round(current / 1e6, 3)
+            out["tracemalloc_peak_mb"] = round(peak / 1e6, 3)
+    except Exception:  # pragma: no cover - tracemalloc always importable
+        pass
+    return out
+
+
+class PhaseProfiler:
+    """Accumulates phase wall times, hot-loop tallies, and memory probes."""
+
+    __slots__ = ("phase_wall", "phase_calls", "counts", "memory")
+
+    def __init__(self):
+        self.phase_wall: dict = {}
+        self.phase_calls: dict = {}
+        self.counts: dict = {}
+        self.memory: dict = {}
+
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Context manager accumulating one phase's wall time."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_wall(name, time.perf_counter() - t0)
+
+    def add_wall(self, name: str, wall_s: float, calls: int = 1) -> None:
+        """Manual form of :meth:`phase` for loops that cannot re-indent."""
+        self.phase_wall[name] = self.phase_wall.get(name, 0.0) + wall_s
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+
+    def tally(self, name: str, n=1) -> None:
+        """Count hot-loop work items (passes, lanes, transitions)."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def memory_probe(self, label: str) -> dict:
+        """Record a named memory snapshot; returns it for convenience."""
+        snap = memory_snapshot()
+        self.memory[label] = snap
+        return snap
+
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> dict:
+        """JSON-safe (and picklable) snapshot."""
+        return {
+            "phases": {
+                name: {
+                    "wall_s": self.phase_wall[name],
+                    "calls": self.phase_calls.get(name, 0),
+                }
+                for name in sorted(self.phase_wall)
+            },
+            "counts": {name: self.counts[name] for name in sorted(self.counts)},
+            "memory": {
+                label: dict(self.memory[label]) for label in sorted(self.memory)
+            },
+        }
+
+    to_dict = to_wire
+
+    def merge_wire(self, wire: dict) -> None:
+        """Fold one worker snapshot in: walls/tallies add, memory maxes."""
+        for name, entry in wire.get("phases", {}).items():
+            self.add_wall(name, entry.get("wall_s", 0.0), entry.get("calls", 0))
+        for name, value in wire.get("counts", {}).items():
+            self.tally(name, value)
+        for label, snap in wire.get("memory", {}).items():
+            mine = self.memory.setdefault(label, {})
+            for key, value in snap.items():
+                if isinstance(value, (int, float)) and key in mine:
+                    mine[key] = max(mine[key], value)
+                else:
+                    mine.setdefault(key, value)

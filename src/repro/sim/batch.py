@@ -69,6 +69,7 @@ import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.intermittent.kernel import IntermittentFleetKernel
+from repro.obs.recorder import get_recorder
 from repro.runtime.batched import batch_continue_rules, batch_controllers, batchable
 from repro.runtime.controller import CONTROLLER_KINDS
 from repro.runtime.incremental import CONTINUE_RULE_KINDS
@@ -85,38 +86,61 @@ _MISS_NONE, _MISS_BUSY, _MISS_ENERGY = 0, 1, 2
 _BATCHED_EXECUTIONS = ("single-cycle", "intermittent")
 
 
-def batch_ineligibility(spec) -> Optional[str]:
-    """Why this :class:`~repro.fleet.spec.DeviceSpec` cannot run under
-    lockstep — or ``None`` when it can.
+def _ineligibility(spec) -> Optional[tuple]:
+    """``(code, reason)`` for an ineligible spec, or ``None`` when it can
+    run under lockstep.
 
     Checks, in order: execution mode, trace family, controller family,
     continue rule.  (Duck-typed on the spec fields rather than importing
-    the fleet layer — this module sits below it.)
+    the fleet layer — this module sits below it.)  ``code`` is a short
+    stable slug used as a metrics-counter suffix
+    (``fleet.fallback.<code>``); ``reason`` is the human sentence.
     """
     if spec.execution not in _BATCHED_EXECUTIONS:
         return (
+            "execution",
             f"execution mode {spec.execution!r} has no lockstep form "
-            f"(batched: {_BATCHED_EXECUTIONS})"
+            f"(batched: {_BATCHED_EXECUTIONS})",
         )
     family = dict(spec.trace).get("family")
     if family == "csv":
-        return "trace family 'csv' (file-backed, deliberately uncached)"
+        return (
+            "trace-csv",
+            "trace family 'csv' (file-backed, deliberately uncached)",
+        )
     controller = dict(spec.controller)
     kind = controller.get("kind")
     if kind not in CONTROLLER_KINDS:
         return (
+            "controller",
             f"controller kind {kind!r} has no batched twin "
-            f"(batched: {CONTROLLER_KINDS})"
+            f"(batched: {CONTROLLER_KINDS})",
         )
     rule = controller.get("continue_rule")
     if rule is not None:
         rule_kind = dict(rule).get("kind") if isinstance(rule, dict) else None
         if rule_kind not in CONTINUE_RULE_KINDS:
             return (
+                "continue-rule",
                 f"controller continue_rule {rule!r} has no batched twin "
-                f"(batched kinds: {CONTINUE_RULE_KINDS})"
+                f"(batched kinds: {CONTINUE_RULE_KINDS})",
             )
     return None
+
+
+def batch_ineligibility(spec) -> Optional[str]:
+    """Why this :class:`~repro.fleet.spec.DeviceSpec` cannot run under
+    lockstep — or ``None`` when it can."""
+    found = _ineligibility(spec)
+    return None if found is None else found[1]
+
+
+def batch_ineligibility_code(spec) -> Optional[str]:
+    """Short stable slug for the first lockstep blocker (``None`` when
+    eligible): ``execution`` / ``trace-csv`` / ``controller`` /
+    ``continue-rule`` — the engine-selection telemetry key."""
+    found = _ineligibility(spec)
+    return None if found is None else found[0]
 
 
 def batch_eligible(spec) -> bool:
@@ -222,6 +246,8 @@ class BatchedFleetEngine:
     def __init__(self, tasks):
         if not tasks:
             raise ConfigError("BatchedFleetEngine needs at least one device")
+        prof = get_recorder().profiler
+        t_build = time.perf_counter() if prof is not None else 0.0
         for _, spec, _ in tasks:
             reason = batch_ineligibility(spec)
             if reason is not None:
@@ -316,12 +342,27 @@ class BatchedFleetEngine:
             else np.zeros(max_ev, bool)
         )
         self._no_leak = bool((self._leakage == 0.0).all())
+        if prof is not None:
+            prof.add_wall("batch.build", time.perf_counter() - t_build)
+            prof.memory_probe("batch.build")
 
     # ------------------------------------------------------------------ #
     def run(self):
         """Play every device's episodes; return DeviceResults in task order."""
         from repro.fleet.results import DeviceResult
 
+        # Observability: fetched once per run; every hot-loop touch below
+        # is guarded by ``prof is not None`` so the off path costs one
+        # local branch (the ≤2% no-op budget in benchmarks/test_p6_obs.py).
+        rec = get_recorder()
+        prof = rec.profiler
+        if rec.metrics is not None:
+            rec.metrics.inc("batch.engine.runs")
+            rec.metrics.inc("batch.engine.devices", self._m)
+            rec.metrics.inc(
+                "batch.engine.devices.intermittent", int(self._exec_int.sum())
+            )
+        n_passes = n_full = n_lanes = n_busy = n_emiss = 0
         t0 = time.perf_counter()
         m, max_ev = self._m, self._events.shape[0]
         has_int, has_rules = self._has_int, self._has_rules
@@ -379,13 +420,19 @@ class BatchedFleetEngine:
                 peak_power_mw=self._peak,
             )
             if has_int:
+                t_int = time.perf_counter() if prof is not None else 0.0
                 self._run_intermittent_pass(
                     part, level, total_drawn, t_charged, cum_charged,
                     busy_until, r_exit, r_correct, r_latency, r_energy,
-                    r_entropy, r_reason, r_cycles,
+                    r_entropy, r_reason, r_cycles, prof=prof,
                 )
+                if prof is not None:
+                    prof.add_wall(
+                        "batch.intermittent", time.perf_counter() - t_int
+                    )
             part_sc = part & self._sc
             n_steps = int(self._n_events[part_sc].max()) if part_sc.any() else 0
+            t_lockstep = time.perf_counter() if prof is not None else 0.0
             for j in range(n_steps):
                 te = self._events[j]
                 act_full_j = (
@@ -400,11 +447,20 @@ class BatchedFleetEngine:
                 if any_busy:
                     r_reason[j][busy] = _MISS_BUSY
                     proc = act & ~busy
+                    if prof is not None:
+                        n_passes += 1
+                        n_busy += int(np.count_nonzero(busy))
+                        n_lanes += int(np.count_nonzero(proc))
                     if not proc.any():
                         continue
                 else:
                     proc = act
+                    if prof is not None:
+                        n_passes += 1
+                        n_lanes += int(np.count_nonzero(proc))
                 full = act_full_j and not any_busy
+                if prof is not None and full:
+                    n_full += 1
                 # Storage charging up to the event (precomputed increment).
                 cum_j = self._cum_at_event[j]
                 charging = proc & (te > t_charged)
@@ -466,6 +522,8 @@ class BatchedFleetEngine:
                     r_reason[j][mi] = _MISS_ENERGY
                     busy_until[mi] = te[mi]
                     rewards = np.zeros(len(pidx))
+                    if prof is not None:
+                        n_emiss += len(mi)
                 if n_afford:
                     if aff_all:
                         pi, kk, cost_p = pidx, k_sel, cost
@@ -552,6 +610,10 @@ class BatchedFleetEngine:
                         sub = gids == g
                         if sub.any():
                             group.report_event_batch(pidx[sub], rewards[sub])
+            if prof is not None:
+                prof.add_wall(
+                    "batch.lockstep", time.perf_counter() - t_lockstep
+                )
             # Trailing charge to the end of the trace, then episode close.
             tail = part & (self._duration > t_charged)
             if tail.any():
@@ -588,6 +650,14 @@ class BatchedFleetEngine:
                     r_cycles,
                 )
         wall = time.perf_counter() - t0
+        if prof is not None:
+            prof.add_wall("batch.run", wall)
+            prof.tally("batch.lockstep.passes", n_passes)
+            prof.tally("batch.lockstep.full_passes", n_full)
+            prof.tally("batch.lockstep.lanes", n_lanes)
+            prof.tally("batch.lockstep.busy_misses", n_busy)
+            prof.tally("batch.lockstep.energy_misses", n_emiss)
+            prof.memory_probe("batch.run")
         out = []
         grid_cache: dict = {}
         for i, d in enumerate(self.devices):
@@ -614,6 +684,7 @@ class BatchedFleetEngine:
     def _run_intermittent_pass(
         self, part, level, total_drawn, t_charged, cum_charged, busy_until,
         r_exit, r_correct, r_latency, r_energy, r_entropy, r_reason, r_cycles,
+        prof=None,
     ) -> None:
         """One episode of every participating intermittent device, through
         the shared multi-cycle kernel; scatters records and writes the
@@ -629,7 +700,7 @@ class BatchedFleetEngine:
         bsy = busy_until[rows]
         rec = self._int_kernel.run_episode(
             ipart, self._int_events, self._int_cum, self._int_nev,
-            lvl, drw, tch, cch, bsy, self._sim_draws,
+            lvl, drw, tch, cch, bsy, self._sim_draws, prof=prof,
         )
         level[rows] = lvl
         total_drawn[rows] = drw

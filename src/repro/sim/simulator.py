@@ -42,6 +42,7 @@ from repro.energy.traces import PowerTrace
 from repro.errors import ConfigError, SimulationError
 from repro.intermittent.execution import IntermittentExecutionEngine
 from repro.intermittent.mcu import MCUSpec, MSP432
+from repro.obs.recorder import get_recorder
 from repro.runtime.controller import Controller
 from repro.runtime.state import RuntimeState
 from repro.sim.profiles import InferenceProfile
@@ -184,6 +185,12 @@ class Simulator:
         events = np.asarray(events, dtype=np.float64)
         if events.size and (np.any(np.diff(events) < 0) or events[0] < 0):
             raise SimulationError("events must be sorted and non-negative")
+        metrics = get_recorder().metrics
+        if metrics is not None:
+            metrics.inc("sim.runs")
+            metrics.inc("sim.events", int(events.size))
+            if self.config.execution == "intermittent":
+                metrics.inc("sim.runs.intermittent")
         storage = self.storage
         if reset_storage:
             storage.reset()
