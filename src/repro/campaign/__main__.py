@@ -34,6 +34,8 @@ from repro.campaign.runner import CampaignRunner, report_from_store
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.errors import ConfigError, ReproError
+from repro.faults import FaultPlan, chaos
+from repro.fleet.__main__ import add_fault_flags, build_retry_policy
 from repro.obs.manifest import build_manifest
 from repro.obs.recorder import Recorder, recording
 
@@ -52,6 +54,9 @@ def _build_spec(args) -> CampaignSpec:
 
 
 def _progress(cell, status) -> None:
+    if status == "corrupt":
+        print(f"  ! {cell.key}  (checkpoint corrupt: quarantined, re-running)")
+        return
     marker = "·" if status == "skip" else ">"
     print(f"  {marker} {cell.key}" + ("  (checkpointed, skipping)" if status == "skip" else ""))
 
@@ -59,10 +64,12 @@ def _progress(cell, status) -> None:
 def _run(
     spec: CampaignSpec, out: str, workers: int, resume: bool, report_json,
     engine: str = "auto", trace_out=None, metrics_out=None,
+    chaos_plan=None, retry=None,
 ) -> int:
     store = CampaignStore(out)
     runner = CampaignRunner(
-        spec, store=store, workers=workers, resume=resume, engine=engine
+        spec, store=store, workers=workers, resume=resume, engine=engine,
+        retry=retry,
     )
     recorder = None
     if trace_out or metrics_out:
@@ -79,15 +86,24 @@ def _run(
                     ),
                 }
             )
-    if recorder is None:
-        result = runner.run(progress=_progress)
-    else:
-        with recording(recorder):
+    with chaos(chaos_plan) as injector:
+        if recorder is None:
             result = runner.run(progress=_progress)
-        recorder.close()
+        else:
+            with recording(recorder):
+                result = runner.run(progress=_progress)
+            recorder.close()
+    if chaos_plan is not None:
+        fired = sum(injector.fired_summary().values())
+        print(f"chaos: {len(chaos_plan)} fault(s) planned, {fired} injected")
+    quarantined = (
+        f", {runner.quarantined} corrupt checkpoint(s) quarantined + re-run"
+        if runner.quarantined
+        else ""
+    )
     print(
         f"campaign {spec.name!r}: {runner.executed} cell(s) executed, "
-        f"{runner.skipped} loaded from checkpoints"
+        f"{runner.skipped} loaded from checkpoints{quarantined}"
     )
     print(result.render_text())
     print(f"wrote report to {store.report_path}")
@@ -142,11 +158,13 @@ def main(argv=None) -> int:
                           "the run manifest)")
     run.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="write the collected metrics summary as JSON")
+    add_fault_flags(run)
 
     resume = sub.add_parser("resume", help="continue an interrupted run from its store")
     resume.add_argument("out", help="checkpoint directory of the interrupted run")
     resume.add_argument("--workers", type=int, default=1, help="process count (<=1: serial)")
     resume.add_argument("--report-json", default=None, help="also write the report here")
+    add_fault_flags(resume)
 
     report = sub.add_parser("report", help="re-aggregate a finished run (no execution)")
     report.add_argument("out", help="checkpoint directory")
@@ -168,12 +186,16 @@ def main(argv=None) -> int:
             return 0
         if args.command == "run":
             spec = _build_spec(args)
+            plan = FaultPlan.from_json(args.chaos) if args.chaos else None
             return _run(spec, args.out, args.workers, args.resume, args.report_json,
                         engine=args.engine, trace_out=args.trace_out,
-                        metrics_out=args.metrics_out)
+                        metrics_out=args.metrics_out,
+                        chaos_plan=plan, retry=build_retry_policy(args))
         if args.command == "resume":
             spec = CampaignStore(args.out).load_spec()
-            return _run(spec, args.out, args.workers, True, args.report_json)
+            plan = FaultPlan.from_json(args.chaos) if args.chaos else None
+            return _run(spec, args.out, args.workers, True, args.report_json,
+                        chaos_plan=plan, retry=build_retry_policy(args))
         # report
         result = report_from_store(CampaignStore(args.out))
         print(result.render_text())

@@ -28,7 +28,8 @@ from typing import Optional
 from repro.campaign.report import CampaignResult
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CampaignStore
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptCellError
+from repro.faults.retry import RetryPolicy
 from repro.fleet.runner import FleetRunner, worker_pool
 from repro.obs.recorder import get_recorder
 from repro.obs.tracing import span
@@ -45,7 +46,11 @@ def build_cell_fleet(cell: CampaignCell) -> FleetSpec:
 
 
 def run_cell(
-    cell: CampaignCell, workers: int = 1, pool=None, engine: str = "auto"
+    cell: CampaignCell,
+    workers: int = 1,
+    pool=None,
+    engine: str = "auto",
+    retry: Optional[RetryPolicy] = None,
 ) -> dict:
     """Execute one cell and summarize it as a JSON-safe checkpoint payload.
 
@@ -60,9 +65,9 @@ def run_cell(
     """
     with span("campaign.cell", cell=cell.key):
         fleet_spec = build_cell_fleet(cell)
-        runner = FleetRunner(fleet_spec, workers=workers, engine=engine)
+        runner = FleetRunner(fleet_spec, workers=workers, engine=engine, retry=retry)
         result = runner.run(pool=pool)
-    return {
+    payload = {
         "key": cell.key,
         "scenario_label": cell.scenario_label,
         "scenario": cell.scenario,
@@ -79,6 +84,11 @@ def run_cell(
             "parallel": bool(runner.last_run_parallel),
         },
     }
+    if result.failures:
+        # Quarantined devices are part of the deterministic payload: a
+        # resumed report must state them the same way a fresh one would.
+        payload["failures"] = [f.to_dict() for f in result.failures]
+    return payload
 
 
 class CampaignRunner:
@@ -91,26 +101,51 @@ class CampaignRunner:
         workers: int = 1,
         resume: bool = False,
         engine: str = "auto",
+        retry: Optional[RetryPolicy] = None,
     ):
         if not isinstance(spec, CampaignSpec):
             raise ConfigError("CampaignRunner needs a CampaignSpec")
         if workers < 0:
             raise ConfigError(f"workers must be >= 0, got {workers}")
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigError("retry must be a RetryPolicy (or None)")
         self.spec = spec
         self.store = store
         self.workers = int(workers)
         self.resume = bool(resume)
         self.engine = engine
+        self.retry = retry
         #: Filled by :meth:`run`: cells executed vs. loaded from checkpoints.
         self.executed = 0
         self.skipped = 0
+        #: Checkpoints found corrupt on resume, moved aside, and re-run.
+        self.quarantined = 0
+
+    def _load_checkpoint(self, cell, progress):
+        """Load one finished cell; quarantine and signal re-run if corrupt.
+
+        Returns the payload, or ``None`` when the artifact failed
+        verification — in which case it has been moved to
+        ``quarantine/`` and the caller re-executes the cell.  Corruption
+        costs one checkpoint, never the campaign.
+        """
+        try:
+            return self.store.load_cell(cell.key)
+        except CorruptCellError:
+            self.store.quarantine_cell(cell.key)
+            self.quarantined += 1
+            if progress is not None:
+                progress(cell, "corrupt")
+            return None
 
     def run(self, progress=None) -> CampaignResult:
         """Execute (or finish) the grid; returns the aggregated result.
 
         ``progress`` is an optional ``callback(cell, status)`` with status
-        ``"run"`` or ``"skip"``, called before each cell — the CLI's
-        ticker, and the injection point tests use to interrupt mid-grid.
+        ``"run"``, ``"skip"``, or ``"corrupt"`` (a checkpoint that failed
+        integrity verification on resume and is being re-run), called
+        before each cell — the CLI's ticker, and the injection point
+        tests use to interrupt mid-grid.
         """
         cells = self.spec.cells()
         done = set()
@@ -128,20 +163,28 @@ class CampaignRunner:
         payloads = {}
         self.executed = 0
         self.skipped = 0
+        self.quarantined = 0
         with span(
             "campaign.run", campaign=self.spec.name, cells=len(cells)
         ), worker_pool(self.workers) as pool:
             for cell in cells:
                 if cell.key in done:
-                    if progress is not None:
-                        progress(cell, "skip")
-                    payloads[cell.key] = self.store.load_cell(cell.key)
-                    self.skipped += 1
-                    continue
-                if progress is not None:
+                    payload = self._load_checkpoint(cell, progress)
+                    if payload is not None:
+                        if progress is not None:
+                            progress(cell, "skip")
+                        payloads[cell.key] = payload
+                        self.skipped += 1
+                        continue
+                    # fall through: corrupt checkpoint, re-run the cell
+                elif progress is not None:
                     progress(cell, "run")
                 payload = run_cell(
-                    cell, workers=self.workers, pool=pool, engine=self.engine
+                    cell,
+                    workers=self.workers,
+                    pool=pool,
+                    engine=self.engine,
+                    retry=self.retry,
                 )
                 if self.store is not None:
                     self.store.save_cell(cell.key, payload)
@@ -152,6 +195,7 @@ class CampaignRunner:
             metrics.inc("campaign.runs")
             metrics.inc("campaign.cells.executed", self.executed)
             metrics.inc("campaign.cells.skipped", self.skipped)
+            metrics.inc("campaign.cells.quarantined", self.quarantined)
         result = CampaignResult(self.spec, payloads)
         if self.store is not None:
             self.store.write_report(result.to_dict())
@@ -165,11 +209,17 @@ def run_campaign(
     resume: bool = False,
     progress=None,
     engine: str = "auto",
+    retry: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper: optional store at ``out``."""
     store = CampaignStore(out) if out else None
     return CampaignRunner(
-        spec, store=store, workers=workers, resume=resume, engine=engine
+        spec,
+        store=store,
+        workers=workers,
+        resume=resume,
+        engine=engine,
+        retry=retry,
     ).run(progress=progress)
 
 

@@ -13,16 +13,27 @@ so a campaign killed mid-cell leaves either a complete artifact or none —
 never a torn file — and ``--resume`` can trust anything it finds.  Cell
 payloads carry no wall-clock content, which is what makes an interrupted
 and resumed campaign byte-identical to an uninterrupted one.
+
+Atomicity protects against torn *writes*; it cannot protect a finished
+artifact against what happens to it afterwards (bad disks, bit rot, a
+stray editor).  Every cell is therefore sealed with a content checksum
+on write and verified on load: :meth:`CampaignStore.load_cell` raises
+:class:`~repro.errors.CorruptCellError` — naming the offending path —
+for zero-byte files, torn/invalid JSON, and checksum mismatches, and the
+campaign runner responds by quarantining the artifact and re-running
+just that cell (see :meth:`CampaignStore.quarantine_cell`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 
 from repro.campaign.spec import CampaignSpec
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptCellError
+from repro.faults.injector import get_fault_injector
 
 
 def atomic_write_json(path: str, payload: dict) -> None:
@@ -40,6 +51,34 @@ def atomic_write_json(path: str, payload: dict) -> None:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+
+
+def cell_checksum(payload: dict) -> str:
+    """Canonical content digest of a cell payload (sans integrity seal)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _apply_save_faults(path: str, ops) -> None:
+    """Damage a just-written artifact per injected ``campaign.cell.save``
+    directives — the chaos stand-in for bit rot, torn disks, and truncated
+    writes that the load-side verification must catch."""
+    for op in ops:
+        kind = op["op"]
+        size = os.path.getsize(path)
+        if kind == "empty":
+            with open(path, "w"):
+                pass
+        elif kind == "truncate":
+            keep = int(size * float(op.get("keep_frac", 0.5)))
+            os.truncate(path, keep)
+        elif kind == "bitflip":
+            offset = min(int(size * float(op.get("offset_frac", 0.5))), size - 1)
+            with open(path, "r+b") as fh:
+                fh.seek(max(offset, 0))
+                byte = fh.read(1)
+                fh.seek(max(offset, 0))
+                fh.write(bytes([byte[0] ^ 0xFF]))
 
 
 class CampaignStore:
@@ -128,15 +167,97 @@ class CampaignStore:
         return os.path.exists(self.cell_path(key))
 
     def save_cell(self, key: str, payload: dict) -> None:
-        atomic_write_json(self.cell_path(key), payload)
+        """Checkpoint one completed cell, sealed with a content checksum.
+
+        The seal lives alongside the payload under an ``"integrity"`` key
+        (stripped again on load), so the artifact stays a plain readable
+        JSON file.  When chaos is armed, ``campaign.cell.save``
+        directives damage the artifact *after* the atomic write — the
+        injected stand-in for bit rot and torn disks.
+        """
+        body = dict(payload)
+        body["integrity"] = {"algo": "sha256", "digest": cell_checksum(payload)}
+        path = self.cell_path(key)
+        atomic_write_json(path, body)
+        injector = get_fault_injector()
+        if injector.enabled:
+            ops = [f.directive() for f in injector.poll("campaign.cell.save")]
+            if ops:
+                _apply_save_faults(path, ops)
+
+    #: Attempts per cell read — tolerates up to three transient OSErrors,
+    #: one more than the dispatch retry default, so a fault plan that is
+    #: recoverable for the fleet layer is recoverable here too.
+    LOAD_ATTEMPTS = 4
 
     def load_cell(self, key: str) -> dict:
+        """Load and *verify* one checkpointed cell.
+
+        Raises :class:`CorruptCellError` (naming the offending path) for
+        a zero-byte file, torn or invalid JSON, or a checksum mismatch;
+        the campaign runner quarantines such cells and re-runs them.
+        Artifacts written before checksums existed (no ``"integrity"``
+        key) load without verification.  Transient ``OSError`` reads are
+        retried a couple of times before giving up.
+        """
         path = self.cell_path(key)
-        try:
-            with open(path) as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ConfigError(f"cannot load cell artifact {path!r}: {exc}") from exc
+        injector = get_fault_injector()
+        last_os_error = None
+        for _ in range(self.LOAD_ATTEMPTS):
+            try:
+                if injector.enabled:
+                    for fault in injector.poll("campaign.cell.load"):
+                        if fault.op == "oserror":
+                            raise OSError("injected transient read failure")
+                with open(path, "rb") as fh:
+                    raw = fh.read()
+            except OSError as exc:
+                last_os_error = exc
+                continue
+            if not raw.strip():
+                raise CorruptCellError(
+                    f"corrupt cell artifact {path!r}: zero-byte file "
+                    "(torn or interrupted write)"
+                )
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CorruptCellError(
+                    f"corrupt cell artifact {path!r}: invalid JSON ({exc})"
+                ) from exc
+            if not isinstance(body, dict):
+                raise CorruptCellError(
+                    f"corrupt cell artifact {path!r}: expected a JSON object, "
+                    f"got {type(body).__name__}"
+                )
+            integrity = body.pop("integrity", None)
+            if integrity is not None:
+                expected = integrity.get("digest")
+                actual = cell_checksum(body)
+                if actual != expected:
+                    raise CorruptCellError(
+                        f"corrupt cell artifact {path!r}: checksum mismatch "
+                        f"(stored {str(expected)[:12]}…, computed "
+                        f"{actual[:12]}…)"
+                    )
+            return body
+        raise ConfigError(
+            f"cannot load cell artifact {path!r}: {last_os_error}"
+        ) from last_os_error
+
+    def quarantine_cell(self, key: str) -> str:
+        """Move a corrupt cell artifact aside (``quarantine/<key>.json``).
+
+        The artifact is preserved for post-mortem rather than deleted,
+        and the cells directory no longer lists the key — so the resume
+        loop re-executes exactly that cell.
+        """
+        src = self.cell_path(key)
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        os.makedirs(quarantine_dir, exist_ok=True)
+        dst = os.path.join(quarantine_dir, f"{key}.json")
+        os.replace(src, dst)
+        return dst
 
     # ------------------------------------------------------------------ #
     # Run manifest (provenance of the latest run; never read by resume)
@@ -170,10 +291,22 @@ class CampaignStore:
         return self.report_path
 
     def load_report(self) -> dict:
+        path = self.report_path
         try:
-            with open(self.report_path) as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
             raise ConfigError(
-                f"cannot load campaign report {self.report_path!r}: {exc}"
+                f"cannot load campaign report {path!r}: {exc}"
+            ) from exc
+        if not raw.strip():
+            raise CorruptCellError(
+                f"corrupt campaign report {path!r}: zero-byte file "
+                "(torn or interrupted write)"
+            )
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"cannot load campaign report {path!r}: {exc}"
             ) from exc

@@ -20,6 +20,26 @@ class ConfigError(ReproError):
     """An invalid configuration value was supplied to a constructor."""
 
 
+class IntegrityError(ReproError):
+    """A content checksum did not match — a wire payload or on-disk
+    artifact was corrupted in transit, truncated, or bit-flipped, or a
+    re-executed chunk diverged from its first execution (a determinism
+    violation)."""
+
+
+class CorruptCellError(ConfigError):
+    """A campaign cell artifact is corrupt (zero-byte, truncated, torn
+    JSON, or checksum mismatch).  Subclasses :class:`ConfigError` so
+    existing callers keep working; the campaign runner catches it
+    specifically to quarantine the cell and re-execute instead of
+    aborting a ``--resume``."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the chaos injector (never seen in
+    production runs; the fault-tolerant dispatcher retries it)."""
+
+
 class CompressionError(ReproError):
     """A compression specification could not be applied to a network."""
 

@@ -22,17 +22,19 @@ package layers that on top of :mod:`repro.sim`:
 CLI: ``python -m repro.fleet run solar-farm-100 --workers 4 --json out.json``.
 """
 
-from repro.fleet.results import DeviceResult, FleetResult
+from repro.fleet.results import DeviceFailure, DeviceResult, FleetResult
 from repro.fleet.runner import (
     FleetRunner,
     run_device,
     run_device_batch,
     run_fleet,
+    worker_pool,
 )
 from repro.fleet.scenarios import SCENARIOS, ScenarioRegistry
 from repro.fleet.spec import DeviceSpec, FleetSpec
 
 __all__ = [
+    "DeviceFailure",
     "DeviceResult",
     "DeviceSpec",
     "FleetResult",
@@ -43,4 +45,5 @@ __all__ = [
     "run_device",
     "run_device_batch",
     "run_fleet",
+    "worker_pool",
 ]

@@ -28,11 +28,37 @@ import os
 import sys
 
 from repro.errors import ConfigError, ReproError
+from repro.faults import FaultPlan, RetryPolicy, chaos
 from repro.fleet.runner import FleetRunner
 from repro.fleet.scenarios import SCENARIOS
 from repro.fleet.spec import FleetSpec
 from repro.obs.manifest import build_manifest
 from repro.obs.recorder import Recorder, recording
+
+
+def build_retry_policy(args) -> RetryPolicy | None:
+    """A RetryPolicy from CLI flags, or None (runner defaults) if unset."""
+    overrides = {}
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "worker_timeout", None) is not None:
+        overrides["worker_timeout"] = args.worker_timeout
+    return RetryPolicy(**overrides) if overrides else None
+
+
+def add_fault_flags(parser) -> None:
+    """The chaos/retry flags shared by the fleet and campaign CLIs."""
+    parser.add_argument(
+        "--chaos", default=None, metavar="PLAN.json",
+        help="arm deterministic fault injection from a FaultPlan JSON file "
+             "(results must survive unchanged; exercised in CI)")
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per dispatch chunk before escalation (default 2)")
+    parser.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="straggler watchdog: re-dispatch a pooled chunk attempt that "
+             "exceeds this (default: none, or 30s under --chaos)")
 
 
 def _build_spec(args) -> FleetSpec:
@@ -171,6 +197,7 @@ def main(argv=None) -> int:
     run.add_argument("--profile", action="store_true",
                      help="collect the engine phase profile (reported via "
                           "--metrics-out)")
+    add_fault_flags(run)
 
     args = parser.parse_args(argv)
     try:
@@ -195,8 +222,13 @@ def main(argv=None) -> int:
         if args.explain:
             _print_explain(spec, args.engine)
             return 0
+        plan = FaultPlan.from_json(args.chaos) if args.chaos else None
         runner = FleetRunner(
-            spec, workers=args.workers, chunksize=args.chunksize, engine=args.engine
+            spec,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            engine=args.engine,
+            retry=build_retry_policy(args),
         )
         recorder = None
         if args.trace_out or args.metrics_out or args.profile:
@@ -207,13 +239,24 @@ def main(argv=None) -> int:
                 recorder.trace.emit(
                     {"type": "manifest", **_run_manifest(spec, args)}
                 )
-        if recorder is None:
-            result = runner.run()
-        else:
-            with recording(recorder):
+        with chaos(plan) as injector:
+            if recorder is None:
                 result = runner.run()
-            recorder.close()
+            else:
+                with recording(recorder):
+                    result = runner.run()
+                recorder.close()
+        if args.chaos:
+            fired = sum(injector.fired_summary().values())
+            print(f"chaos: {len(plan)} fault(s) planned, {fired} injected")
         _print_report(result, quiet=args.quiet)
+        for failure in result.failures:
+            print(
+                f"  ! quarantined {failure.name} (device {failure.index}) "
+                f"after {failure.attempts} attempt(s) at stage "
+                f"{failure.stage}: {failure.error}",
+                file=sys.stderr,
+            )
         if args.json:
             result.to_json(args.json, include_timing=args.timing)
             print(f"wrote JSON report to {args.json}")

@@ -15,10 +15,13 @@ Wall-clock timing lives outside the deterministic payload.
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import IntegrityError
 from repro.sim.results import percentile_dict
 
 
@@ -194,6 +197,93 @@ def unpack_device_results(packed: dict) -> list:
     return results
 
 
+#: Payload keys excluded from the content digest: ``digest`` is the seal
+#: itself, ``obs`` and ``wall_s`` carry wall-clock content that differs
+#: between bit-identical executions of the same chunk.
+_DIGEST_SKIP = ("digest", "obs", "wall_s")
+
+
+def _digest_value(h, value) -> None:
+    if isinstance(value, np.ndarray):
+        h.update(str(value.dtype).encode())
+        h.update(str(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            h.update(str(key).encode())
+            _digest_value(h, value[key])
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _digest_value(h, item)
+    else:
+        h.update(repr(value).encode())
+
+
+def payload_digest(packed: dict) -> str:
+    """Content digest of a packed chunk payload (deterministic fields only).
+
+    Wall-clock fields are excluded, so two bit-identical executions of
+    the same chunk — the guarantee per-device ``SeedSequence`` streams
+    make — produce the same digest even though their timings differ.
+    That is what lets the dispatcher detect a corrupted wire payload
+    *and* assert that a retried or straggling chunk reproduced the
+    accepted one exactly.
+    """
+    h = hashlib.sha256()
+    for key in sorted(packed):
+        if key in _DIGEST_SKIP:
+            continue
+        h.update(key.encode())
+        _digest_value(h, packed[key])
+    return h.hexdigest()
+
+
+def seal_payload(packed: dict) -> dict:
+    """Stamp ``packed`` with its content digest (in place); returns it."""
+    packed["digest"] = payload_digest(packed)
+    return packed
+
+
+def verify_payload(packed: dict) -> dict:
+    """Check a sealed payload's digest; raises :class:`IntegrityError`."""
+    sealed = packed.get("digest")
+    if sealed is None:
+        raise IntegrityError("chunk payload arrived without a content digest")
+    actual = payload_digest(packed)
+    if actual != sealed:
+        raise IntegrityError(
+            f"chunk payload digest mismatch (sealed {sealed[:12]}…, got "
+            f"{actual[:12]}…): the wire payload was corrupted in transit"
+        )
+    return packed
+
+
+@dataclass
+class DeviceFailure:
+    """A device quarantined after exhausting the retry/degradation ladder.
+
+    Recorded on :attr:`FleetResult.failures` instead of aborting the
+    fleet: the rest of the devices complete, and the failure carries
+    enough to re-run the offender (index, spec name, the last error, how
+    many attempts were made, and at which ladder stage it gave up).
+    """
+
+    index: int
+    name: str
+    error: str
+    attempts: int
+    stage: str = "chunk"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "error": self.error,
+            "attempts": self.attempts,
+            "stage": self.stage,
+        }
+
+
 @dataclass
 class FleetResult:
     """Aggregate outcome of one fleet run."""
@@ -203,9 +293,11 @@ class FleetResult:
     devices: list = field(default_factory=list)  # DeviceResult, index order
     workers: int = 1
     wall_s: float = 0.0
+    failures: list = field(default_factory=list)  # DeviceFailure, index order
 
     def __post_init__(self):
         self.devices = sorted(self.devices, key=lambda d: d.index)
+        self.failures = sorted(self.failures, key=lambda f: f.index)
         self._column_cache: dict = {}
 
     def _column(self, attr: str, dtype) -> np.ndarray:
@@ -227,6 +319,10 @@ class FleetResult:
     @property
     def num_devices(self) -> int:
         return len(self.devices)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.failures)
 
     @property
     def num_events(self) -> int:
@@ -313,8 +409,13 @@ class FleetResult:
 
     # ---------------- reporting ---------------- #
     def aggregate(self) -> dict:
-        """Deterministic fleet-level summary (no wall-clock content)."""
-        return {
+        """Deterministic fleet-level summary (no wall-clock content).
+
+        The ``failures`` key appears only when devices were quarantined,
+        so a fully-recovered faulted run aggregates byte-identically to
+        a fault-free one (the repro.faults identity contract).
+        """
+        out = {
             "fleet": self.fleet_name,
             "seed": self.seed,
             "devices": self.num_devices,
@@ -336,6 +437,9 @@ class FleetResult:
                 self._column("total_consumed_mj", np.float64).sum()
             ),
         }
+        if self.failures:
+            out["failures"] = [f.to_dict() for f in self.failures]
+        return out
 
     def to_dict(self, include_timing: bool = False) -> dict:
         out = {

@@ -33,7 +33,9 @@ import contextlib
 import math
 import multiprocessing
 import os
+import threading
 import time
+from collections import deque
 from dataclasses import replace
 from typing import Optional
 
@@ -50,13 +52,18 @@ from repro.energy.traces import (
     trace_from_csv,
     wind_trace,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InjectedFault, IntegrityError
 from repro.experiment import reference_profile, sonic_profile
+from repro.faults.injector import get_fault_injector
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.fleet.results import (
+    DeviceFailure,
     DeviceResult,
     FleetResult,
     pack_device_results,
+    seal_payload,
     unpack_device_results,
+    verify_payload,
 )
 from repro.fleet.spec import FleetSpec
 from repro.intermittent.mcu import MSP432
@@ -323,6 +330,48 @@ def run_device_batch(tasks, engine: str = "auto") -> list:
     return [by_index[t[0]] for t in tasks]
 
 
+def _apply_worker_faults(ops, in_worker: bool) -> None:
+    """Apply pre-execution fault directives (decided parent-side).
+
+    ``in_worker`` distinguishes a pool child (where a crash really exits
+    the process and a hang really sleeps, exercising the watchdog) from
+    serial in-process dispatch (where both map to raised
+    :class:`InjectedFault`s the retry loop handles — the parent process
+    must never kill or block itself).
+    """
+    for op in ops:
+        kind = op["op"]
+        if kind == "crash":
+            if in_worker:
+                os._exit(int(op.get("exit_code", 70)))
+            raise InjectedFault("injected worker crash (serial dispatch)")
+        if kind == "exception":
+            raise InjectedFault("injected worker exception")
+        if kind == "oserror":
+            raise OSError("injected transient OSError")
+        if kind == "hang":
+            if in_worker:
+                # A straggler: sleep past the watchdog, then finish
+                # normally so the parent can verify the late payload is
+                # bit-identical to the accepted re-execution.
+                time.sleep(float(op.get("seconds", 1.0)))
+            else:
+                raise InjectedFault("injected hang (serial dispatch)")
+        # "corrupt_payload" is applied after packing, not here.
+
+
+def _corrupt_packed_payload(payload: dict, ops) -> None:
+    """Flip bits in a sealed payload (the ``corrupt_payload`` directive)."""
+    for op in ops:
+        if op["op"] != "corrupt_payload":
+            continue
+        column = payload.get("iepmj")
+        if isinstance(column, np.ndarray) and column.size:
+            column.view(np.uint64)[0] ^= np.uint64(0xFF)
+        else:  # pragma: no cover - defensive: empty chunk
+            payload["digest"] = "0" * 64
+
+
 def _run_chunk_packed(args) -> dict:
     """Worker entry for chunked dispatch: run a batch, ship packed arrays.
 
@@ -332,14 +381,24 @@ def _run_chunk_packed(args) -> dict:
     scopes a *fresh* metrics(+profiler) recorder around the batch and
     ships its wire snapshot home under the payload's ``"obs"`` key, to be
     merged parent-side in dispatch order.
+
+    ``ops`` are the chaos directives the parent's fault injector decided
+    for this attempt (empty in production).  The payload is sealed with a
+    content digest *before* corruption directives run, so an injected (or
+    real) wire corruption is caught by ``verify_payload`` parent-side.
     """
-    tasks, engine, obs = args
+    tasks, engine, obs, ops = args
+    if ops:
+        _apply_worker_faults(ops, in_worker=True)
     if obs is None:
-        return pack_device_results(run_device_batch(tasks, engine))
+        payload = seal_payload(pack_device_results(run_device_batch(tasks, engine)))
+        if ops:
+            _corrupt_packed_payload(payload, ops)
+        return payload
     recorder = Recorder(metrics=True, profile=bool(obs.get("profile")))
     previous = set_recorder(recorder)
     try:
-        payload = pack_device_results(run_device_batch(tasks, engine))
+        payload = seal_payload(pack_device_results(run_device_batch(tasks, engine)))
     finally:
         set_recorder(previous)
         recorder.close()
@@ -347,7 +406,28 @@ def _run_chunk_packed(args) -> dict:
     if recorder.profiler is not None:
         wire["profiler"] = recorder.profiler.to_wire()
     payload["obs"] = wire
+    if ops:
+        _corrupt_packed_payload(payload, ops)
     return payload
+
+
+def _run_chunk_inline(tasks, engine: str, ops) -> list:
+    """Run one chunk in the calling process under fault directives.
+
+    The production serial path never comes here (it calls
+    :func:`run_device_batch` directly, paying nothing); this is the
+    chaos-armed serial dispatch and the dispatcher's last-resort
+    in-parent attempt.  With directives present the chunk goes through
+    the same pack → seal → (corrupt) → verify wire cycle a pooled chunk
+    would, so payload-corruption faults are exercisable serially too.
+    """
+    if not ops:
+        return run_device_batch(tasks, engine)
+    _apply_worker_faults(ops, in_worker=False)
+    payload = seal_payload(pack_device_results(run_device_batch(tasks, engine)))
+    _corrupt_packed_payload(payload, ops)
+    verify_payload(payload)
+    return unpack_device_results(payload)
 
 
 def _merge_worker_obs(rec, payloads) -> None:
@@ -362,6 +442,319 @@ def _merge_worker_obs(rec, payloads) -> None:
             rec.metrics.merge_wire(wire["metrics"])
         if rec.profiler is not None and "profiler" in wire:
             rec.profiler.merge_wire(wire["profiler"])
+
+
+class _ChunkJob:
+    """One unit of fault-tolerant dispatch: a chunk at a ladder stage."""
+
+    __slots__ = ("order", "tasks", "engine", "attempts", "stage", "not_before")
+
+    def __init__(self, order, tasks, engine, stage="chunk"):
+        self.order = order  # tuple; sorts to original submission order
+        self.tasks = tasks
+        self.engine = engine
+        self.attempts = 0  # completed (failed) attempts at this stage
+        self.stage = stage  # "chunk" | "device" (post-split) | "serial"
+        self.not_before = 0.0  # monotonic deadline gating the next attempt
+
+    def indices(self):
+        return tuple(t[0] for t in self.tasks)
+
+
+class _FaultTolerantDispatch:
+    """Executes chunk jobs with retries, a straggler watchdog, engine
+    degradation, and per-device quarantine.
+
+    The recovery ladder per job: up to ``max_retries`` retries with
+    exponential backoff at the current stage; an exhausted multi-device
+    chunk splits into per-device jobs on the degraded ``"device"``
+    engine (a faulting batched chunk never takes its neighbours down);
+    an exhausted single device gets one last serial attempt in the
+    parent process; only then is it quarantined as a
+    :class:`~repro.fleet.results.DeviceFailure`.  Spec problems
+    (:class:`ConfigError`) are never retried — they would fail
+    identically forever and belong to the caller.
+
+    Retried work is deterministic by construction (per-device
+    ``SeedSequence`` streams), and the dispatcher *asserts* it: every
+    accepted pooled payload carries a content digest, and a straggler
+    that completes after its replacement must match the accepted digest
+    bit-for-bit or the run fails with :class:`IntegrityError`.
+    """
+
+    POLL_S = 0.005
+
+    def __init__(self, engine: str, policy: RetryPolicy, pool=None):
+        self.engine = engine
+        self.policy = policy
+        self.pool = pool
+        self.injector = get_fault_injector()
+        self.rec = get_recorder()
+        self.metrics = self.rec.metrics
+        self.results: dict = {}  # device index -> DeviceResult
+        self.failures: list = []  # DeviceFailure
+        self._obs_wires: list = []  # (job order, wire) accepted payload obs
+        self._accepted_digests: dict = {}  # device-index tuple -> digest
+        self._stragglers: list = []  # (job, AsyncResult) timed-out attempts
+
+    # ------------------------------------------------------------------ #
+    # Entry
+    # ------------------------------------------------------------------ #
+    def run(self, chunks) -> tuple:
+        """Execute ``chunks``; returns (results-by-index, failures)."""
+        jobs = deque(
+            _ChunkJob((i,), chunk, self.engine) for i, chunk in enumerate(chunks)
+        )
+        if self.pool is None:
+            self._run_serial(jobs)
+        else:
+            self._run_pooled(jobs)
+        if self._obs_wires:
+            self._obs_wires.sort(key=lambda item: item[0])
+            _merge_worker_obs(self.rec, [{"obs": wire} for _, wire in self._obs_wires])
+        self.failures.sort(key=lambda f: f.index)
+        return self.results, self.failures
+
+    def _inc(self, name: str, n=1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    def _poll_ops(self):
+        if not self.injector.enabled:
+            return ()
+        return tuple(f.directive() for f in self.injector.poll("fleet.chunk"))
+
+    # ------------------------------------------------------------------ #
+    # Serial dispatch (chaos-armed; the production serial path bypasses
+    # the dispatcher entirely)
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, jobs) -> None:
+        while jobs:
+            job = jobs.popleft()
+            delay = job.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            ops = self._poll_ops()
+            try:
+                accepted = _run_chunk_inline(job.tasks, job.engine, ops)
+            except ConfigError:
+                raise
+            except Exception as exc:
+                self._on_failure(job, exc, jobs)
+                continue
+            self._accept_devices(job, accepted)
+
+    # ------------------------------------------------------------------ #
+    # Pooled dispatch
+    # ------------------------------------------------------------------ #
+    def _run_pooled(self, jobs) -> None:
+        obs = None
+        if self.rec.enabled:
+            obs = {"profile": self.rec.profiler is not None}
+        timeout = self.policy.effective_timeout(self.injector.enabled)
+        live: list = []  # [job, AsyncResult, deadline or None]
+        while jobs or live:
+            now = time.monotonic()
+            held = deque()
+            while jobs:
+                job = jobs.popleft()
+                if job.not_before > now:
+                    held.append(job)
+                    continue
+                ops = self._poll_ops()
+                handle = self.pool.apply_async(
+                    _run_chunk_packed, ((job.tasks, job.engine, obs, ops),)
+                )
+                deadline = None if timeout is None else now + timeout
+                live.append([job, handle, deadline])
+            jobs.extend(held)
+            progressed = False
+            for entry in list(live):
+                job, handle, deadline = entry
+                if handle.ready():
+                    live.remove(entry)
+                    progressed = True
+                    try:
+                        payload = handle.get()
+                        verify_payload(payload)
+                    except ConfigError:
+                        raise
+                    except Exception as exc:
+                        self._on_failure(job, exc, jobs)
+                    else:
+                        self._accept_payload(job, payload)
+                elif deadline is not None and now >= deadline:
+                    live.remove(entry)
+                    progressed = True
+                    self._stragglers.append((job, handle))
+                    self._inc("fleet.retry.timeouts")
+                    self._on_failure(
+                        job,
+                        TimeoutError(
+                            f"chunk attempt exceeded worker_timeout={timeout:.3g}s"
+                        ),
+                        jobs,
+                    )
+            if not progressed and (jobs or live):
+                time.sleep(self.POLL_S)
+        self._reap_stragglers()
+
+    # ------------------------------------------------------------------ #
+    # Acceptance
+    # ------------------------------------------------------------------ #
+    def _accept_devices(self, job, devices) -> None:
+        for device in devices:
+            self.results[device.index] = device
+
+    def _accept_payload(self, job, payload: dict) -> None:
+        wire = payload.pop("obs", None)
+        if wire:
+            self._obs_wires.append((job.order, wire))
+        self._accepted_digests[job.indices()] = payload.get("digest")
+        self._accept_devices(job, unpack_device_results(payload))
+
+    # ------------------------------------------------------------------ #
+    # The recovery ladder
+    # ------------------------------------------------------------------ #
+    def _on_failure(self, job, exc, jobs) -> None:
+        job.attempts += 1
+        self._inc("fleet.retry.failures")
+        if job.attempts <= self.policy.max_retries:
+            backoff = self.policy.backoff(job.attempts - 1)
+            job.not_before = time.monotonic() + backoff
+            self._inc("fleet.retry.attempts")
+            if self.metrics is not None:
+                self.metrics.observe("fleet.retry.backoff_s", backoff)
+            jobs.append(job)
+            return
+        if len(job.tasks) > 1:
+            # Batched → per-device degradation: re-run each device alone
+            # so one faulting device cannot poison the whole chunk.
+            self._inc("fleet.retry.splits")
+            for position, task in enumerate(job.tasks):
+                jobs.append(
+                    _ChunkJob(job.order + (position,), [task], "device", "device")
+                )
+            return
+        if job.stage != "serial":
+            self._final_serial_attempt(job, jobs)
+            return
+        self._quarantine(job, exc)
+
+    def _final_serial_attempt(self, job, jobs) -> None:
+        """Last rung before quarantine: run the device in the parent.
+
+        Survives a broken/poisoned pool outright, and still polls the
+        injector, so a chaos plan hostile enough to exhaust it proves
+        quarantine works.
+        """
+        job.stage = "serial"
+        self._inc("fleet.retry.serial_attempts")
+        ops = self._poll_ops()
+        try:
+            accepted = _run_chunk_inline(job.tasks, "device", ops)
+        except ConfigError:
+            raise
+        except Exception as exc:
+            self._quarantine(job, exc)
+            return
+        self._accept_devices(job, accepted)
+
+    def _quarantine(self, job, exc) -> None:
+        index, spec, _ = job.tasks[0]
+        self.failures.append(
+            DeviceFailure(
+                index=int(index),
+                name=spec.name,
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=job.attempts,
+                stage=job.stage,
+            )
+        )
+        self._inc("fleet.devices.quarantined")
+
+    # ------------------------------------------------------------------ #
+    # Straggler verification
+    # ------------------------------------------------------------------ #
+    def _reap_stragglers(self) -> None:
+        """Check timed-out attempts that completed after re-dispatch.
+
+        Re-execution is bit-identical by construction, so a straggler's
+        payload must equal the accepted one — comparing the two content
+        digests is the cheapest end-to-end determinism assert we can run
+        in production.  Stragglers that never surface within the grace
+        window are abandoned (the pool teardown reclaims their workers).
+        """
+        if not self._stragglers:
+            return
+        deadline = time.monotonic() + self.policy.straggler_grace_s
+        while time.monotonic() < deadline and any(
+            not handle.ready() for _, handle in self._stragglers
+        ):
+            time.sleep(self.POLL_S)
+        abandoned = 0
+        for job, handle in self._stragglers:
+            if not handle.ready():
+                abandoned += 1
+                self._inc("fleet.straggler.abandoned")
+                self._discard(handle)
+                continue
+            try:
+                payload = handle.get()
+                verify_payload(payload)
+            except Exception:
+                self._inc("fleet.straggler.failed")
+                continue
+            expected = self._accepted_digests.get(job.indices())
+            if expected is None:
+                # The re-execution went down the degraded per-device
+                # path; there is no whole-chunk digest to compare.
+                self._inc("fleet.straggler.unmatched")
+            elif payload.get("digest") == expected:
+                self._inc("fleet.straggler.verified")
+            else:
+                raise IntegrityError(
+                    f"straggler re-execution diverged for devices "
+                    f"{job.indices()}: a retried chunk must be bit-identical "
+                    "to the accepted one (determinism violation)"
+                )
+        if abandoned:
+            self._recycle_pool()
+
+    def _recycle_pool(self) -> None:
+        """Terminate a pool that swallowed work without returning it.
+
+        An abandoned straggler means a worker is wedged or dead — and a
+        SIGKILL'd worker can take the pool's shared task-queue lock down
+        with it, after which *no* worker (including respawns) can read
+        another task or the close sentinel.  A graceful
+        ``close()``/``join()`` on such a pool stalls for the full
+        ``JOIN_TIMEOUT_S`` escalation window, and an external long-lived
+        pool (the campaign layer's) would wedge every subsequent fleet.
+        Force-terminating now reclaims the processes immediately, and a
+        :class:`LazyPool` transparently respawns on its next dispatch.
+        """
+        recycle = getattr(self.pool, "shutdown", None)
+        if recycle is None:  # raw caller-owned Pool: leave teardown to them
+            return
+        self._inc("fleet.pool.recycled")
+        recycle(force=True)
+
+    @staticmethod
+    def _discard(handle) -> None:
+        """Forget an abandoned in-flight task pool-side.
+
+        A lost task (killed or wedged worker) leaves its ``AsyncResult``
+        in ``Pool._cache`` forever, and ``Pool.join`` refuses to finish
+        while the cache is non-empty — the deadlock that used to wedge
+        the whole parent (and leak the worker processes) on any worker
+        death.  Dropping the cache entry lets a graceful
+        ``close()``/``join()`` complete.
+        """
+        try:
+            handle._cache.pop(handle._job, None)
+        except AttributeError:  # pragma: no cover - non-CPython pool
+            pass
 
 
 def usable_cpus() -> int:
@@ -379,28 +772,53 @@ class LazyPool:
     cells are all below the parallel threshold) may never dispatch a
     single map — eagerly forking workers would charge it the pool startup
     for nothing, which was a visible slice of the pooled-campaign
-    pessimization.  ``map`` materializes the real pool on demand;
-    teardown is a no-op when it never started.
+    pessimization.  ``map`` / ``apply_async`` materialize the real pool
+    on demand; teardown is a no-op when it never started.
+
+    ``multiprocessing.Pool`` transparently respawns a worker that dies
+    (SIGKILL, ``os._exit``), but the chunk that worker held is simply
+    lost — its ``AsyncResult`` never completes.  That is why the
+    dispatcher above pairs every ``apply_async`` with a watchdog
+    deadline instead of using blocking ``map`` (which would wedge
+    forever on a killed worker, leaking the whole pool).
     """
 
     def __init__(self, workers: int):
         self._workers = int(workers)
         self._pool = None
 
-    def map(self, func, iterable, chunksize=None):
+    def _materialize(self):
         if self._pool is None:
             self._pool = multiprocessing.Pool(processes=self._workers)
-        return self._pool.map(func, iterable, chunksize=chunksize)
+        return self._pool
+
+    def map(self, func, iterable, chunksize=None):
+        return self._materialize().map(func, iterable, chunksize=chunksize)
+
+    def apply_async(self, func, args=()):
+        return self._materialize().apply_async(func, args)
+
+    #: How long a graceful shutdown waits before escalating to terminate.
+    JOIN_TIMEOUT_S = 10.0
 
     def shutdown(self, force: bool = False) -> None:
-        if self._pool is None:
+        pool, self._pool = self._pool, None
+        if pool is None:
             return
         if force:
-            self._pool.terminate()
-        else:
-            self._pool.close()
-        self._pool.join()
-        self._pool = None
+            pool.terminate()
+            pool.join()
+            return
+        pool.close()
+        # Bounded join: if anything is wedged despite the dispatcher's
+        # bookkeeping (a worker stuck in non-interruptible C code, say),
+        # escalate to terminate rather than hang the parent forever.
+        waiter = threading.Thread(target=pool.join, daemon=True)
+        waiter.start()
+        waiter.join(self.JOIN_TIMEOUT_S)
+        if waiter.is_alive():  # pragma: no cover - last-resort escalation
+            pool.terminate()
+            waiter.join()
 
 
 @contextlib.contextmanager
@@ -465,6 +883,7 @@ class FleetRunner:
         chunksize: Optional[int] = None,
         engine: str = "auto",
         parallel_threshold: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if not isinstance(spec, FleetSpec):
             raise ConfigError("FleetRunner needs a FleetSpec")
@@ -478,11 +897,14 @@ class FleetRunner:
             raise ConfigError(
                 f"parallel_threshold must be >= 1, got {parallel_threshold}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ConfigError("retry must be a RetryPolicy (or None)")
         self.spec = spec
         self.workers = int(workers)
         self.chunksize = chunksize
         self.engine = engine
         self.parallel_threshold = parallel_threshold
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         #: After :meth:`run`: did the last run actually use a pool?
         self.last_run_parallel = False
 
@@ -504,10 +926,6 @@ class FleetRunner:
                 return max(int(n), 1)
         return max(self.workers, 1)
 
-    def _chunk(self, num_tasks: int, fanout: int) -> int:
-        # ~4 chunks per worker balances load without drowning in IPC.
-        return self.chunksize or max(1, math.ceil(num_tasks / (fanout * 4)))
-
     def _should_parallelize(self, num_tasks: int, pool) -> bool:
         if pool is None and self.workers <= 1:
             return False
@@ -516,25 +934,26 @@ class FleetRunner:
         return num_tasks >= MIN_PARALLEL_DEVICES and usable_cpus() > 1
 
     def _batch_chunks(self, tasks, fanout: int) -> list:
-        """Contiguous task chunks for one run_device_batch call each."""
-        size = self.chunksize or max(1, math.ceil(len(tasks) / fanout))
+        """Contiguous task chunks for one run_device_batch call each.
+
+        The batched engine gets one chunk per worker (maximum lockstep
+        width); the per-device engine gets ~4 chunks per worker so the
+        pool can load-balance uneven simulation lengths.
+        """
+        if self.chunksize:
+            size = self.chunksize
+        elif self.engine == "device":
+            size = max(1, math.ceil(len(tasks) / (fanout * 4)))
+        else:
+            size = max(1, math.ceil(len(tasks) / fanout))
         return [tasks[i:i + size] for i in range(0, len(tasks), size)]
 
-    def _run_parallel(self, tasks, pool) -> list:
-        fanout = self._pool_fanout(pool)
-        if self.engine == "device":
-            return pool.map(
-                run_device, tasks, chunksize=self._chunk(len(tasks), fanout)
-            )
-        rec = get_recorder()
-        obs = {"profile": rec.profiler is not None} if rec.enabled else None
-        args = [
-            (chunk, self.engine, obs) for chunk in self._batch_chunks(tasks, fanout)
-        ]
-        payloads = pool.map(_run_chunk_packed, args, chunksize=1)
-        if obs is not None:
-            _merge_worker_obs(rec, payloads)
-        return [d for p in payloads for d in unpack_device_results(p)]
+    def _dispatch(self, tasks, pool) -> tuple:
+        """Run chunks through the fault-tolerant dispatcher."""
+        fanout = self._pool_fanout(pool) if pool is not None else 1
+        dispatch = _FaultTolerantDispatch(self.engine, self.retry, pool)
+        results, failures = dispatch.run(self._batch_chunks(tasks, fanout))
+        return [results[i] for i in sorted(results)], failures
 
     def run(self, pool=None) -> FleetResult:
         """Execute the fleet; ``pool`` reuses an external :func:`worker_pool`.
@@ -544,11 +963,20 @@ class FleetRunner:
         can share warm worker processes.  Results are identical either
         way: per-device streams are pinned by (fleet seed, device index),
         never by which process executes them.
+
+        Dispatch is fault-tolerant: failed chunk attempts are retried
+        with backoff per ``self.retry``, timed-out workers are
+        re-dispatched, exhausted batched chunks degrade to per-device
+        then in-parent serial execution, and devices that still fail are
+        quarantined on ``FleetResult.failures`` instead of aborting the
+        fleet.  The serial chaos-off path skips all of it — one injector
+        attribute read, then straight into the engine.
         """
         t0 = time.perf_counter()
         tasks = self._tasks()
         self.last_run_parallel = self._should_parallelize(len(tasks), pool)
         workers_used = 1
+        failures: list = []
         with span(
             "fleet.run",
             fleet=self.spec.name,
@@ -557,20 +985,24 @@ class FleetRunner:
             parallel=self.last_run_parallel,
         ):
             if not self.last_run_parallel:
-                device_results = run_device_batch(tasks, self.engine)
+                if not get_fault_injector().enabled:
+                    device_results = run_device_batch(tasks, self.engine)
+                else:
+                    device_results, failures = self._dispatch(tasks, None)
             elif pool is not None:
                 workers_used = self._pool_fanout(pool)
-                device_results = self._run_parallel(tasks, pool)
+                device_results, failures = self._dispatch(tasks, pool)
             else:
                 workers_used = max(self.workers, 1)
                 with worker_pool(self.workers) as owned:
-                    device_results = self._run_parallel(tasks, owned)
+                    device_results, failures = self._dispatch(tasks, owned)
         result = FleetResult(
             fleet_name=self.spec.name,
             seed=self.spec.seed,
             devices=device_results,
             workers=workers_used,
             wall_s=time.perf_counter() - t0,
+            failures=failures,
         )
         rec = get_recorder()
         if rec.metrics is not None:
@@ -619,6 +1051,7 @@ def run_fleet(
     chunksize: Optional[int] = None,
     engine: str = "auto",
     parallel_threshold: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> FleetResult:
     """One-call convenience wrapper around :class:`FleetRunner`."""
     return FleetRunner(
@@ -627,4 +1060,5 @@ def run_fleet(
         chunksize=chunksize,
         engine=engine,
         parallel_threshold=parallel_threshold,
+        retry=retry,
     ).run()
