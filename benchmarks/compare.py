@@ -93,7 +93,19 @@ def compare_file(fresh_path: str, baseline_path: str, max_regress: float) -> lis
     name = os.path.basename(baseline_path)
     problems = []
     for path, base_value in sorted(baseline.items()):
-        if base_value <= 0 or _is_fallback_parallel(path, flagged):
+        if _is_fallback_parallel(path, flagged):
+            continue
+        if base_value <= 0:
+            # A zero/negative baseline throughput is itself a finding —
+            # the committed payload is broken (e.g. a smoke artifact
+            # under benchmarks/.smoke/ checked in by mistake, or a bench
+            # that recorded a zero-duration round).  Dividing by it
+            # would crash or approve any fresh value, so name it
+            # instead of silently skipping the metric.
+            problems.append(
+                f"{name}: baseline {path} is {base_value!r} (not a "
+                f"positive throughput); re-record the committed payload"
+            )
             continue
         if path not in fresh:
             problems.append(f"{name}: metric {path!r} missing from fresh run")

@@ -1,0 +1,186 @@
+"""numba ``@njit`` forms of the intermittent kernel's fused runs.
+
+Imported lazily by :class:`~repro.intermittent.kernel
+.IntermittentFleetKernel` only when ``REPRO_KERNEL=compiled`` resolves,
+and only used when :data:`HAVE_NUMBA` is true — numba is an optional
+dependency and this module must import cleanly without it.
+
+Each function replays the *scalar* micro-step arithmetic per lane —
+the identical sequence of IEEE-754 operations as ``run_job_scalar`` /
+``EnergyStorage`` — so the results are bit-for-bit the reference's.
+Unlike the numpy chains, the compiled loops fold the capacity and leak
+``min`` clamps inline and are horizon-free: a run stops only at steps
+the caller's verified one-step form must handle (wake and shutdown
+transitions, partial or unaffordable compute slices) or at the episode
+deadline.  The kernel therefore takes *fewer physical passes* under
+``compiled`` than under ``numpy`` (``intermittent.kernel_passes``
+shrinks) while every logical tally — ``intermittent.micro_passes``,
+lane counters, transitions — stays identical.
+
+No ``fastmath``: reassociation would break bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the numpy lanes take over
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Decorator stand-in so the module imports without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+_WORK_EPS = 1e-12
+
+
+@njit(cache=True)
+def _cum_at_scalar(k, t, samples, cum, n, dt, duration, cum_total):
+    """Scalar ``PowerTrace._cum_at(_clip_time(t))`` for kernel row ``k``."""
+    tc = t if t < duration[k] else duration[k]
+    pos = tc / dt[k]
+    last = n[k] - 1
+    if pos >= last:
+        return cum_total[k]
+    i = int(pos)
+    frac = pos - i
+    p0 = samples[k, i]
+    pt = (1.0 - frac) * p0 + frac * samples[k, i + 1]
+    return cum[k, i] + 0.5 * (p0 + pt) * (frac * dt[k])
+
+
+@njit(cache=True)
+def recharge_runs(
+    off, t, level, charged, leaked, wasted, samples, cum, n, dt,
+    duration, cum_total, capacity, efficiency, leakage, wakeup,
+):
+    """Advance every powered-off lane to its wake step or deadline.
+
+    Commits harvest/leak micro-steps (clamps folded inline) and returns
+    the committed step count per lane; the step that would cross the
+    wake threshold is left for the caller's one-step form.
+    """
+    steps = np.zeros(off.size, np.int64)
+    for idx in range(off.size):
+        k = off[idx]
+        d = dt[k]
+        dur = duration[k]
+        cap = capacity[k]
+        eff = efficiency[k]
+        lps = leakage[k] * d
+        wake = wakeup[k]
+        tk = t[k]
+        lv = level[k]
+        ch = charged[k]
+        lk = leaked[k]
+        ws = wasted[k]
+        c0 = _cum_at_scalar(k, tk, samples, cum, n, dt, duration, cum_total)
+        while tk < dur:
+            t1 = tk + d
+            c1 = _cum_at_scalar(
+                k, t1, samples, cum, n, dt, duration, cum_total
+            )
+            banked = (c1 - c0) * eff
+            room = cap - lv
+            stored = banked if banked < room else room
+            lv2 = lv + stored
+            lost = lv2 if lv2 < lps else lps
+            lv3 = lv2 - lost
+            if lv3 >= wake:
+                break  # wake transition: one-step form restores + tallies
+            lv = lv3
+            ch = ch + stored
+            lk = lk + lost
+            ws = ws + (banked - stored)
+            tk = t1
+            c0 = c1
+            steps[idx] += 1
+        t[k] = tk
+        level[k] = lv
+        charged[k] = ch
+        leaked[k] = lk
+        wasted[k] = ws
+    return steps
+
+
+@njit(cache=True)
+def compute_runs(
+    comp, t, level, drawn, work, consumed, charged, leaked, wasted,
+    samples, cum, n, dt, duration, cum_total, capacity, efficiency,
+    leakage, shutdown, active_power,
+):
+    """Advance every powered-on lane through its full-slice steps.
+
+    Commits boring compute slices (clamps folded inline) and returns the
+    committed step count per lane; partial slices, unaffordable slices,
+    and the shutdown-checkpoint step run through the one-step form.
+    """
+    steps = np.zeros(comp.size, np.int64)
+    for idx in range(comp.size):
+        k = comp[idx]
+        ap = active_power[k]
+        sw = ap * dt[k]
+        st = sw / ap
+        dur = duration[k]
+        cap = capacity[k]
+        eff = efficiency[k]
+        lps = leakage[k] * st
+        shut = shutdown[k]
+        tk = t[k]
+        lv = level[k]
+        dr = drawn[k]
+        wrem = work[k]
+        cons = consumed[k]
+        ch = charged[k]
+        lk = leaked[k]
+        ws = wasted[k]
+        c0 = _cum_at_scalar(k, tk, samples, cum, n, dt, duration, cum_total)
+        while tk < dur and wrem >= sw:
+            t1 = tk + st
+            c1 = _cum_at_scalar(
+                k, t1, samples, cum, n, dt, duration, cum_total
+            )
+            banked = (c1 - c0) * eff
+            room = cap - lv
+            stored = banked if banked < room else room
+            lv2 = lv + stored
+            lost = lv2 if lv2 < lps else lps
+            lv3 = lv2 - lost
+            if not (lv3 >= sw - _WORK_EPS):
+                break  # short slice: one-step form clips the draw
+            lv4 = lv3 - sw
+            if lv4 < 0.0:
+                lv4 = 0.0  # the scalar's max(0, ·) affordability clamp
+            w2 = wrem - sw
+            if w2 > _WORK_EPS and lv4 <= shut:
+                break  # shutdown transition: one-step form checkpoints
+            lv = lv4
+            dr = dr + sw
+            wrem = w2
+            cons = cons + sw
+            ch = ch + stored
+            lk = lk + lost
+            ws = ws + (banked - stored)
+            tk = t1
+            c0 = c1
+            steps[idx] += 1
+        t[k] = tk
+        level[k] = lv
+        drawn[k] = dr
+        work[k] = wrem
+        consumed[k] = cons
+        charged[k] = ch
+        leaked[k] = lk
+        wasted[k] = ws
+    return steps

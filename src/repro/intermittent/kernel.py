@@ -13,12 +13,24 @@ that loop's arithmetic:
   fleet engine (:mod:`repro.sim.batch`): every piece of mutable per-device
   state — checkpoint progress (``work_left``), power state (``on``),
   partial-cycle energy accounting (``consumed`` / ``overhead``), clocks,
-  event cursors — lives in a numpy column, and all intermittent devices of
-  a fleet advance one *micro-step* per pass.  A micro-step is either one
-  event boundary (miss check, charge-to-event, job start) or one iteration
-  of the multi-cycle loop (one recharge ``dt`` or one compute slice), so
-  devices interleave freely across events: a device three events ahead
-  keeps vectorizing alongside one still recharging through its first.
+  event cursors — lives in a numpy column, and the vector axis of each
+  pass is **(device × micro-step)**: every active device advances through
+  a *fused run* of consecutive micro-steps (up to :data:`FUSE_HORIZON`
+  recharge ``dt``'s or compute slices) per pass, not just one.  Only the
+  steps that cannot cross a power boundary fuse — a step that would wake,
+  shut down, clamp a ledger ``min``/``max``, or hit the deadline stops
+  the run and executes through the verified one-step form instead — so
+  the pass count collapses from one-per-micro-step (~3.4k on the profiled
+  city-block-128 shape) to the order of power transitions, while every
+  committed chain is the scalar fold replayed bit-for-bit
+  (``np.cumsum`` over float64 is a strict sequential left fold, so the
+  fused prefix reproduces ``t += dt`` / ``level += stored`` exactly).
+
+Setting ``REPRO_KERNEL=compiled`` (see :mod:`repro.utils.kernelmode`)
+swaps the chain construction for numba-compiled per-device scalar loops
+(:mod:`repro.intermittent.compiled`) with the same stop conditions and an
+unbounded horizon; the pure-numpy chains above remain the always-available
+fallback and both forms are bit-identical to the scalar reference.
 
 Determinism contract
 --------------------
@@ -49,6 +61,15 @@ REASON_NONE, REASON_BUSY, REASON_ENERGY = 0, 1, 2
 
 #: Work below this is "done" (the scalar loop's termination epsilon).
 _WORK_EPS = 1e-12
+
+#: Micro-steps a pure-numpy fused run may commit per pass and lane.  Long
+#: recharge runs on the profiled shapes span ~50-250 ``dt``'s between
+#: power transitions and saturated compute runs go longer still; 128 is
+#: the empirical sweet spot on the profiled city-block shape (64 pays
+#: too many passes, 256+ too much wasted tail past a run's first
+#: violation).  The compiled form ignores this (it stops exactly at the
+#: first violation, horizon-free).
+FUSE_HORIZON = 128
 
 
 @dataclass
@@ -147,10 +168,13 @@ class IntermittentFleetKernel:
     state columns in place and returning packed per-event records.
     """
 
-    def __init__(self, rows, devices):
+    def __init__(self, rows, devices, mode: str = "numpy"):
         """``rows`` are engine rows; ``devices`` the matching materialized
         device objects (``trace`` / ``mcu`` / ``storage`` / ``profile`` /
-        ``exit_energy`` / ``exit_acc`` attributes, one per row)."""
+        ``exit_energy`` / ``exit_acc`` attributes, one per row).  ``mode``
+        picks the fused-run implementation: ``"numpy"`` (cumsum chains,
+        always available) or ``"compiled"`` (numba scalar loops; silently
+        degrades to numpy when numba cannot be imported)."""
         self.rows = np.asarray(rows, dtype=np.int64)
         k = len(devices)
         if k != len(self.rows):
@@ -185,6 +209,17 @@ class IntermittentFleetKernel:
         )
         self._job_acc = np.array([d.exit_acc[-1] for d in devices], dtype=np.float64)
         self._no_leak = bool((self._leakage == 0.0).all())
+        self._mode = "numpy"
+        self._compiled = None
+        if mode == "compiled":
+            try:
+                from repro.intermittent import compiled as _compiled
+
+                if _compiled.HAVE_NUMBA:
+                    self._mode = "compiled"
+                    self._compiled = _compiled
+            except Exception:
+                pass  # numba missing/broken: keep the numpy lanes
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -196,7 +231,9 @@ class IntermittentFleetKernel:
         Same interpolation arithmetic bit-for-bit, including the scalar
         early-return for positions at or past the last sample.
         """
-        tc = np.minimum(np.maximum(t, 0.0), self._duration[k])
+        # Every caller passes simulation times, which are never negative,
+        # so the scalar's max(t, 0.0) clip is the identity here.
+        tc = np.minimum(t, self._duration[k])
         pos = tc / self._dt[k]
         last = self._n[k] - 1
         past_end = pos >= last
@@ -295,12 +332,21 @@ class IntermittentFleetKernel:
 
         # Local tallies flushed to ``prof`` once at episode end; the
         # profiling-off path never executes a tally line.
-        n_micro = n_bnd = n_comp = n_rech = n_done = n_dead = 0
+        # ``intermittent.micro_passes`` stays the *logical* scalar-
+        # equivalent count (what the pre-fusion kernel's while loop would
+        # have iterated): per device it is busy boundaries + closes +
+        # micro-steps, whether a step committed inside a fused run or
+        # through the one-step form, and the fleet count is the max over
+        # devices — so PROFILE comparisons across PRs stay meaningful.
+        # ``intermittent.kernel_passes`` is the new *physical* count of
+        # fused passes this implementation actually ran.
+        n_pass = n_bnd = n_comp = n_rech = n_done = n_dead = 0
+        steps_log = np.zeros(k_total, np.int64) if prof is not None else None
 
         pending = part & (ev < n_events)
         while pending.any():
             if prof is not None:
-                n_micro += 1
+                n_pass += 1
             # ---- event boundaries: miss check, charge-to-event, job start
             bnd = pending & ~in_inf
             if bnd.any():
@@ -313,6 +359,8 @@ class IntermittentFleetKernel:
                     mi = bi[busy]
                     r_reason[ev[mi], mi] = REASON_BUSY
                     ev[mi] += 1
+                    if prof is not None:
+                        steps_log[mi] += 1
                 go = bi[~busy]
                 if go.size:
                     te_go = te[~busy]
@@ -348,6 +396,7 @@ class IntermittentFleetKernel:
                     ci = inf[done]
                     if prof is not None:
                         n_done += ci.size
+                        steps_log[ci] += 1
                     er = self.rows[ci]
                     difficulty = draws.random(er)
                     correct = difficulty < self._job_acc[ci]
@@ -374,6 +423,7 @@ class IntermittentFleetKernel:
                         di = act[late]
                         if prof is not None:
                             n_dead += di.size
+                            steps_log[di] += 1
                         e = ev[di]
                         r_reason[e, di] = REASON_ENERGY
                         r_latency[e, di] = t[di] - start[di]
@@ -386,43 +436,73 @@ class IntermittentFleetKernel:
                         on_run = on[run]
                         off = run[~on_run]
                         if off.size:
-                            if prof is not None:
-                                n_rech += off.size
-                            self._recharge_step(
-                                off,
-                                level,
-                                drawn,
-                                t,
-                                on,
-                                cycles,
-                                overhead,
-                                charged,
-                                leaked,
-                                wasted,
-                                prof=prof,
+                            # Fused run: commit every consecutive recharge
+                            # dt that cannot wake, clamp, or cross the
+                            # deadline, then take the stopping step (wake /
+                            # clamp handling) through the one-step form.
+                            j_off = self._advance_recharge(
+                                off, level, t, charged, leaked, wasted
                             )
+                            if prof is not None:
+                                n_rech += int(j_off.sum())
+                                steps_log[off] += j_off
+                            ps = off[t[off] < self._duration[off]]
+                            if ps.size:
+                                if prof is not None:
+                                    n_rech += ps.size
+                                    steps_log[ps] += 1
+                                self._recharge_step(
+                                    ps,
+                                    level,
+                                    drawn,
+                                    t,
+                                    on,
+                                    cycles,
+                                    overhead,
+                                    charged,
+                                    leaked,
+                                    wasted,
+                                    prof=prof,
+                                )
                         comp = run[on_run]
                         if comp.size:
-                            if prof is not None:
-                                n_comp += comp.size
-                            self._compute_step(
-                                comp,
-                                level,
-                                drawn,
-                                t,
-                                on,
-                                cycles,
-                                work,
-                                consumed,
-                                overhead,
-                                charged,
-                                leaked,
-                                wasted,
-                                prof=prof,
+                            # Same shape for compute slices: the fused run
+                            # stops before any partial slice, affordability
+                            # clamp, or shutdown checkpoint.
+                            j_comp = self._advance_compute(
+                                comp, level, drawn, t, cycles, work,
+                                consumed, charged, leaked, wasted,
                             )
+                            if prof is not None:
+                                n_comp += int(j_comp.sum())
+                                steps_log[comp] += j_comp
+                            cs = comp[
+                                (work[comp] > _WORK_EPS)
+                                & (t[comp] < self._duration[comp])
+                            ]
+                            if cs.size:
+                                if prof is not None:
+                                    n_comp += cs.size
+                                    steps_log[cs] += 1
+                                self._compute_step(
+                                    cs,
+                                    level,
+                                    drawn,
+                                    t,
+                                    on,
+                                    cycles,
+                                    work,
+                                    consumed,
+                                    overhead,
+                                    charged,
+                                    leaked,
+                                    wasted,
+                                    prof=prof,
+                                )
             pending = part & (in_inf | (ev < n_events))
         if prof is not None:
-            prof.tally("intermittent.micro_passes", n_micro)
+            prof.tally("intermittent.micro_passes", int(steps_log.max()))
+            prof.tally("intermittent.kernel_passes", n_pass)
             prof.tally("intermittent.boundary_lanes", int(n_bnd))
             prof.tally("intermittent.compute_lanes", int(n_comp))
             prof.tally("intermittent.recharge_lanes", int(n_rech))
@@ -452,6 +532,219 @@ class IntermittentFleetKernel:
         cum_charged[k] = self._cum_at(k, t[k])
         in_inf[k] = False
         ev[k] += 1
+
+    # ------------------------------------------------------------------ #
+    # Fused multi-step runs.
+    #
+    # ``np.cumsum`` over a float64 row is a strict sequential left fold,
+    # so a committed chain value is bit-for-bit the scalar accumulator
+    # (``t += dt``, ``level += stored``, ``work -= step_work``) after the
+    # same number of iterations; ``x + (-w)`` is IEEE-identical to
+    # ``x - w``.  A chain is only committed up to (excluding) the first
+    # step where any scalar clamp or transition would fire — capacity
+    # ``min``, leak ``min``, the 1e-12 affordability epsilon / ``max(0)``
+    # draw guard, wake/shutdown threshold crossings, partial compute
+    # slices, the loop-top deadline check — and that stopping step then
+    # runs through the verified one-step form, which guarantees progress
+    # even when a run fuses zero steps.
+    # ------------------------------------------------------------------ #
+    def _advance_recharge(
+        self, off, level, t, charged, leaked, wasted
+    ) -> np.ndarray:
+        """Commit each powered-off lane's boring recharge prefix.
+
+        Mutates ``level`` / ``t`` / ``charged`` / ``leaked`` (and, on the
+        compiled path only, ``wasted``) in place and returns the per-lane
+        number of committed micro-steps (int64).  The numpy lanes stop at
+        any capacity clamp so an unclamped committed step banks
+        everything and never touches ``wasted``; the compiled loop folds
+        the clamp arithmetic inline and keeps going.  ``drawn`` /
+        ``overhead`` are untouched either way: recharge draws nothing
+        until the wake step, which always runs through the one-step form.
+        """
+        if self._mode == "compiled":
+            return self._compiled.recharge_runs(
+                off, t, level, charged, leaked, wasted, self._samples,
+                self._cum, self._n, self._dt, self._duration,
+                self._cum_total, self._capacity, self._efficiency,
+                self._leakage, self._wakeup,
+            )
+        horizon = FUSE_HORIZON
+        n = off.size
+        dt = self._dt[off]
+        tch = np.empty((n, horizon + 1))
+        tch[:, 0] = t[off]
+        tch[:, 1:] = dt[:, None]
+        np.cumsum(tch, axis=1, out=tch)
+        cum = self._cum_at(
+            np.repeat(off, horizon + 1), tch.ravel()
+        ).reshape(n, horizon + 1)
+        banked = (cum[:, 1:] - cum[:, :-1]) * self._efficiency[off, None]
+        lost = (self._leakage[off] * dt)[:, None]
+        # Interleaved level chain [l0, +banked_1, -lost, +banked_2, ...]:
+        # odd columns are post-charge, even columns post-leak states.
+        chain = np.empty((n, 2 * horizon + 1))
+        chain[:, 0] = level[off]
+        chain[:, 1::2] = banked
+        chain[:, 2::2] = -lost
+        np.cumsum(chain, axis=1, out=chain)
+        post_charge = chain[:, 1::2]
+        post_leak = chain[:, 2::2]
+        prev = chain[:, 0:-1:2]  # post-leak level entering each step
+        viol = banked > self._capacity[off, None] - prev  # capacity clamp
+        viol |= post_charge < lost  # leak min() clamp (empty store)
+        viol |= post_leak >= self._wakeup[off, None]  # wake transition
+        viol |= tch[:, :-1] >= self._duration[off, None]  # deadline check
+        j = np.where(viol.any(axis=1), viol.argmax(axis=1), horizon)
+        lanes = np.arange(n)
+        level[off] = chain[lanes, 2 * j]
+        t[off] = tch[lanes, j]
+        # Charged + leaked ledgers share one stacked cumsum dispatch; the
+        # leaked row is dropped entirely for leak-free fleets.
+        rows = n if self._no_leak else 2 * n
+        led = np.empty((rows, horizon + 1))
+        led[:n, 0] = charged[off]
+        led[:n, 1:] = banked
+        if not self._no_leak:
+            led[n:, 0] = leaked[off]
+            led[n:, 1:] = lost
+        np.cumsum(led, axis=1, out=led)
+        charged[off] = led[lanes, j]
+        if not self._no_leak:
+            leaked[off] = led[n + lanes, j]
+        return j
+
+    def _advance_compute(
+        self, comp, level, drawn, t, cycles, work, consumed, charged,
+        leaked, wasted
+    ) -> np.ndarray:
+        """Commit each powered-on lane's boring full-slice prefix.
+
+        Mutates the state columns in place and returns committed
+        micro-steps per lane.  ``overhead`` is untouched: a boring slice
+        never checkpoints.  Two fusable regimes exist:
+
+        * **free** — the capacity ``min`` never clamps, so the level is a
+          plain interleaved cumsum chain and ``wasted`` stays untouched;
+        * **saturated** — harvest outpaces draw and *every* charge
+          clamps.  After the (per-step) transient, the post-draw level
+          reaches an exact bitwise fixed point ``L`` where each step
+          stores ``room = capacity - L``, leaks ``l``, draws a full
+          slice, and lands back on ``L`` — all per-lane constants, so
+          the ledgers are cumsum chains of constants (``wasted`` gets
+          the varying ``banked - room``) and the level provably never
+          moves.  Without this regime a saturated device pays one kernel
+          pass per micro-step and re-serializes the whole fleet.
+        """
+        fresh = comp[cycles[comp] == 0]
+        if fresh.size:
+            cycles[fresh] = 1  # started on the initial charge, no restore
+        if self._mode == "compiled":
+            return self._compiled.compute_runs(
+                comp, t, level, drawn, work, consumed, charged, leaked,
+                wasted, self._samples, self._cum, self._n, self._dt,
+                self._duration, self._cum_total, self._capacity,
+                self._efficiency, self._leakage, self._shutdown,
+                self._active_power,
+            )
+        horizon = FUSE_HORIZON
+        n = comp.size
+        step_work = self._active_power[comp] * self._dt[comp]
+        step_time = step_work / self._active_power[comp]
+        sw = step_work[:, None]
+        # Time + remaining-work chains share one stacked cumsum dispatch.
+        tw = np.empty((2 * n, horizon + 1))
+        tw[:n, 0] = t[comp]
+        tw[:n, 1:] = step_time[:, None]
+        tw[n:, 0] = work[comp]
+        tw[n:, 1:] = -sw
+        np.cumsum(tw, axis=1, out=tw)
+        tch = tw[:n]
+        wch = tw[n:]
+        cum = self._cum_at(
+            np.repeat(comp, horizon + 1), tch.ravel()
+        ).reshape(n, horizon + 1)
+        banked = (cum[:, 1:] - cum[:, :-1]) * self._efficiency[comp, None]
+        lost = (self._leakage[comp] * step_time)[:, None]
+        # Free-regime level chain with three slots per step.
+        chain = np.empty((n, 3 * horizon + 1))
+        chain[:, 0] = level[comp]
+        chain[:, 1::3] = banked
+        chain[:, 2::3] = -lost
+        chain[:, 3::3] = -sw
+        np.cumsum(chain, axis=1, out=chain)
+        post_charge = chain[:, 1::3]
+        post_leak = chain[:, 2::3]
+        post_draw = chain[:, 3::3]
+        prev = chain[:, 0:-1:3]  # post-draw level entering each step
+        late = tch[:, :-1] >= self._duration[comp, None]  # deadline check
+        partial = wch[:, :-1] < sw  # partial (or finished) slice
+        viol = partial | late
+        viol |= banked > self._capacity[comp, None] - prev  # capacity clamp
+        viol |= post_charge < lost  # leak min() clamp
+        viol |= post_leak < sw  # affordability epsilon / max(0) draw guard
+        viol |= (wch[:, 1:] > _WORK_EPS) & (
+            post_draw <= self._shutdown[comp, None]
+        )  # shutdown transition
+        j = np.where(viol.any(axis=1), viol.argmax(axis=1), horizon)
+        # Saturated regime: replay one clamped scalar step from the
+        # entering level; a lane whose post-draw level lands exactly back
+        # on it is at the fixed point and fuses on constants.
+        lvl0 = level[comp]
+        room = self._capacity[comp] - lvl0
+        sat_charge = lvl0 + room
+        l1 = lost[:, 0]
+        sat_leak = sat_charge - l1
+        sat_draw = sat_leak - step_work
+        fp = (banked[:, 0] > room) & (sat_charge >= l1)
+        fp &= (sat_leak >= step_work) & (sat_draw == lvl0)
+        has_fp = bool(fp.any())
+        if has_fp:
+            sviol = partial | late
+            sviol |= banked < room[:, None]  # clamp releases: regime ends
+            sviol |= (wch[:, 1:] > _WORK_EPS) & (
+                sat_draw <= self._shutdown[comp]
+            )[:, None]  # shutdown at the fixed point
+            j_sat = np.where(sviol.any(axis=1), sviol.argmax(axis=1), horizon)
+            j = np.where(fp, j_sat, j)
+        lanes = np.arange(n)
+        level[comp] = np.where(fp, lvl0, chain[lanes, 3 * j])
+        t[comp] = tch[lanes, j]
+        work[comp] = wch[lanes, j]
+        # Three-to-five ledgers, one stacked cumsum: drawn/consumed add
+        # the full slice, charged the (possibly clamped) stored energy,
+        # leaked (when the fleet leaks at all) the constant loss, and
+        # wasted — saturated lanes only — the clamped-off
+        # ``banked - room``.
+        m = 3 + (not self._no_leak) + has_fp
+        led = np.empty((m * n, horizon + 1))
+        led[:n, 0] = drawn[comp]
+        led[:n, 1:] = sw
+        led[n:2 * n, 0] = consumed[comp]
+        led[n:2 * n, 1:] = sw
+        led[2 * n:3 * n, 0] = charged[comp]
+        led[2 * n:3 * n, 1:] = (
+            np.where(fp[:, None], room[:, None], banked) if has_fp else banked
+        )
+        row = 3 * n
+        if not self._no_leak:
+            led[row:row + n, 0] = leaked[comp]
+            led[row:row + n, 1:] = lost
+            row += n
+        if has_fp:
+            led[row:, 0] = wasted[comp]
+            led[row:, 1:] = banked - room[:, None]
+        np.cumsum(led, axis=1, out=led)
+        drawn[comp] = led[lanes, j]
+        consumed[comp] = led[n + lanes, j]
+        charged[comp] = led[2 * n + lanes, j]
+        if not self._no_leak:
+            leaked[comp] = led[3 * n + lanes, j]
+        if has_fp:
+            wasted[comp] = np.where(
+                fp, led[(m - 1) * n + lanes, j], wasted[comp]
+            )
+        return j
 
     def _recharge_step(
         self,

@@ -372,6 +372,11 @@ class ThresholdRuleBatch(BatchedRuleGroup):
         )
 
     def decide_batch(self, idx, entropy, energy_fraction, affordable):
+        if not affordable.any():
+            # Draw-free STOP for every lane: skip the threshold gather —
+            # with the widened intermittent lanes the engine hands the
+            # continue loop larger, often fully-exhausted vectors.
+            return np.zeros(len(idx), dtype=bool)
         return affordable & (entropy > self._threshold[self._local[idx]])
 
 

@@ -1,0 +1,60 @@
+"""numba ``@njit`` form of the lockstep engine's charging advance.
+
+Imported lazily by :class:`~repro.sim.batch.BatchedFleetEngine` when
+``REPRO_KERNEL=compiled`` resolves; numba stays an optional dependency
+and this module imports cleanly without it (:data:`HAVE_NUMBA` gates
+use).  The loop replays ``EnergyStorage.charge``/``leak`` row by row
+with the identical IEEE-754 operation sequence, so results are
+bit-for-bit the numpy branches' — and the scalar reference's.
+
+No ``fastmath``: reassociation would break bit-identity.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the numpy branches take over
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Decorator stand-in so the module imports without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+@njit(cache=True)
+def charge_rows(
+    rows, te, cum_j, t_charged, cum_charged, level, efficiency,
+    capacity, leakage, no_leak,
+):
+    """Advance the charging ledger of every row in ``rows`` to its event.
+
+    Equivalent to the lockstep loop's vectorized charging branches with
+    ``rows = nonzero(charging)`` — non-charging rows there only receive
+    exact ``+0.0``/``-0.0`` identities, so skipping them entirely leaves
+    the same bits.  Mutates ``level`` / ``t_charged`` / ``cum_charged``
+    in place.
+    """
+    for idx in range(rows.size):
+        r = rows[idx]
+        v = cum_j[r] - cum_charged[r]
+        inc = v if v > 0.0 else 0.0
+        banked = inc * efficiency[r]
+        room = capacity[r] - level[r]
+        stored = banked if banked < room else room
+        level[r] += stored
+        if not no_leak:
+            el = leakage[r] * (te[r] - t_charged[r])
+            lv = level[r]
+            lost = lv if lv < el else el
+            level[r] = lv - lost
+        t_charged[r] = te[r]
+        cum_charged[r] = cum_j[r]

@@ -88,10 +88,18 @@ def reduce_summaries(summaries, keys, qs=(10, 50, 90)) -> dict:
     Used by campaign reports to collapse the seed axis: the same
     (scenario, controller) cell replicated over a seed bank reduces to
     ``{metric: {"p10": ..., "p50": ..., "p90": ...}}`` robustness tables.
+
+    Summaries that lack a key are skipped for that key (a cell replayed
+    from an older payload, or a degraded run whose summary omits optional
+    metrics); a key present in *no* summary — including an empty
+    ``summaries`` list, e.g. a fully-quarantined cell — reduces to the
+    all-zero percentile table rather than raising.
     """
     out = {}
     for k in keys:
-        out[k] = percentile_dict([float(s[k]) for s in summaries], qs)
+        out[k] = percentile_dict(
+            [float(s[k]) for s in summaries if k in s], qs
+        )
     return out
 
 

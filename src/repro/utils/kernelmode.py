@@ -1,0 +1,84 @@
+"""Kernel-mode selection for the batched hot loops.
+
+The batched fleet engine has two implementations of its inner loops —
+the always-available pure-numpy lanes and optional numba ``@njit``
+kernels (:mod:`repro.intermittent.compiled`, :mod:`repro.sim.compiled`).
+Both are bit-identical to the scalar reference; the compiled form trades
+an import-time JIT warmup for horizon-free fused runs.
+
+Selection is driven by the ``REPRO_KERNEL`` environment variable:
+
+``numpy`` (or unset)
+    the pure-numpy lanes — no optional dependencies;
+``compiled``
+    the numba kernels when numba imports cleanly, otherwise a *named*
+    fallback to numpy (``repro fleet --explain`` prints the reason).
+
+numba is deliberately not a declared dependency: :func:`numba_status`
+probes for it lazily exactly once per process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
+
+#: Environment variable holding the requested kernel mode.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognised spellings, in preference order.
+KERNEL_MODES = ("numpy", "compiled")
+
+_NUMBA_STATUS: tuple[bool, str] | None = None
+
+
+def numba_status() -> tuple[bool, str]:
+    """``(available, detail)`` for the optional numba dependency.
+
+    Probed once per process: importing numba is expensive (and may fail
+    in partial installs), so the result — including the failure text —
+    is cached for every later caller.
+    """
+    global _NUMBA_STATUS
+    if _NUMBA_STATUS is None:
+        try:
+            import numba
+
+            _NUMBA_STATUS = (True, f"numba {numba.__version__}")
+        except Exception as exc:  # pragma: no cover - env-specific
+            _NUMBA_STATUS = (False, f"numba unavailable ({exc!r})")
+    return _NUMBA_STATUS
+
+
+def requested_kernel_mode() -> str:
+    """The validated ``REPRO_KERNEL`` request (default ``numpy``).
+
+    Raises :class:`~repro.errors.ConfigError` on unrecognised spellings
+    so a typo fails loudly instead of silently running the slow path.
+    """
+    raw = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if not raw:
+        return "numpy"
+    if raw not in KERNEL_MODES:
+        raise ConfigError(
+            f"{KERNEL_ENV}={raw!r} is not a kernel mode; "
+            f"expected one of {', '.join(KERNEL_MODES)}"
+        )
+    return raw
+
+
+def resolve_kernel_mode() -> tuple[str, str]:
+    """``(effective_mode, detail)`` after applying the numba fallback.
+
+    ``compiled`` resolves to ``numpy`` when numba is missing — the
+    always-available lanes keep the run green — and ``detail`` names
+    what happened so ``--explain`` and the obs metrics stay truthful.
+    """
+    mode = requested_kernel_mode()
+    if mode == "compiled":
+        available, detail = numba_status()
+        if not available:
+            return "numpy", f"compiled requested but {detail}; using numpy"
+        return "compiled", detail
+    return "numpy", "pure-numpy lanes (default)"

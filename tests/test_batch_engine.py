@@ -229,6 +229,39 @@ class TestEligibility:
         assert "csv-straggler" in message
         assert "csv" in message  # the reason, not just the name
 
+    def test_engine_batched_error_names_every_offender(self):
+        """Two ineligible devices with *different* blockers: the error
+        must carry both names, each paired with its own reason — one
+        offender must not shadow the next."""
+        spec = SCENARIOS.build("dev-smoke", num_devices=1)
+        csv_dev = DeviceSpec(
+            name="csv-straggler",
+            trace={"family": "csv", "path": "nope.csv", "dt": 1.0},
+        )
+        from repro.runtime.incremental import ThresholdContinue
+
+        rule_dev = DeviceSpec(
+            name="rule-straggler",
+            trace={"family": "constant", "power_mw": 0.05, "duration": 50.0},
+            controller={
+                "kind": "greedy",
+                "reserve_fraction": 0.1,
+                "continue_rule": ThresholdContinue(0.5),
+            },
+        )
+        mixed = FleetSpec(
+            name="mixed2", seed=3,
+            devices=list(spec.devices) + [csv_dev, rule_dev],
+        )
+        with pytest.raises(ConfigError) as err:
+            run_device_batch(
+                [(i, d, mixed.seed) for i, d in enumerate(mixed.devices)],
+                engine="batched",
+            )
+        message = str(err.value)
+        assert "csv-straggler" in message and "csv" in message
+        assert "rule-straggler" in message and "continue_rule" in message
+
     def test_engine_auto_splits_and_merges_in_index_order(self):
         spec = SCENARIOS.build("mixed-harvester-city", num_devices=12)
         result = FleetRunner(spec, workers=1, engine="auto").run()
@@ -354,6 +387,19 @@ def tiny_fleets(draw):
             )
         )
         execution = draw(_EXECUTION)
+        storage = {"capacity_mj": draw(st.sampled_from([1.5, 2.0, 3.0]))}
+        if execution == "intermittent" and draw(st.booleans()):
+            # Many-cycle stress shape: a weak, steady harvester against a
+            # small capacitor forces long charge/compute ladders (dozens
+            # of power cycles per event) — exactly the runs the
+            # event-batched kernel fuses hardest, so equivalence here
+            # guards the fused-chain commit logic, not just the happy
+            # one-cycle path.
+            trace = {
+                "family": "constant", "duration": duration, "dt": 1.0,
+                "power_mw": draw(st.sampled_from([0.004, 0.008])),
+            }
+            storage = {"capacity_mj": draw(st.sampled_from([0.4, 0.7]))}
         controller = controller_preset(draw(_PRESET))
         rule = draw(_RULE)
         if rule is not None:
@@ -363,7 +409,7 @@ def tiny_fleets(draw):
                 name=f"hyp-{i}",
                 trace=trace,
                 controller=controller,
-                storage={"capacity_mj": draw(st.sampled_from([1.5, 2.0, 3.0]))},
+                storage=storage,
                 events=events,
                 episodes=draw(st.integers(min_value=1, max_value=2)),
                 execution=execution,

@@ -58,6 +58,22 @@ class TestCompareFile:
         problems = compare.compare_file(fresh, base, max_regress=0.25)
         assert "missing" in problems[0]
 
+    def test_non_positive_baseline_is_a_named_finding(self, tmp_path):
+        """A zero/negative baseline throughput must not be skipped silently:
+        it means the committed payload is broken (stale smoke artifact, or a
+        zero-duration round), and every fresh value would trivially pass."""
+        base = self._write(
+            tmp_path / "b.json", {"x_per_s": 0.0, "y_per_s": -3.0}
+        )
+        fresh = self._write(
+            tmp_path / "f.json", {"x_per_s": 100.0, "y_per_s": 100.0}
+        )
+        problems = compare.compare_file(fresh, base, max_regress=0.25)
+        assert len(problems) == 2
+        assert any("x_per_s" in p and "0.0" in p for p in problems)
+        assert any("y_per_s" in p and "-3.0" in p for p in problems)
+        assert all("positive" in p for p in problems)
+
     def test_faster_fresh_run_passes(self, tmp_path):
         base = self._write(tmp_path / "b.json", {"x_per_s": 100.0})
         fresh = self._write(tmp_path / "f.json", {"x_per_s": 400.0})

@@ -166,6 +166,39 @@ class TestSerialChaos:
         agg = result.aggregate()
         assert agg["failures"][0]["name"] == "dev-0"
 
+    def test_fully_quarantined_fleet_aggregates_to_documented_zeros(self):
+        """Losing EVERY device must degrade to a well-formed zero report.
+
+        The aggregate's divisions (fleet IEpmJ, accuracy, exit depth) and
+        percentile tables all hit their empty-input branches at once; each
+        must produce its documented zero instead of raising.
+        """
+        spec = tiny_fleet(n=2, seed=5)
+        plan = FaultPlan(
+            [Fault("fleet.chunk", i, "exception") for i in range(8)]
+        )
+        with recording(Recorder(metrics=True)) as rec, chaos(plan):
+            result = FleetRunner(
+                spec, retry=RetryPolicy(max_retries=0, backoff_s=0.0)
+            ).run()
+        assert result.num_devices == 0
+        assert len(result.failures) == 2
+        assert rec.metrics.counter_value("fleet.devices.quarantined") == 2
+        agg = result.aggregate()
+        assert agg["devices"] == 0
+        assert agg["events"] == 0
+        assert agg["fleet_iepmj"] == 0.0
+        assert agg["average_accuracy"] == 0.0
+        assert agg["mean_exit_depth"] == 0.0
+        assert agg["exit_counts"] == []
+        assert agg["miss_counts"] == {}
+        assert agg["device_iepmj_percentiles"] == {
+            "p10": 0.0, "p50": 0.0, "p90": 0.0
+        }
+        assert sorted(f["name"] for f in agg["failures"]) == ["dev-0", "dev-1"]
+        # The zero report must survive serialization and re-aggregation.
+        json.dumps(result.to_dict(include_timing=True))
+
     def test_multi_device_chunk_splits_before_quarantine(self):
         spec = tiny_fleet(n=4, seed=9)
         clean = run_clean(spec)

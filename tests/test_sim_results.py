@@ -177,3 +177,24 @@ class TestComparisonReducers:
         summaries = [{"acc": 0.2}, {"acc": 0.4}, {"acc": 0.6}]
         out = reduce_summaries(summaries, ["acc"], qs=(0, 50, 100))
         assert out["acc"] == {"p0": 0.2, "p50": 0.4, "p100": 0.6}
+
+    def test_reduce_summaries_skips_summaries_missing_a_key(self):
+        from repro.sim.results import reduce_summaries
+
+        # A cell replayed from an older payload may omit newer metrics;
+        # the spread reduces over the summaries that do carry the key.
+        summaries = [{"acc": 0.2, "depth": 1.0}, {"acc": 0.6}]
+        out = reduce_summaries(summaries, ["acc", "depth"], qs=(0, 100))
+        assert out["acc"] == {"p0": 0.2, "p100": 0.6}
+        assert out["depth"] == {"p0": 1.0, "p100": 1.0}
+
+    def test_reduce_summaries_empty_cell_is_all_zeros(self):
+        from repro.sim.results import reduce_summaries
+
+        # A fully-quarantined cell contributes no summaries at all: every
+        # requested key reduces to the documented all-zero table.
+        out = reduce_summaries([], ["acc", "iepmj"], qs=(10, 50, 90))
+        assert out == {
+            "acc": {"p10": 0.0, "p50": 0.0, "p90": 0.0},
+            "iepmj": {"p10": 0.0, "p50": 0.0, "p90": 0.0},
+        }
