@@ -1,0 +1,247 @@
+"""P9 — sharded fleet execution: ledger overhead, scaling, memory bound.
+
+The shard ledger buys crash-anywhere resume and memory-bounded scale-out;
+this bench pins what it costs and what it bounds:
+
+* **overhead** — unsharded vs single-worker sharded throughput on the
+  same fleet: the ledger tax (pack → JSON → seal → publish → merge) must
+  stay a bounded fraction of the simulation itself;
+* **scaling** — devices/s across shard counts at one worker: per-shard
+  cost must stay near-flat (near-linear scaling floor), or scale-out
+  would quietly turn into scale-down;
+* **workers** — multi-process work-stealing drain, recorded for
+  trajectory context but flagged ``parallel_fell_back_to_serial``-style
+  on single-CPU containers where pool scaling is unmeasurable;
+* **memory** — peak RSS (the PR-6 profiler probe) around a
+  ``megacity-1m`` slice executed shard-by-shard, plus proof that a tiny
+  ``max_rss_mb`` budget actually triggers graceful degradation instead
+  of growth.
+
+Results land in ``benchmarks/BENCH_p9_shards.json`` (or
+``benchmarks/.smoke/`` under ``BENCH_SMOKE=1``); the CI regression gate
+diffs them against the committed trajectory — see ``compare.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from benchmarks.conftest import BENCH_SMOKE as SMOKE
+from benchmarks.conftest import bench_output_path, print_table, write_bench_json
+from repro.fleet import SCENARIOS, FleetRunner, FleetShardSource, run_sharded
+from repro.fleet.runner import usable_cpus
+from repro.fleet.shards import ScenarioShardSource
+from repro.obs.profiler import memory_snapshot
+
+ROUNDS = 1 if SMOKE else 3
+DEVICES = 32 if SMOKE else 96
+
+#: Ledger tax bound: single-worker sharded throughput must stay at least
+#: this fraction of the unsharded run on the same fleet.  The brownout
+#: grid is deliberately cheap per device, so the pack → seal → publish →
+#: merge tax reads large here (~0.5x measured); the floor guards against
+#: growth-class regressions, not against the known fixed cost.
+OVERHEAD_FLOOR = 0.2 if SMOKE else 0.3
+
+#: Near-linear scaling floor: throughput at the finest shard split must
+#: stay at least this fraction of the single-shard run (~0.36x measured
+#: at 8 shards of 12 devices — per-shard artifact cost dominates once
+#: shards shrink this far on a cheap scenario).
+SCALING_FLOOR = 0.15 if SMOKE else 0.2
+
+#: Peak-RSS ceiling for the megacity slice (generous: the point is to
+#: catch growth-class regressions, not byte-count the allocator).
+MEGACITY_RSS_CEILING_MB = 4096.0
+
+BENCH_JSON = bench_output_path("BENCH_p9_shards.json")
+
+_RESULTS: dict = {}
+
+
+def _spec():
+    return SCENARIOS.build("brownout-grid-256", num_devices=DEVICES)
+
+
+def _best_dps(run, rounds: int = ROUNDS) -> tuple:
+    """(best devices/s, last aggregate) over fresh timed runs."""
+    run()  # warm per-process caches (traces, profiles)
+    best, agg = 0.0, None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        agg = run()
+        wall = time.perf_counter() - t0
+        best = max(best, DEVICES / wall)
+    return best, agg
+
+
+def test_p9_ledger_overhead():
+    spec = _spec()
+
+    def unsharded():
+        return FleetRunner(spec).run().aggregate()
+
+    def sharded():
+        with tempfile.TemporaryDirectory() as led:
+            return run_sharded(
+                FleetShardSource(spec), os.path.join(led, "L"), shards=4
+            ).aggregate()
+
+    plain_dps, plain_agg = _best_dps(unsharded)
+    shard_dps, shard_agg = _best_dps(sharded)
+    ratio = shard_dps / plain_dps
+    _RESULTS["overhead"] = {
+        "devices": DEVICES,
+        "unsharded_devices_per_s": plain_dps,
+        "sharded_devices_per_s": shard_dps,
+        "ratio": ratio,
+        "ratio_floor": OVERHEAD_FLOOR,
+    }
+    print_table(
+        f"P9: ledger overhead on {DEVICES}-device brownout grid",
+        [
+            ("unsharded", f"{plain_dps:.0f}"),
+            ("sharded x4 (ledger)", f"{shard_dps:.0f}"),
+            ("ratio", f"{ratio:.2f}"),
+        ],
+        ["path", "devices/s"],
+    )
+    # Crash safety must never cost a single result bit.
+    assert json.dumps(plain_agg, sort_keys=True) == json.dumps(
+        shard_agg, sort_keys=True
+    )
+    if not SMOKE:
+        assert ratio >= OVERHEAD_FLOOR, (
+            f"shard ledger tax exploded: sharded runs at {ratio:.2f}x "
+            f"unsharded throughput (floor {OVERHEAD_FLOOR}x)"
+        )
+
+
+def test_p9_shard_scaling():
+    spec = _spec()
+    counts = [1, 2, 4, 8]
+    rows, section = [], {"devices": DEVICES, "scaling_floor": SCALING_FLOOR}
+    for shards in counts:
+
+        def sharded(shards=shards):
+            with tempfile.TemporaryDirectory() as led:
+                return run_sharded(
+                    FleetShardSource(spec), os.path.join(led, "L"),
+                    shards=shards,
+                ).aggregate()
+
+        dps, _ = _best_dps(sharded, rounds=1 if SMOKE else 2)
+        section[f"shards{shards}_devices_per_s"] = dps
+        rows.append((str(shards), f"{dps:.0f}"))
+    finest = section[f"shards{counts[-1]}_devices_per_s"]
+    coarsest = section["shards1_devices_per_s"]
+    section["finest_over_coarsest"] = finest / coarsest
+    _RESULTS["scaling"] = section
+    print_table(
+        "P9: single-worker shard-count scaling", rows, ["shards", "devices/s"]
+    )
+    if not SMOKE:
+        assert finest >= SCALING_FLOOR * coarsest, (
+            f"per-shard overhead is no longer flat: {counts[-1]} shards run "
+            f"at {finest / coarsest:.2f}x the 1-shard rate "
+            f"(floor {SCALING_FLOOR}x)"
+        )
+
+
+def test_p9_multiworker_drain():
+    """Work-stealing drain across processes — flagged on 1-CPU hosts
+    where pool scaling is unmeasurable (compare.py then skips its
+    throughput keys, keeping the trajectory honest)."""
+    spec = _spec()
+    serial_only = usable_cpus() <= 1
+
+    def sharded():
+        with tempfile.TemporaryDirectory() as led:
+            return run_sharded(
+                FleetShardSource(spec), os.path.join(led, "L"),
+                shards=8, workers=4,
+            ).aggregate()
+
+    dps, agg = _best_dps(sharded, rounds=1)
+    _RESULTS["workers"] = {
+        "devices": DEVICES,
+        "shard_workers": 4,
+        "usable_cpus": usable_cpus(),
+        "parallel_fell_back_to_serial": serial_only,
+        "drain_devices_per_s": dps,
+    }
+    print_table(
+        "P9: 4-worker work-stealing drain",
+        [("4 workers / 8 shards", f"{dps:.0f}",
+          "1-CPU container" if serial_only else "")],
+        ["config", "devices/s", "note"],
+    )
+    assert json.dumps(agg, sort_keys=True) == json.dumps(
+        FleetRunner(spec).run().aggregate(), sort_keys=True
+    )
+
+
+def test_p9_megacity_memory_bound():
+    """A megacity-1m slice, shard-by-shard, with the PR-6 RSS probe."""
+    num = 64 if SMOKE else 512
+    width = 16 if SMOKE else 64
+    source = ScenarioShardSource("megacity-1m", {"num_devices": num})
+    assert source.ranged
+    before_mb = float(memory_snapshot()["peak_rss_mb"] or 0.0)
+    with tempfile.TemporaryDirectory() as led:
+        t0 = time.perf_counter()
+        result = run_sharded(
+            source, os.path.join(led, "L"), shard_width=width,
+            max_rss_mb=MEGACITY_RSS_CEILING_MB,
+        )
+        wall = time.perf_counter() - t0
+    peak_mb = float(memory_snapshot()["peak_rss_mb"] or 0.0)
+    # Degradation must actually fire when the budget is absurdly small.
+    with tempfile.TemporaryDirectory() as led:
+        degraded = run_sharded(
+            ScenarioShardSource("megacity-1m", {"num_devices": 16}),
+            os.path.join(led, "L"), shard_width=8, max_rss_mb=1.0,
+        ).degraded
+    _RESULTS["memory"] = {
+        "megacity_devices": num,
+        "shard_width": width,
+        "shards": result.num_shards,
+        "devices_per_s": num / wall,
+        "peak_rss_mb_before": before_mb,
+        "peak_rss_mb": peak_mb,
+        "rss_ceiling_mb": MEGACITY_RSS_CEILING_MB,
+        "degradations_under_1mb_budget": degraded,
+    }
+    print_table(
+        f"P9: megacity-1m slice ({num} devices, width {width})",
+        [
+            ("shards", str(result.num_shards)),
+            ("devices/s", f"{num / wall:.0f}"),
+            ("peak RSS (MB)", f"{peak_mb:.0f}"),
+            ("degradations @1MB budget", str(degraded)),
+        ],
+        ["quantity", "value"],
+    )
+    assert result.aggregate()["devices"] == num
+    assert peak_mb <= MEGACITY_RSS_CEILING_MB, (
+        f"megacity slice peaked at {peak_mb:.0f} MB RSS "
+        f"(ceiling {MEGACITY_RSS_CEILING_MB:.0f} MB)"
+    )
+    assert degraded >= 1, "max_rss_mb budget never triggered degradation"
+
+
+def test_p9_write_bench_json():
+    """Flush the machine-readable trajectory file (always runs last)."""
+    missing = {"overhead", "scaling", "workers", "memory"} - set(_RESULTS)
+    assert not missing, f"earlier P9 sections did not run: {sorted(missing)}"
+    payload = {
+        "bench": "p9_shards",
+        "smoke": SMOKE,
+        "rounds": ROUNDS,
+        **_RESULTS,
+    }
+    written = write_bench_json(BENCH_JSON, payload)
+    print(f"\nwrote {BENCH_JSON}")
+    assert written["overhead"]["sharded_devices_per_s"] > 0

@@ -64,12 +64,12 @@ def _progress(cell, status) -> None:
 def _run(
     spec: CampaignSpec, out: str, workers: int, resume: bool, report_json,
     engine: str = "auto", trace_out=None, metrics_out=None,
-    chaos_plan=None, retry=None,
+    chaos_plan=None, retry=None, shard_devices=None,
 ) -> int:
     store = CampaignStore(out)
     runner = CampaignRunner(
         spec, store=store, workers=workers, resume=resume, engine=engine,
-        retry=retry,
+        retry=retry, shard_devices=shard_devices,
     )
     recorder = None
     if trace_out or metrics_out:
@@ -101,9 +101,15 @@ def _run(
         if runner.quarantined
         else ""
     )
+    legacy = (
+        f", {runner.legacy_unverified} legacy cell(s) loaded unverified "
+        "(no checksum)"
+        if runner.legacy_unverified
+        else ""
+    )
     print(
         f"campaign {spec.name!r}: {runner.executed} cell(s) executed, "
-        f"{runner.skipped} loaded from checkpoints{quarantined}"
+        f"{runner.skipped} loaded from checkpoints{quarantined}{legacy}"
     )
     print(result.render_text())
     print(f"wrote report to {store.report_path}")
@@ -152,6 +158,11 @@ def main(argv=None) -> int:
                      help="fleet engine for every cell (see repro.fleet)")
     run.add_argument("--resume", action="store_true",
                      help="skip cells already checkpointed under --out")
+    run.add_argument("--shard-cells", type=int, default=None, metavar="N",
+                     help="route cells larger than N devices through a "
+                          "durable shard ledger (N-device shards under "
+                          "<out>/shard-ledgers/; crash-safe at shard "
+                          "granularity, reports byte-identical)")
     run.add_argument("--report-json", default=None, help="also write the report here")
     run.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write tracing spans as JSON lines (first line: "
@@ -190,15 +201,22 @@ def main(argv=None) -> int:
             return _run(spec, args.out, args.workers, args.resume, args.report_json,
                         engine=args.engine, trace_out=args.trace_out,
                         metrics_out=args.metrics_out,
-                        chaos_plan=plan, retry=build_retry_policy(args))
+                        chaos_plan=plan, retry=build_retry_policy(args),
+                        shard_devices=args.shard_cells)
         if args.command == "resume":
             spec = CampaignStore(args.out).load_spec()
             plan = FaultPlan.from_json(args.chaos) if args.chaos else None
             return _run(spec, args.out, args.workers, True, args.report_json,
                         chaos_plan=plan, retry=build_retry_policy(args))
         # report
-        result = report_from_store(CampaignStore(args.out))
+        store = CampaignStore(args.out)
+        result = report_from_store(store)
         print(result.render_text())
+        if store.legacy_unverified:
+            print(
+                f"note: {store.legacy_unverified} cell(s) loaded unverified "
+                "(legacy artifacts with no checksum)"
+            )
         if args.json:
             result.to_json(args.json)
             print(f"wrote report copy to {args.json}")

@@ -22,6 +22,7 @@ stays warm between cells that share harvesting environments (the same
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Optional
 
@@ -45,26 +46,89 @@ def build_cell_fleet(cell: CampaignCell) -> FleetSpec:
     return replace(fleet, devices=devices, name=cell.key)
 
 
+def _run_cell_sharded(cell, fleet_spec, engine, retry, shard_devices, shard_root):
+    """Route one large cell through the durable shard ledger.
+
+    The ledger lives under ``<store>/shard-ledgers/<cell.key>``, so a
+    campaign killed mid-cell resumes *inside* the cell — completed shards
+    are loaded, not re-simulated — one checkpoint granularity finer than
+    the cell artifact itself.  ``resume=True`` because re-entering a cell
+    whose ledger happens to be complete (the cell artifact was corrupt or
+    the crash hit between ledger merge and checkpoint write) is exactly
+    the recovery path, never an accident worth refusing.
+    """
+    import tempfile as _tempfile
+
+    from repro.fleet.shards import FleetShardSource, run_sharded
+
+    ledger_dir = (
+        os.path.join(shard_root, cell.key)
+        if shard_root is not None
+        else _tempfile.mkdtemp(prefix=f"shard-{cell.key}-")
+    )
+    return run_sharded(
+        FleetShardSource(fleet_spec),
+        ledger_dir,
+        shard_width=int(shard_devices),
+        engine=engine,
+        retry=retry,
+        resume=True,
+    )
+
+
 def run_cell(
     cell: CampaignCell,
     workers: int = 1,
     pool=None,
     engine: str = "auto",
     retry: Optional[RetryPolicy] = None,
+    shard_devices: Optional[int] = None,
+    shard_root: Optional[str] = None,
 ) -> dict:
     """Execute one cell and summarize it as a JSON-safe checkpoint payload.
 
     Everything outside the ``"timing"`` key is deterministic in the cell
     alone — no wall-clock, no worker count, no engine choice (the batched
-    engine is bit-identical to the per-device path) — which is what lets
-    resumed runs mix checkpointed and freshly-executed cells into one
-    byte-identical report: :class:`~repro.campaign.report.CampaignResult`
-    strips ``"timing"`` into a side table before aggregating, so it
-    reaches ``campaign report``'s per-cell columns but never
-    ``report.json``.
+    engine is bit-identical to the per-device path), no shard routing
+    (sharded aggregation is bit-identical by construction) — which is
+    what lets resumed runs mix checkpointed and freshly-executed cells
+    into one byte-identical report:
+    :class:`~repro.campaign.report.CampaignResult` strips ``"timing"``
+    into a side table before aggregating, so it reaches ``campaign
+    report``'s per-cell columns but never ``report.json``.
+
+    Cells larger than ``shard_devices`` execute through a durable shard
+    ledger under ``shard_root`` instead of one monolithic fleet run —
+    memory stays bounded by the shard width and a crash mid-cell resumes
+    at shard granularity.
     """
     with span("campaign.cell", cell=cell.key):
         fleet_spec = build_cell_fleet(cell)
+        if (
+            shard_devices is not None
+            and fleet_spec.num_devices > int(shard_devices)
+        ):
+            sharded = _run_cell_sharded(
+                cell, fleet_spec, engine, retry, shard_devices, shard_root
+            )
+            return {
+                "key": cell.key,
+                "scenario_label": cell.scenario_label,
+                "scenario": cell.scenario,
+                "overrides": cell.override_kwargs(),
+                "controller_name": cell.controller_name,
+                "controller": cell.controller_spec(),
+                "seed": cell.seed,
+                "devices": sharded.num_devices,
+                "fleet": sharded.aggregate(),
+                "timing": {
+                    "wall_s": sharded.wall_s,
+                    "engine": engine,
+                    "workers": sharded.workers,
+                    "parallel": False,
+                    "shards": sharded.num_shards,
+                },
+            }
         runner = FleetRunner(fleet_spec, workers=workers, engine=engine, retry=retry)
         result = runner.run(pool=pool)
     payload = {
@@ -102,6 +166,7 @@ class CampaignRunner:
         resume: bool = False,
         engine: str = "auto",
         retry: Optional[RetryPolicy] = None,
+        shard_devices: Optional[int] = None,
     ):
         if not isinstance(spec, CampaignSpec):
             raise ConfigError("CampaignRunner needs a CampaignSpec")
@@ -109,17 +174,28 @@ class CampaignRunner:
             raise ConfigError(f"workers must be >= 0, got {workers}")
         if retry is not None and not isinstance(retry, RetryPolicy):
             raise ConfigError("retry must be a RetryPolicy (or None)")
+        if shard_devices is not None and shard_devices < 1:
+            raise ConfigError(
+                f"shard_devices must be >= 1, got {shard_devices}"
+            )
         self.spec = spec
         self.store = store
         self.workers = int(workers)
         self.resume = bool(resume)
         self.engine = engine
         self.retry = retry
+        #: Cells with more devices than this route through a durable
+        #: shard ledger (``<store>/shard-ledgers/<cell-key>``) instead of
+        #: one monolithic fleet run.
+        self.shard_devices = shard_devices
         #: Filled by :meth:`run`: cells executed vs. loaded from checkpoints.
         self.executed = 0
         self.skipped = 0
         #: Checkpoints found corrupt on resume, moved aside, and re-run.
         self.quarantined = 0
+        #: Checkpoints accepted without verification (pre-checksum
+        #: artifacts with no ``"integrity"`` seal) during this run.
+        self.legacy_unverified = 0
 
     def _load_checkpoint(self, cell, progress):
         """Load one finished cell; quarantine and signal re-run if corrupt.
@@ -164,6 +240,7 @@ class CampaignRunner:
         self.executed = 0
         self.skipped = 0
         self.quarantined = 0
+        legacy_before = self.store.legacy_unverified if self.store else 0
         with span(
             "campaign.run", campaign=self.spec.name, cells=len(cells)
         ), worker_pool(self.workers) as pool:
@@ -185,11 +262,21 @@ class CampaignRunner:
                     pool=pool,
                     engine=self.engine,
                     retry=self.retry,
+                    shard_devices=self.shard_devices,
+                    shard_root=(
+                        os.path.join(self.store.root, "shard-ledgers")
+                        if self.store is not None
+                        else None
+                    ),
                 )
                 if self.store is not None:
                     self.store.save_cell(cell.key, payload)
                 payloads[cell.key] = payload
                 self.executed += 1
+        if self.store is not None:
+            self.legacy_unverified = (
+                self.store.legacy_unverified - legacy_before
+            )
         metrics = get_recorder().metrics
         if metrics is not None:
             metrics.inc("campaign.runs")
@@ -210,6 +297,7 @@ def run_campaign(
     progress=None,
     engine: str = "auto",
     retry: Optional[RetryPolicy] = None,
+    shard_devices: Optional[int] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper: optional store at ``out``."""
     store = CampaignStore(out) if out else None
@@ -220,6 +308,7 @@ def run_campaign(
         resume=resume,
         engine=engine,
         retry=retry,
+        shard_devices=shard_devices,
     ).run(progress=progress)
 
 

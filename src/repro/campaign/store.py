@@ -91,6 +91,12 @@ class CampaignStore:
 
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
+        #: Cells loaded without verification because they predate content
+        #: checksums (no ``"integrity"`` key).  They still resume fine,
+        #: but silent acceptance would hide how much of a report rests on
+        #: unverifiable artifacts — so every load is counted and surfaced
+        #: in the campaign summary line.
+        self.legacy_unverified = 0
 
     # ------------------------------------------------------------------ #
     # Paths
@@ -240,6 +246,14 @@ class CampaignStore:
                         f"(stored {str(expected)[:12]}…, computed "
                         f"{actual[:12]}…)"
                     )
+            else:
+                # Pre-checksum artifact: accepted, but never silently.
+                self.legacy_unverified += 1
+                from repro.obs.recorder import get_recorder
+
+                metrics = get_recorder().metrics
+                if metrics is not None:
+                    metrics.inc("campaign.cells.legacy_unverified")
             return body
         raise ConfigError(
             f"cannot load cell artifact {path!r}: {last_os_error}"

@@ -35,6 +35,13 @@ class CorruptCellError(ConfigError):
     aborting a ``--resume``."""
 
 
+class CorruptShardError(ConfigError):
+    """A shard-ledger artifact is corrupt (zero-byte, truncated, torn
+    JSON, or checksum mismatch).  Mirrors :class:`CorruptCellError` one
+    layer down: the sharded fleet runner quarantines the artifact and
+    re-executes just that shard instead of aborting the run."""
+
+
 class InjectedFault(ReproError):
     """A fault deliberately raised by the chaos injector (never seen in
     production runs; the fault-tolerant dispatcher retries it)."""

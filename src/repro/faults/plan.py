@@ -24,6 +24,14 @@ Sites and their ops:
   crash-between-create-and-write shape).
 * ``campaign.cell.load`` — polled once per checkpoint read attempt;
   ops: ``oserror`` (transient read failure, retried).
+* ``fleet.shard.claim`` — polled once per shard-lease claim attempt in
+  the sharded fleet runner; ops: ``oserror`` / ``exception`` (the claim
+  attempt fails; the work-steal loop moves on and comes back).
+* ``fleet.shard.save`` — polled once per published shard artifact; ops:
+  ``truncate`` / ``bitflip`` / ``empty`` (damage the artifact after the
+  atomic publish — caught at merge, quarantined, and re-executed).
+* ``fleet.shard.merge`` — polled once per shard read attempt during the
+  merge; ops: ``oserror`` (transient read failure, retried).
 
 Plans serialize to/from JSON (``to_json``/``from_json``) so a chaos
 schedule can ship as a CLI artifact (``--chaos PLAN.json``) and be
@@ -44,6 +52,9 @@ FAULT_SITES = {
     "fleet.chunk": ("crash", "exception", "hang", "oserror", "corrupt_payload"),
     "campaign.cell.save": ("truncate", "bitflip", "empty"),
     "campaign.cell.load": ("oserror",),
+    "fleet.shard.claim": ("oserror", "exception"),
+    "fleet.shard.save": ("truncate", "bitflip", "empty"),
+    "fleet.shard.merge": ("oserror",),
 }
 
 

@@ -17,12 +17,23 @@ package layers that on top of :mod:`repro.sim`:
   with deterministic per-device seeding (worker count never changes
   results) and a serial fallback whenever pool dispatch cannot win;
 * :mod:`repro.fleet.results` — :class:`DeviceResult` / :class:`FleetResult`
-  aggregation (fleet IEpmJ, miss-reason breakdowns, percentile spreads).
+  aggregation (fleet IEpmJ, miss-reason breakdowns, percentile spreads);
+* :mod:`repro.fleet.shards` — crash-safe scale-out: split a fleet into
+  device-shards executing through a durable, work-stealing shard ledger
+  (:func:`run_sharded`), with byte-identical merged aggregates, resume
+  after SIGKILL, and memory-bounded streaming toward ``megacity-1m``.
 
-CLI: ``python -m repro.fleet run solar-farm-100 --workers 4 --json out.json``.
+CLI: ``python -m repro.fleet run solar-farm-100 --workers 4 --json out.json``
+or, sharded: ``python -m repro.fleet run brownout-grid-256 --shards 8
+--ledger led/ --shard-workers 4``.
 """
 
-from repro.fleet.results import DeviceFailure, DeviceResult, FleetResult
+from repro.fleet.results import (
+    DeviceFailure,
+    DeviceResult,
+    FleetResult,
+    ShardAggregator,
+)
 from repro.fleet.runner import (
     FleetRunner,
     run_device,
@@ -31,6 +42,14 @@ from repro.fleet.runner import (
     worker_pool,
 )
 from repro.fleet.scenarios import SCENARIOS, ScenarioRegistry
+from repro.fleet.shards import (
+    FleetShardSource,
+    ScenarioShardSource,
+    ShardedFleetResult,
+    ShardLedger,
+    ShardPlan,
+    run_sharded,
+)
 from repro.fleet.spec import DeviceSpec, FleetSpec
 
 __all__ = [
@@ -39,11 +58,18 @@ __all__ = [
     "DeviceSpec",
     "FleetResult",
     "FleetRunner",
+    "FleetShardSource",
     "FleetSpec",
     "SCENARIOS",
     "ScenarioRegistry",
+    "ScenarioShardSource",
+    "ShardAggregator",
+    "ShardedFleetResult",
+    "ShardLedger",
+    "ShardPlan",
     "run_device",
     "run_device_batch",
     "run_fleet",
+    "run_sharded",
     "worker_pool",
 ]

@@ -6,18 +6,33 @@
     python -m repro.fleet run city-block-1k --explain
     python -m repro.fleet run solar-farm-100 --trace-out run.jsonl \
         --metrics-out metrics.json [--profile]
+    python -m repro.fleet run brownout-grid-256 --shards 8 \
+        --ledger led/ --shard-workers 4 --json out.json
+    python -m repro.fleet run brownout-grid-256 --ledger led/ --resume
 
 ``run`` executes a named scenario (or a ``--spec`` JSON file exported by
 ``show``), prints the fleet report, and optionally dumps the full JSON
 report.  The JSON payload is deterministic in (scenario, seed): worker
 count and chunking never change it, only the ``--timing`` section.
 
+Sharded execution (``--shards``/``--shard-width`` + ``--ledger``) splits
+the fleet along the device axis and checkpoints one sealed artifact per
+completed shard into the ledger directory.  Kill the process — or any
+``--shard-workers`` child — at any point and a later invocation with the
+same ``--ledger`` (plus ``--resume`` once complete) re-runs only the
+unfinished shards; the merged report is byte-identical to an unsharded
+run.  ``--max-rss-mb`` bounds memory by halving the execution sub-batch
+width under pressure (results unchanged).
+
 Observability (all off by default, and guaranteed not to change results):
 ``--trace-out`` streams span records as JSON lines (first line: the run's
 provenance manifest), ``--metrics-out`` writes the collected metrics
 summary (+ phase profile with ``--profile``), and ``--explain`` prints
 the engine-selection table — which devices the lockstep engine takes and
-why the rest fall back — without simulating anything.
+why the rest fall back — without simulating anything.  Combining
+``--explain`` with ``--chaos PLAN.json`` additionally validates the plan
+(unknown sites fail loudly) and prints the armed sites, still without
+simulating.
 """
 
 from __future__ import annotations
@@ -160,6 +175,124 @@ def _print_report(result, quiet: bool) -> None:
         )
 
 
+def _run_sharded_cli(args, plan) -> int:
+    """The ``run --shards/--ledger`` path: ledger-checkpointed execution."""
+    from repro.fleet.shards import (
+        DEFAULT_LEASE_TTL_S,
+        FleetShardSource,
+        ScenarioShardSource,
+        run_sharded,
+    )
+
+    if args.ledger is None:
+        raise ConfigError(
+            "sharded execution checkpoints into a durable ledger; pass "
+            "--ledger DIR alongside --shards/--shard-width/--resume"
+        )
+    if args.workers > 1:
+        raise ConfigError(
+            "--workers parallelizes an unsharded run; sharded runs "
+            "scale out with --shard-workers instead"
+        )
+    if args.spec:
+        source = FleetShardSource(_build_spec(args))
+    else:
+        # Resolve the scenario lazily: a range-capable factory (megacity)
+        # materializes only one shard's DeviceSpecs at a time.
+        overrides = {}
+        if args.devices is not None:
+            overrides["num_devices"] = args.devices
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        source = ScenarioShardSource(args.scenario, overrides)
+    recorder = None
+    if args.trace_out or args.metrics_out or args.profile:
+        recorder = Recorder(
+            metrics=True, trace=args.trace_out, profile=args.profile
+        )
+        if recorder.trace is not None:
+            recorder.trace.emit({
+                "type": "manifest",
+                **build_manifest(
+                    fleet=source.name,
+                    devices=source.num_devices,
+                    seed=source.seed,
+                    scenario_digest=source.source_digest(),
+                    engine=args.engine,
+                    workers=args.shard_workers,
+                ),
+            })
+    kwargs = dict(
+        shards=args.shards,
+        shard_width=args.shard_width,
+        engine=args.engine,
+        workers=args.shard_workers,
+        resume=args.resume,
+        retry=build_retry_policy(args),
+        max_rss_mb=args.max_rss_mb,
+        lease_ttl_s=(
+            args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL_S
+        ),
+    )
+    with chaos(plan) as injector:
+        if recorder is None:
+            result = run_sharded(source, args.ledger, **kwargs)
+        else:
+            with recording(recorder):
+                result = run_sharded(source, args.ledger, **kwargs)
+            recorder.close()
+    if args.chaos:
+        fired = sum(injector.fired_summary().values())
+        print(f"chaos: {len(plan)} fault(s) planned, {fired} injected")
+    agg = result.aggregate()
+    print(
+        f"fleet {agg['fleet']!r}: {agg['devices']} devices, seed "
+        f"{agg['seed']} — sharded x{result.num_shards} via {args.ledger}"
+    )
+    print(
+        f"  events {agg['events']}  processed {agg['processed']}  "
+        f"missed {agg['missed']} {agg['miss_counts']}  correct {agg['correct']}"
+    )
+    print(
+        f"  fleet IEpmJ {agg['fleet_iepmj']:.4f}  "
+        f"avg accuracy {agg['average_accuracy']:.3f}  "
+        f"device IEpmJ p10/p50/p90 "
+        + "/".join(f"{v:.3f}" for v in agg["device_iepmj_percentiles"].values())
+    )
+    print(
+        f"  shards: {result.shards_executed} executed, "
+        f"{result.shards_resumed} resumed from ledger, "
+        f"{result.shards_stolen} lease(s) stolen, "
+        f"{result.degraded} degradation(s); wall {result.wall_s:.2f}s "
+        f"with {result.workers} worker(s)"
+    )
+    if args.json:
+        result.to_json(args.json, include_timing=args.timing)
+        print(f"wrote JSON report to {args.json}")
+    if recorder is not None:
+        if args.trace_out:
+            print(f"wrote trace to {args.trace_out}")
+        if args.metrics_out:
+            payload = {
+                "manifest": build_manifest(
+                    fleet=source.name,
+                    devices=source.num_devices,
+                    seed=source.seed,
+                    scenario_digest=source.source_digest(),
+                    engine=args.engine,
+                    workers=args.shard_workers,
+                ),
+            }
+            payload.update(recorder.to_dict())
+            with open(args.metrics_out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
@@ -186,6 +319,31 @@ def main(argv=None) -> int:
     run.add_argument("--devices", type=int, default=None, help="override device count")
     run.add_argument("--seed", type=int, default=None, help="override fleet seed")
     run.add_argument("--duration", type=float, default=None, help="override trace duration (s)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="shard the fleet into N device-shards through a "
+                          "durable ledger (requires --ledger)")
+    run.add_argument("--shard-width", type=int, default=None, metavar="W",
+                     help="shard the fleet into W-device shards (alternative "
+                          "to --shards)")
+    run.add_argument("--ledger", default=None, metavar="DIR",
+                     help="shard ledger directory: one sealed artifact per "
+                          "completed shard; re-running over the same ledger "
+                          "skips finished shards (crash-safe resume)")
+    run.add_argument("--shard-workers", type=int, default=1, metavar="N",
+                     help="drain the shard ledger with N work-stealing "
+                          "processes (sharded runs only)")
+    run.add_argument("--resume", action="store_true",
+                     help="allow re-merging an already-complete ledger; the "
+                          "shard plan is read back from the ledger when "
+                          "--shards/--shard-width are omitted")
+    run.add_argument("--max-rss-mb", type=float, default=None, metavar="MB",
+                     help="memory budget: halve the shard execution sub-batch "
+                          "width whenever peak RSS exceeds this (results "
+                          "unchanged; fleet.shard.degraded telemetry)")
+    run.add_argument("--lease-ttl", type=float, default=None, metavar="SECONDS",
+                     help="shard lease time-to-live before another worker may "
+                          "steal it (default 120; must exceed one shard's "
+                          "runtime)")
     run.add_argument("--json", default=None, help="dump the full JSON report to this path")
     run.add_argument("--timing", action="store_true",
                      help="include wall-clock timing in the JSON report")
@@ -222,11 +380,29 @@ def main(argv=None) -> int:
         # run
         if not args.spec and not args.scenario:
             run.error("need a scenario name or --spec FILE")
-        spec = _build_spec(args)
-        if args.explain:
-            _print_explain(spec, args.engine)
-            return 0
+        # Validate the chaos plan before anything else: --explain --chaos
+        # is the dry-run path for vetting a plan file, and an unknown
+        # site must fail loudly here, not 20 minutes into a campaign.
         plan = FaultPlan.from_json(args.chaos) if args.chaos else None
+        if args.explain:
+            spec = _build_spec(args)
+            _print_explain(spec, args.engine)
+            if plan is not None:
+                sites = sorted(plan.sites())
+                print(
+                    f"chaos plan {args.chaos!r}: {len(plan)} fault(s) armed "
+                    f"across site(s) {', '.join(sites) if sites else '(none)'}"
+                )
+            return 0
+        sharded = (
+            args.shards is not None
+            or args.shard_width is not None
+            or args.ledger is not None
+            or args.resume
+        )
+        if sharded:
+            return _run_sharded_cli(args, plan)
+        spec = _build_spec(args)
         runner = FleetRunner(
             spec,
             workers=args.workers,

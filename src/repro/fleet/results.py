@@ -197,6 +197,56 @@ def unpack_device_results(packed: dict) -> list:
     return results
 
 
+def packed_to_jsonable(packed: dict) -> dict:
+    """JSON-safe form of a packed wire payload (numpy columns → lists).
+
+    This is what the shard ledger persists: Python's ``json`` writes
+    floats via ``repr``, which round-trips every ``float64`` bit-exactly,
+    so ``jsonable_to_packed(packed_to_jsonable(p))`` reproduces each
+    column with the same dtype and the same bits — the property that lets
+    a resumed run aggregate shard artifacts byte-identically to a fresh
+    execution.
+    """
+    out: dict = {"n": int(packed["n"]), "names": list(packed["names"]),
+                 "profiles": list(packed["profiles"])}
+    for attr, dtype in _PACK_SCALARS:
+        out[attr] = np.asarray(packed[attr], dtype=dtype).tolist()
+    for attr, _ in _PACK_DICTS:
+        column = packed[attr]
+        if "raw" in column:
+            out[attr] = {"raw": [dict(d) for d in column["raw"]]}
+        else:
+            out[attr] = {"keys": list(column["keys"]),
+                         "values": column["values"].tolist()}
+    out["exit_counts"] = packed["exit_counts"].tolist()
+    out["exit_widths"] = packed["exit_widths"].tolist()
+    return out
+
+
+def jsonable_to_packed(data: dict) -> dict:
+    """Rebuild the numpy wire form from :func:`packed_to_jsonable` output."""
+    n = int(data["n"])
+    out: dict = {"n": n, "names": list(data["names"]),
+                 "profiles": list(data["profiles"])}
+    for attr, dtype in _PACK_SCALARS:
+        out[attr] = np.asarray(data[attr], dtype=dtype)
+    for attr, dtype in _PACK_DICTS:
+        column = data[attr]
+        if "raw" in column:
+            out[attr] = {"raw": [dict(d) for d in column["raw"]]}
+        else:
+            keys = list(column["keys"])
+            values = np.asarray(column["values"], dtype=dtype).reshape(n, len(keys))
+            out[attr] = {"keys": keys, "values": values}
+    widths = np.asarray(data["exit_widths"], dtype=np.int64)
+    width = int(widths.max()) if n else 0
+    out["exit_counts"] = np.asarray(
+        data["exit_counts"], dtype=np.int64
+    ).reshape(n, width)
+    out["exit_widths"] = widths
+    return out
+
+
 #: Payload keys excluded from the content digest: ``digest`` is the seal
 #: itself, ``obs`` and ``wall_s`` carry wall-clock content that differs
 #: between bit-identical executions of the same chunk.
@@ -459,3 +509,103 @@ class FleetResult:
 
         with open(path, "w") as fh:
             json.dump(self.to_dict(include_timing), fh, indent=2, sort_keys=True)
+
+
+class ShardAggregator:
+    """Deterministic shard-order reduction to the fleet aggregate.
+
+    Feed the packed payload of every shard *in plan order* (global device
+    indices ascending) and :meth:`aggregate` produces a dict byte-identical
+    (as canonical JSON) to ``FleetResult.aggregate()`` over the same
+    devices.  The subtlety this class exists for: numpy's ``sum`` uses
+    pairwise summation, so adding up per-shard *partial sums* would not be
+    bit-identical to reducing the full column — shard columns are therefore
+    **concatenated** before any float reduction, while the miss/exit folds
+    (exact integer arithmetic) accumulate incrementally so per-device dicts
+    can be released with their shard.
+    """
+
+    _INT_COLS = ("num_events", "num_processed", "num_missed", "num_correct")
+    _FLOAT_COLS = (
+        "iepmj", "mean_latency_s", "total_env_energy_mj", "total_consumed_mj",
+    )
+
+    def __init__(self, fleet_name: str, seed: int):
+        self.fleet_name = fleet_name
+        self.seed = int(seed)
+        self.num_devices = 0
+        self.failures: list = []  # dicts, device-index order across shards
+        self._cols: dict = {
+            attr: [] for attr in self._INT_COLS + self._FLOAT_COLS
+        }
+        self._miss_counts: dict = {}
+        self._exit_totals: list = []
+
+    def add_packed(self, packed: dict) -> None:
+        """Fold one shard's packed payload (device-index order within)."""
+        n = int(packed["n"])
+        self.num_devices += n
+        for attr in self._INT_COLS:
+            self._cols[attr].append(np.asarray(packed[attr], dtype=np.int64))
+        for attr in self._FLOAT_COLS:
+            self._cols[attr].append(np.asarray(packed[attr], dtype=np.float64))
+        miss_column = packed["miss_counts"]
+        for i in range(n):
+            for reason, count in _unpack_dict_column(miss_column, i, int).items():
+                self._miss_counts[reason] = self._miss_counts.get(reason, 0) + count
+        widths, matrix = packed["exit_widths"], packed["exit_counts"]
+        for i in range(n):
+            width = int(widths[i])
+            if width > len(self._exit_totals):
+                self._exit_totals.extend([0] * (width - len(self._exit_totals)))
+            for j in range(width):
+                self._exit_totals[j] += int(matrix[i][j])
+
+    def _column(self, attr: str) -> np.ndarray:
+        parts = self._cols[attr]
+        dtype = np.int64 if attr in self._INT_COLS else np.float64
+        if not parts:
+            return np.array([], dtype=dtype)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def aggregate(self) -> dict:
+        """The merged fleet summary — same arithmetic, same key set, same
+        values as ``FleetResult.aggregate()`` over the concatenated
+        devices (the sharded-identity contract)."""
+        events = int(self._column("num_events").sum())
+        processed = int(self._column("num_processed").sum())
+        missed = int(self._column("num_missed").sum())
+        correct = int(self._column("num_correct").sum())
+        total_energy = float(self._column("total_env_energy_mj").sum())
+        counts = [int(c) for c in self._exit_totals]
+        total_exits = sum(counts)
+        out = {
+            "fleet": self.fleet_name,
+            "seed": self.seed,
+            "devices": self.num_devices,
+            "events": events,
+            "processed": processed,
+            "missed": missed,
+            "correct": correct,
+            "fleet_iepmj": 0.0 if total_energy <= 0 else correct / total_energy,
+            "average_accuracy": 0.0 if events == 0 else correct / events,
+            "device_iepmj_percentiles": percentile_dict(
+                self._column("iepmj"), (10, 50, 90)
+            ),
+            "device_latency_percentiles": percentile_dict(
+                self._column("mean_latency_s"), (10, 50, 90)
+            ),
+            "miss_counts": dict(self._miss_counts),
+            "exit_counts": counts,
+            "mean_exit_depth": (
+                0.0 if total_exits == 0
+                else sum(i * c for i, c in enumerate(counts)) / total_exits
+            ),
+            "total_env_energy_mj": total_energy,
+            "total_consumed_mj": float(self._column("total_consumed_mj").sum()),
+        }
+        if self.failures:
+            out["failures"] = [dict(f) for f in self.failures]
+        return out

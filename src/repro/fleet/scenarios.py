@@ -48,6 +48,12 @@ class ScenarioRegistry:
     def names(self) -> list:
         return sorted(self._factories)
 
+    def factory(self, name: str):
+        """The raw registered factory — the shard layer inspects its
+        signature to see whether it supports ``device_range`` slicing."""
+        self._require(name)
+        return self._factories[name]
+
     def describe(self, name: str) -> str:
         self._require(name)
         return self._descriptions[name]
@@ -481,6 +487,102 @@ def duty_cycle_farm(num_devices: int = 512, seed: int = 53, duration: float = 18
         name="duty-cycle-farm-512",
         seed=seed,
         description="duty-cycled factory-floor harvester farm",
+        devices=devices,
+    )
+
+
+@SCENARIOS.register(
+    "megacity-1m",
+    "1,000,000 city-scale devices — the scale-out target for "
+    "repro.fleet.shards.  Cheap per-device workloads (short traces, few "
+    "events, non-learning controllers) across four harvesting families; "
+    "every 16th node is a SONIC-style intermittent baseline.  Supports "
+    "device_range=(start, end) so shard workers materialize only their "
+    "slice: per-device layout draws come from "
+    "SeedSequence(seed, spawn_key=(0xC171, index)), making any slice "
+    "O(slice length) instead of O(fleet).",
+)
+def megacity(
+    num_devices: int = 1_000_000,
+    seed: int = 101,
+    duration: float = 900.0,
+    device_range=None,
+) -> FleetSpec:
+    if device_range is None:
+        device_range = (0, num_devices)
+    start, end = (int(v) for v in device_range)
+    if not 0 <= start < end <= num_devices:
+        raise ConfigError(
+            f"device_range must satisfy 0 <= start < end <= {num_devices}, "
+            f"got ({start}, {end})"
+        )
+    controllers = (
+        {"kind": "greedy", "reserve_fraction": 0.2},
+        {"kind": "static-lut"},
+        {"kind": "fixed", "exit_index": 0},
+    )
+    devices = []
+    for i in range(start, end):
+        # One independent layout stream per device (not one sequential
+        # stream for the whole fleet) — the property that makes slices
+        # independently computable by any shard worker.
+        gen = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(0xC171, i))
+        )
+        family = ("solar", "rf", "piezo", "wind")[i % 4]
+        if family == "solar":
+            trace = {
+                "family": "solar",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": 0.025 * float(gen.uniform(0.7, 1.3)),
+            }
+        elif family == "rf":
+            trace = {
+                "family": "rf",
+                "duration": duration,
+                "dt": 1.0,
+                "mean_mw": float(gen.uniform(0.004, 0.012)),
+            }
+        elif family == "piezo":
+            trace = {
+                "family": "piezo",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.02, 0.05)),
+                "duty_cycle": float(gen.uniform(0.3, 0.6)),
+            }
+        else:
+            trace = {
+                "family": "wind",
+                "duration": duration,
+                "dt": 1.0,
+                "peak_mw": float(gen.uniform(0.03, 0.08)),
+                "gust_rate_hz": float(gen.uniform(0.003, 0.01)),
+            }
+        if i % 16 == 15:
+            profile, controller, execution = (
+                "sonic-single-exit",
+                {"kind": "fixed", "exit_index": 0},
+                "intermittent",
+            )
+        else:
+            profile, execution = "paper-multi-exit", "single-cycle"
+            controller = dict(controllers[i % len(controllers)])
+        devices.append(
+            DeviceSpec(
+                name=f"mc-{i:07d}",
+                trace=trace,
+                profile=profile,
+                controller=controller,
+                events={"kind": "uniform", "count": 8},
+                execution=execution,
+            )
+        )
+    return FleetSpec(
+        name="megacity-1m",
+        seed=seed,
+        description="million-device megacity deployment (shard-by-shard)",
         devices=devices,
     )
 

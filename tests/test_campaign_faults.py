@@ -216,3 +216,58 @@ class TestResumeAfterCorruption:
         assert runner.quarantined == 0
         assert runner.executed == 0
         assert (out / "report.json").read_bytes() == clean_report
+
+
+# --------------------------------------------------------------------- #
+# Legacy (pre-checksum) cells: accepted, but counted and surfaced
+# --------------------------------------------------------------------- #
+class TestLegacyUnverifiedCells:
+    def strip_seal(self, store, key):
+        """Rewrite one artifact as a pre-checksum era cell (no seal)."""
+        body = store.load_cell(key)
+        with open(store.cell_path(key), "w") as fh:
+            json.dump(body, fh, indent=2, sort_keys=True)
+
+    def test_legacy_cells_are_counted_on_resume(self, tmp_path):
+        out = tmp_path / "legacy"
+        run_campaign(smoke_spec(), out=str(out))
+        clean_report = (out / "report.json").read_bytes()
+        store = CampaignStore(str(out))
+        victim = sorted(store.completed_keys())[0]
+        self.strip_seal(store, victim)
+
+        store = CampaignStore(str(out))  # fresh counter
+        with recording(Recorder(metrics=True)) as rec:
+            runner = CampaignRunner(smoke_spec(), store=store, resume=True)
+            runner.run()
+        # Accepted (resume still works), never re-executed, but counted
+        # in the runner tally and the metrics registry.
+        assert runner.executed == 0
+        assert runner.quarantined == 0
+        assert runner.legacy_unverified == 1
+        assert store.legacy_unverified == 1
+        assert (
+            rec.metrics.counter_value("campaign.cells.legacy_unverified") == 1
+        )
+        # Content untouched: the report stays byte-identical.
+        assert (out / "report.json").read_bytes() == clean_report
+
+    def test_sealed_cells_count_zero(self, tmp_path):
+        out = tmp_path / "sealed"
+        run_campaign(smoke_spec(), out=str(out))
+        store = CampaignStore(str(out))
+        runner = CampaignRunner(smoke_spec(), store=store, resume=True)
+        runner.run()
+        assert runner.legacy_unverified == 0
+
+    def test_summary_line_reports_legacy_tally(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main
+
+        out = str(tmp_path / "cli")
+        assert main(["run", "dev-smoke", "--out", out]) == 0
+        store = CampaignStore(out)
+        for key in sorted(store.completed_keys()):
+            self.strip_seal(store, key)
+        capsys.readouterr()
+        assert main(["run", "dev-smoke", "--out", out, "--resume"]) == 0
+        assert "2 legacy cell(s) loaded unverified" in capsys.readouterr().out

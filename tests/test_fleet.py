@@ -162,8 +162,17 @@ class TestScenarioRegistry:
             registry.register("x")(factory)
 
     def test_all_builtin_scenarios_expand(self):
+        import inspect
+
         for name in SCENARIOS.names():
-            spec = SCENARIOS.build(name)
+            params = inspect.signature(SCENARIOS.factory(name)).parameters
+            if "device_range" in params:
+                # Megacity-scale scenarios are sliceable by design; a full
+                # default expansion (1M DeviceSpecs) belongs to the shard
+                # runner, not a unit test.
+                spec = SCENARIOS.build(name, device_range=(0, 8))
+            else:
+                spec = SCENARIOS.build(name)
             assert spec.num_devices >= 1
 
 

@@ -21,7 +21,8 @@ is intentional, regenerate every golden with::
              ("mixed-harvester-city", {"num_devices": 4}),
              ("city-block-1k", {"num_devices": 4}),
              ("brownout-grid-256", {"num_devices": 4}),
-             ("duty-cycle-farm-512", {"num_devices": 4})]
+             ("duty-cycle-farm-512", {"num_devices": 4}),
+             ("megacity-1m", {"num_devices": 4})]
     for scenario, overrides in CASES:
         result = FleetRunner(SCENARIOS.build(scenario, **overrides), workers=1).run()
         suffix = f"{overrides['num_devices']}dev" if overrides else "default"
