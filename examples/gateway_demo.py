@@ -1,0 +1,116 @@
+"""Gateway tour (mirrors examples/shard_demo.py).
+
+Five stops on the :mod:`repro.gateway` line — a real server on an
+ephemeral TCP port, driven end-to-end by the sync client:
+
+1. serve: start a :class:`GatewayServer` in a background thread (the
+   same shape as ``python -m repro.gateway serve``);
+2. create + incremental advance: stand up a live fleet and step it in
+   uneven slices, watching progress move;
+3. determinism: the streamed aggregate is byte-identical to a one-shot
+   :class:`FleetRunner` over the same scenario;
+4. checkpoint/restore: seal the twin's journal mid-run, replay it into
+   a second live fleet, and finish both to the same bytes;
+5. late submit: a second cohort of devices joins a live fleet without
+   perturbing anyone's results.
+
+Run:  PYTHONPATH=src python examples/gateway_demo.py
+"""
+
+import asyncio
+import json
+import os
+import tempfile
+import threading
+
+from repro.fleet import SCENARIOS, FleetRunner
+from repro.gateway import GatewayClient, GatewayServer
+
+
+def canonical(aggregate: dict) -> str:
+    return json.dumps(aggregate, sort_keys=True)
+
+
+def main() -> None:
+    # -- 1. serve ------------------------------------------------------ #
+    box: dict = {}
+    started = threading.Event()
+
+    def serve() -> None:
+        async def run() -> None:
+            server = GatewayServer()  # port=0: ephemeral
+            await server.start()
+            box["port"] = server.port
+            started.set()
+            await server.serve_forever()  # returns on the shutdown verb
+
+        asyncio.run(run())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    started.wait(10)
+    print(f"gateway up on 127.0.0.1:{box['port']}")
+
+    with GatewayClient(port=box["port"]) as gw:
+        # -- 2. create + incremental advance --------------------------- #
+        created = gw.create(scenario="dev-smoke")
+        print(f"created {created['fleet']!r}: {created['devices']} devices, "
+              f"{created['total_steps']} lockstep steps")
+        for slice_steps in (3, 1, 7):
+            progress = gw.advance("dev-smoke", steps=slice_steps)
+            print(f"  advance({slice_steps}) -> "
+                  f"{progress['steps_done']}/{progress['total_steps']}")
+
+        # -- 4. checkpoint mid-run ------------------------------------- #
+        ck = os.path.join(tempfile.mkdtemp(prefix="gateway-demo-"), "ck.json")
+        sealed = gw.checkpoint("dev-smoke", ck)
+        print(f"checkpointed at step {sealed['steps_done']} "
+              f"(sha256 {sealed['digest'][:12]}…)")
+
+        while not gw.advance("dev-smoke", steps=4)["finished"]:
+            pass
+        streamed = gw.query("dev-smoke")
+
+        # -- 3. determinism vs one-shot -------------------------------- #
+        one_shot = FleetRunner(
+            SCENARIOS.build("dev-smoke"), workers=1
+        ).run().aggregate()
+        assert canonical(streamed) == canonical(one_shot)
+        print("streamed aggregate == one-shot FleetRunner bytes: OK")
+
+        # -- 4b. restore and converge ---------------------------------- #
+        restored = gw.restore(ck, fleet="replayed")
+        print(f"restored {restored['fleet']!r} at step "
+              f"{restored['steps_done']}")
+        gw.advance("replayed")
+        replayed = gw.query("replayed")
+        replayed["fleet"] = streamed["fleet"]  # registry alias only
+        assert canonical(replayed) == canonical(streamed)
+        print("checkpoint -> restore -> finish == uninterrupted bytes: OK")
+
+        # -- 5. late submit -------------------------------------------- #
+        spec = SCENARIOS.build("mixed-harvester-city", num_devices=6)
+        devices = [d.to_dict() for d in spec.devices]
+        gw.create(
+            spec={"name": spec.name, "seed": spec.seed,
+                  "devices": devices[:3]},
+            fleet="growing",
+        )
+        gw.advance("growing", steps=5)  # first cohort already mid-flight
+        joined = gw.submit("growing", devices[3:])
+        print(f"submitted late cohort: {joined['added']} devices join "
+              f"a live fleet ({joined['devices']} total)")
+        gw.advance("growing")
+        grown = gw.query("growing")
+        full = FleetRunner(spec, workers=1).run().aggregate()
+        grown["fleet"] = full["fleet"]
+        assert canonical(grown) == canonical(full)
+        print("cohort-grown fleet == one-shot over all devices: OK")
+
+        gw.shutdown()
+    thread.join(10)
+    print("server drained; demo complete")
+
+
+if __name__ == "__main__":
+    main()

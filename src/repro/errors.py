@@ -61,3 +61,11 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A model or result artifact could not be saved or loaded."""
+
+
+class GatewayError(ReproError):
+    """A gateway request failed server-side (unknown fleet, bad verb,
+    querying aggregates before the fleet finished, ...).  The server
+    ships it across the wire as an error envelope and the client
+    re-raises it, so gateway misuse reads the same locally and
+    remotely."""

@@ -32,6 +32,11 @@ Sites and their ops:
   atomic publish — caught at merge, quarantined, and re-executed).
 * ``fleet.shard.merge`` — polled once per shard read attempt during the
   merge; ops: ``oserror`` (transient read failure, retried).
+* ``fleet.gateway`` — polled once per message received by the gateway
+  server (:mod:`repro.gateway`); ops: ``drop`` (swallow the request —
+  the client times out and retries the same id), ``delay`` (hold the
+  response for ``seconds``), ``corrupt`` (bit-flip the response line so
+  the client re-sends; request-id dedup keeps the verb exactly-once).
 
 Plans serialize to/from JSON (``to_json``/``from_json``) so a chaos
 schedule can ship as a CLI artifact (``--chaos PLAN.json``) and be
@@ -55,6 +60,7 @@ FAULT_SITES = {
     "fleet.shard.claim": ("oserror", "exception"),
     "fleet.shard.save": ("truncate", "bitflip", "empty"),
     "fleet.shard.merge": ("oserror",),
+    "fleet.gateway": ("drop", "delay", "corrupt"),
 }
 
 
@@ -202,7 +208,7 @@ class FaultPlan:
             ops = FAULT_SITES[site]
             op = ops[int(rng.integers(len(ops)))]
             params: dict = {}
-            if op == "hang":
+            if op == "hang" or op == "delay":
                 params["seconds"] = round(float(rng.uniform(0.05, max_hang_s)), 3)
             elif op == "truncate":
                 params["keep_frac"] = round(float(rng.uniform(0.05, 0.95)), 3)

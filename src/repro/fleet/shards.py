@@ -156,20 +156,25 @@ class ShardPlan:
 
     @property
     def shards(self) -> list:
+        """``(start, end)`` device ranges, one per shard, in index order."""
         return list(zip(self.edges, self.edges[1:]))
 
     @property
     def num_shards(self) -> int:
+        """How many shards the plan splits the device axis into."""
         return len(self.edges) - 1
 
     def keys(self) -> list:
+        """The canonical ``s<start>-e<end>`` key of every shard, in order."""
         return [shard_key(s, e) for s, e in self.shards]
 
     def to_dict(self) -> dict:
+        """JSON-safe form (round-trips through :meth:`from_dict`)."""
         return {"num_devices": self.num_devices, "edges": list(self.edges)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ShardPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
         if not isinstance(data, dict) or "edges" not in data:
             raise ConfigError(f"not a shard plan: {data!r}")
         return cls(data.get("num_devices", 0), data["edges"])
@@ -188,20 +193,25 @@ class FleetShardSource:
 
     @property
     def name(self) -> str:
+        """The fleet name stamped into artifacts and the merged result."""
         return self.spec.name
 
     @property
     def seed(self) -> int:
+        """The fleet seed every shard derives device streams from."""
         return self.spec.seed
 
     @property
     def num_devices(self) -> int:
+        """Total devices across the whole (unsharded) fleet."""
         return self.spec.num_devices
 
     def source_digest(self) -> str:
+        """Content hash of the source fleet (pins ledger identity)."""
         return self.spec.digest()
 
     def device_specs(self, start: int, end: int) -> list:
+        """The DeviceSpecs for one shard's ``[start, end)`` index range."""
         return self.spec.devices[start:end]
 
 
@@ -239,17 +249,21 @@ class ScenarioShardSource:
 
     @property
     def name(self) -> str:
+        """The fleet name stamped into artifacts and the merged result."""
         return self._name
 
     @property
     def seed(self) -> int:
+        """The fleet seed every shard derives device streams from."""
         return self._seed
 
     @property
     def num_devices(self) -> int:
+        """Total devices across the whole (unsharded) fleet."""
         return self._num_devices
 
     def source_digest(self) -> str:
+        """Content hash of the scenario call (pins ledger identity)."""
         if self._full is not None:
             return self._full.digest()
         body = json.dumps(
@@ -264,6 +278,7 @@ class ScenarioShardSource:
         return hashlib.sha256(body.encode()).hexdigest()[:16]
 
     def device_specs(self, start: int, end: int) -> list:
+        """Materialize one shard's DeviceSpecs (range-lazy when possible)."""
         if self._full is not None:
             return self._full.devices[start:end]
         return SCENARIOS.build(
@@ -298,28 +313,35 @@ class ShardLedger:
     # ------------------------------ paths ----------------------------- #
     @property
     def ledger_path(self) -> str:
+        """The sealed plan file at the ledger root."""
         return os.path.join(self.root, self.LEDGER_FILE)
 
     @property
     def report_path(self) -> str:
+        """The merged report file at the ledger root."""
         return os.path.join(self.root, self.REPORT_FILE)
 
     @property
     def shards_dir(self) -> str:
+        """Directory of published (sealed) shard artifacts."""
         return os.path.join(self.root, self.SHARDS_DIR)
 
     @property
     def leases_dir(self) -> str:
+        """Directory of live lease files."""
         return os.path.join(self.root, self.LEASES_DIR)
 
     @property
     def quarantine_dir(self) -> str:
+        """Directory damaged artifacts are moved into before re-execution."""
         return os.path.join(self.root, self.QUARANTINE_DIR)
 
     def shard_path(self, key: str) -> str:
+        """The artifact path for one shard key."""
         return os.path.join(self.shards_dir, f"{key}.json")
 
     def lease_path(self, key: str) -> str:
+        """The lease-file path for one shard key."""
         return os.path.join(self.leases_dir, f"{key}.lease")
 
     # --------------------------- identity ----------------------------- #
@@ -370,6 +392,7 @@ class ShardLedger:
 
     # ---------------------------- shards ------------------------------ #
     def completed_keys(self) -> set:
+        """Keys of every shard with a published artifact on disk."""
         if not os.path.isdir(self.shards_dir):
             return set()
         return {
@@ -379,6 +402,7 @@ class ShardLedger:
         }
 
     def has_shard(self, key: str) -> bool:
+        """Whether ``key`` already has a published artifact."""
         return os.path.exists(self.shard_path(key))
 
     def save_shard(self, key: str, payload: dict) -> str:
@@ -565,6 +589,7 @@ class ShardLedger:
 
     # ---------------------------- report ------------------------------ #
     def write_report(self, report: dict) -> str:
+        """Atomically write the merged report; returns its path."""
         atomic_write_json(self.report_path, report)
         return self.report_path
 
@@ -758,9 +783,11 @@ class ShardedFleetResult:
     aggregate_data: dict = field(repr=False)
 
     def aggregate(self) -> dict:
+        """The merged fleet summary (same key set as ``FleetResult``)."""
         return self.aggregate_data
 
     def to_dict(self, include_timing: bool = False) -> dict:
+        """JSON-safe form; ``include_timing`` adds the wall-clock section."""
         out = {"aggregate": self.aggregate()}
         if include_timing:
             out["timing"] = {
@@ -775,6 +802,7 @@ class ShardedFleetResult:
         return out
 
     def to_json(self, path: str, include_timing: bool = False) -> None:
+        """Write :meth:`to_dict` as JSON to ``path``."""
         with open(path, "w") as fh:
             json.dump(self.to_dict(include_timing), fh, indent=2, sort_keys=True)
             fh.write("\n")

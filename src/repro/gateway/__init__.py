@@ -1,0 +1,38 @@
+"""Fleet-as-a-service: a persistent async simulation gateway.
+
+The batch stack runs one-shot sweeps; this package runs the same
+engines as a *service*.  A :class:`~repro.gateway.server.GatewayServer`
+owns live fleets as device twins — the existing
+:class:`~repro.sim.batch.BatchedFleetEngine` numpy columns, paused
+between lockstep steps — and serves ``create`` / ``submit`` /
+``advance`` / ``query`` / ``checkpoint`` / ``restore`` / ``shutdown``
+over newline-delimited JSON (TCP or Unix socket, stdlib asyncio only).
+
+The load-bearing guarantee is determinism: advancing a fleet in any
+K-way split of ``advance`` calls, across sessions, checkpoints, and
+restores, produces aggregates byte-identical to one uninterrupted
+:class:`~repro.fleet.runner.FleetRunner` run — enforced against the
+committed goldens in ``tests/test_gateway.py``.
+
+Start here:
+
+* ``docs/PROTOCOL.md`` — the wire protocol, verb by verb.
+* ``docs/ARCHITECTURE.md`` — where the gateway sits in the stack.
+* ``python -m repro.gateway serve`` / ``examples/gateway_demo.py``.
+"""
+
+from repro.gateway.checkpoint import load_checkpoint, save_checkpoint
+from repro.gateway.client import GatewayClient
+from repro.gateway.protocol import PROTOCOL_VERSION, VERBS
+from repro.gateway.server import GatewayServer
+from repro.gateway.twin import FleetTwin
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "VERBS",
+    "FleetTwin",
+    "GatewayClient",
+    "GatewayServer",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,212 @@
+"""A small synchronous client for the gateway protocol.
+
+Connects over TCP or a Unix socket, speaks the newline-delimited JSON
+protocol (``docs/PROTOCOL.md``), and gives every verb a method.  The
+retry loop is what makes the link reliable: a call that times out or
+reads an undecodable line re-sends the *same* request id, and the
+server's per-session dedup cache guarantees the verb still executes
+exactly once — so a chaos-armed connection (``fleet.gateway`` drop /
+corrupt faults) converges to the same results as a clean one
+(``tests/test_gateway_server.py`` holds it to that).
+
+Usage::
+
+    from repro.gateway import GatewayClient
+
+    with GatewayClient(port=7777) as gw:
+        gw.create(scenario="dev-smoke")
+        while not gw.advance("dev-smoke", steps=5)["finished"]:
+            pass
+        aggregate = gw.query("dev-smoke")
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro import errors as _errors
+from repro.errors import GatewayError
+from repro.gateway.protocol import PROTOCOL_VERSION, encode_line
+
+
+def _rebuild_error(envelope: dict) -> Exception:
+    """Map a wire error envelope back to the closest repro exception."""
+    err = envelope.get("error") or {}
+    name = err.get("type", "GatewayError")
+    message = err.get("message", "gateway request failed")
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = GatewayError
+    return cls(message)
+
+
+class GatewayClient:
+    """Sync gateway client; usable as a context manager.
+
+    ``retries`` bounds how many times one call re-sends its id after a
+    timeout or a corrupted line before giving up with
+    :class:`~repro.errors.GatewayError`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port=None,
+        unix_path=None,
+        timeout: float = 10.0,
+        retries: int = 3,
+    ):
+        if (port is None) == (unix_path is None):
+            raise GatewayError("GatewayClient needs exactly one of port/unix_path")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self._sock = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Connection
+    # ------------------------------------------------------------------ #
+    def connect(self) -> dict:
+        """Open the socket and validate the server greeting."""
+        if self._sock is not None:
+            raise GatewayError("client is already connected")
+        if self.unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(str(self.unix_path))
+        else:
+            sock = socket.create_connection(
+                (self.host, int(self.port)), timeout=self.timeout
+            )
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        greeting = json.loads(self._file.readline().decode("utf-8"))
+        if greeting.get("protocol") != PROTOCOL_VERSION:
+            self.close()
+            raise GatewayError(
+                f"server speaks protocol {greeting.get('protocol')!r}; "
+                f"this client speaks {PROTOCOL_VERSION}"
+            )
+        return greeting
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "GatewayClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The wire call
+    # ------------------------------------------------------------------ #
+    def call(self, verb: str, **params) -> dict:
+        """Send one verb; returns the result dict or raises the error.
+
+        Re-sends the same request id on timeout / undecodable response
+        (up to ``retries`` times); mismatched-id lines — stale or
+        chaos-mangled — are skipped, never treated as the answer.
+        """
+        if self._sock is None:
+            self.connect()
+        self._next_id += 1
+        request_id = f"c{self._next_id}"
+        line = encode_line({"id": request_id, "verb": verb, **params})
+        last_error = None
+        for _ in range(self.retries + 1):
+            try:
+                self._sock.sendall(line)
+                envelope = self._read_matching(request_id)
+            except (socket.timeout, TimeoutError) as exc:
+                last_error = exc
+                # A timed-out socket file object refuses further reads;
+                # rebuild it (any half-read line is garbage anyway and
+                # the skip loop below discards its tail).
+                self._file.close()
+                self._file = self._sock.makefile("rb")
+                continue
+            if envelope.get("ok"):
+                return envelope.get("result", {})
+            raise _rebuild_error(envelope)
+        raise GatewayError(
+            f"gateway call {verb!r} (id {request_id}) failed after "
+            f"{self.retries + 1} attempts: {last_error}"
+        )
+
+    def _read_matching(self, request_id: str) -> dict:
+        """Read lines until one parses and carries ``request_id``."""
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise GatewayError("server closed the connection")
+            try:
+                envelope = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # a chaos-mangled line; the timeout triggers a retry
+            if isinstance(envelope, dict) and envelope.get("id") == request_id:
+                return envelope
+            # A stale line for some other id: keep reading.
+
+    # ------------------------------------------------------------------ #
+    # Verb conveniences
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        """Round-trip check; returns ``{"pong": true, "protocol": N}``."""
+        return self.call("ping")
+
+    def create(self, scenario=None, spec=None, overrides=None, fleet=None) -> dict:
+        """Create a live fleet from a scenario name or an inline spec."""
+        params: dict = {}
+        if scenario is not None:
+            params["scenario"] = scenario
+        if spec is not None:
+            params["spec"] = spec
+        if overrides:
+            params["overrides"] = dict(overrides)
+        if fleet is not None:
+            params["fleet"] = fleet
+        return self.call("create", **params)
+
+    def submit(self, fleet: str, devices) -> dict:
+        """Add a cohort of DeviceSpec dicts to a live fleet."""
+        return self.call("submit", fleet=fleet, devices=list(devices))
+
+    def advance(self, fleet: str, steps=None) -> dict:
+        """Advance ``fleet`` by up to ``steps`` (``None`` = completion)."""
+        return self.call("advance", fleet=fleet, steps=steps)
+
+    def query(self, fleet: str, what: str = "aggregate") -> dict:
+        """Query ``progress``/``aggregate``/``percentiles``/``exit_counts``."""
+        return self.call("query", fleet=fleet, what=what)
+
+    def checkpoint(self, fleet: str, path: str) -> dict:
+        """Seal ``fleet``'s journal to ``path`` atomically."""
+        return self.call("checkpoint", fleet=fleet, path=str(path))
+
+    def restore(self, path: str, fleet=None) -> dict:
+        """Replay a checkpoint into a fresh live fleet."""
+        params: dict = {"path": str(path)}
+        if fleet is not None:
+            params["fleet"] = fleet
+        return self.call("restore", **params)
+
+    def fleets(self) -> dict:
+        """Progress for every live fleet on the server."""
+        return self.call("fleets")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (responds, then exits its serve loop)."""
+        return self.call("shutdown")

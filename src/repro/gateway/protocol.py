@@ -1,0 +1,93 @@
+"""Wire protocol for the simulation gateway: newline-delimited JSON.
+
+One request per line, one response per line, stdlib ``json`` only — the
+full format, every verb, and the error envelope are documented with
+examples in ``docs/PROTOCOL.md`` (the fenced blocks there execute as
+doctests in CI, so the documentation cannot drift from this module).
+
+A request is ``{"id": <str>, "verb": <str>, ...params}``; the matching
+response is ``{"id": <same>, "ok": true, "result": {...}}`` or
+``{"id": <same>, "ok": false, "error": {"type": ..., "message": ...}}``.
+Request ids exist for exactly-once semantics under an unreliable link:
+the server caches the response per id, so a client that times out (a
+dropped message, an injected ``fleet.gateway`` chaos fault) re-sends the
+*same* id and receives the cached response without the verb executing
+twice.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import GatewayError
+
+#: Bumped on any incompatible wire change; the server advertises it in
+#: the greeting line and clients refuse to speak to a newer major.
+PROTOCOL_VERSION = 1
+
+#: Every verb the server routes (``docs/PROTOCOL.md`` documents each).
+VERBS = (
+    "ping",
+    "create",
+    "submit",
+    "advance",
+    "query",
+    "checkpoint",
+    "restore",
+    "fleets",
+    "shutdown",
+)
+
+#: Verbs handled by the session supervisor itself; everything else is
+#: routed to the owning fleet actor's queue.
+SESSION_VERBS = ("ping", "fleets", "shutdown")
+
+
+def encode_line(message: dict) -> bytes:
+    """Serialize one protocol message to a newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line; :class:`GatewayError` on anything malformed."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GatewayError(f"undecodable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise GatewayError(
+            f"protocol message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def greeting() -> dict:
+    """The server's first line on every new connection."""
+    return {"server": "repro-gateway", "protocol": PROTOCOL_VERSION}
+
+
+def ok_response(request_id: str, result: dict) -> dict:
+    """A success envelope for ``request_id``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: str, exc: BaseException) -> dict:
+    """An error envelope carrying the exception's type name and message."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def validate_request(message: dict) -> tuple:
+    """Check the envelope; returns ``(id, verb)`` or raises GatewayError."""
+    request_id = message.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise GatewayError("request needs a non-empty string 'id'")
+    verb = message.get("verb")
+    if verb not in VERBS:
+        raise GatewayError(
+            f"unknown verb {verb!r}; supported: {', '.join(VERBS)}"
+        )
+    return request_id, verb

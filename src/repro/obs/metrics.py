@@ -41,6 +41,7 @@ class Counter:
         self.value = 0
 
     def inc(self, n=1):
+        """Add ``n`` (default 1) to the counter."""
         self.value += n
 
 
@@ -53,6 +54,7 @@ class Gauge:
         self.value = None
 
     def set(self, value):
+        """Set the gauge to ``value`` (last write wins)."""
         self.value = value
 
 
@@ -65,16 +67,20 @@ class Histogram:
         self._values = []
 
     def observe(self, value):
+        """Record one sample."""
         self._values.append(float(value))
 
     def observe_many(self, values):
+        """Record a batch of samples in order."""
         self._values.extend(float(v) for v in values)
 
     @property
     def count(self) -> int:
+        """How many samples have been recorded."""
         return len(self._values)
 
     def values(self) -> np.ndarray:
+        """The recorded samples, in order."""
         return np.asarray(self._values, dtype=np.float64)
 
     def summary(self) -> dict:
@@ -108,18 +114,21 @@ class MetricsRegistry:
     # Instruments (created on first touch)
     # ------------------------------------------------------------------ #
     def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter()
         return c
 
     def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge()
         return g
 
     def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram()
@@ -129,26 +138,33 @@ class MetricsRegistry:
     # Conveniences
     # ------------------------------------------------------------------ #
     def inc(self, name: str, n=1) -> None:
+        """Increment the named counter by ``n``."""
         self.counter(name).inc(n)
 
     def set_gauge(self, name: str, value) -> None:
+        """Set the named gauge to ``value``."""
         self.gauge(name).set(value)
 
     def observe(self, name: str, value) -> None:
+        """Record one sample on the named histogram."""
         self.histogram(name).observe(value)
 
     def observe_many(self, name: str, values) -> None:
+        """Record many samples on the named histogram."""
         self.histogram(name).observe_many(values)
 
     def counter_value(self, name: str, default=0):
+        """The counter's current value (0 if never touched)."""
         c = self._counters.get(name)
         return default if c is None else c.value
 
     def gauge_value(self, name: str, default=None):
+        """The gauge's current value (``default`` if never set)."""
         g = self._gauges.get(name)
         return default if g is None else g.value
 
     def names(self) -> dict:
+        """Every registered metric name, sorted."""
         return {
             "counters": sorted(self._counters),
             "gauges": sorted(self._gauges),
@@ -177,6 +193,7 @@ class MetricsRegistry:
             self.histogram(name).observe_many(values)
 
     def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's wire snapshot into this one."""
         self.merge_wire(other.to_wire())
 
     # ------------------------------------------------------------------ #

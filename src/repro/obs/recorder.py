@@ -41,6 +41,7 @@ class NullRecorder:
     profiler = None
 
     def close(self) -> None:
+        """No-op (nothing to close on the null recorder)."""
         pass
 
 
@@ -72,6 +73,7 @@ class Recorder:
         self.profiler = PhaseProfiler() if profile else None
 
     def close(self) -> None:
+        """Flush and close the owned sinks (the trace stream)."""
         if self.trace is not None:
             self.trace.close()
 
@@ -102,6 +104,7 @@ def set_recorder(recorder) -> object:
 
 
 def obs_enabled() -> bool:
+    """Whether an active (non-null) recorder is installed."""
     return _ACTIVE.enabled
 
 

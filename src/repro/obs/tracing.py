@@ -47,6 +47,7 @@ class TraceWriter:
         self.records_written = 0
 
     def emit(self, record: dict) -> None:
+        """Write one record as a JSON line and flush."""
         if self._stream is None:
             self._stream = open(self.path, "w")
         json.dump(record, self._stream, separators=(",", ":"), sort_keys=True)
@@ -54,10 +55,12 @@ class TraceWriter:
         self.records_written += 1
 
     def flush(self) -> None:
+        """Flush the underlying stream if it is still open."""
         if self._stream is not None:
             self._stream.flush()
 
     def close(self) -> None:
+        """Close (or hand back) the underlying stream; idempotent."""
         if self._stream is not None:
             if self._owns_stream:
                 self._stream.close()

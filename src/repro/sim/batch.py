@@ -54,6 +54,21 @@ The engine is **bit-identical** to the per-device path
 Because devices never interact, lockstep order across devices is free;
 only the within-device order matters, and the step loop preserves it.
 
+Incremental execution
+---------------------
+:meth:`BatchedFleetEngine.run` is a thin driver over a resumable stepper:
+:meth:`~BatchedFleetEngine.begin` initializes the live state columns,
+:meth:`~BatchedFleetEngine.advance` executes up to N lockstep steps (an
+episode with no single-cycle steps — an all-intermittent fleet — counts
+as one step), and :meth:`~BatchedFleetEngine.finalize` freezes the
+per-device results once :attr:`~BatchedFleetEngine.finished`.  Every
+piece of mutable state lives in the engine (numpy columns, batched
+controller tables, per-device RNG pools), so pausing between steps is
+invisible to the arithmetic: ``advance(k)`` called any number of times
+produces **bit-identical** results to one uninterrupted :meth:`run` —
+the property the gateway service (:mod:`repro.gateway`) serves
+interactive traffic on, enforced against the same goldens.
+
 Eligibility: dataset mode (per-event forward passes through a live
 network) and csv traces (file-backed, deliberately uncached) fall back to
 the per-device path — see :func:`batch_ineligibility` and the ``engine``
@@ -236,13 +251,47 @@ class _Device:
         ]
 
 
+class _RunState:
+    """Mutable lockstep execution state, alive between advance() slices.
+
+    Everything ``run()`` used to keep in local variables lives here so
+    execution can pause after any step and resume later — the stepper
+    contract :mod:`repro.gateway` serves interactive traffic on.  The
+    ``phase`` field is the tiny state machine: ``"open"`` (the next work
+    is an episode reset), ``"step"`` (mid-episode, ``j`` is the next
+    event index), ``"done"`` (every episode played, ``finalize()`` may
+    freeze results).
+    """
+
+    __slots__ = (
+        "prof", "t0", "ep", "j", "n_steps", "phase", "max_episodes",
+        "steps_done", "level", "total_drawn", "t_charged", "cum_charged",
+        "busy_until", "r_exit", "r_correct", "r_latency", "r_energy",
+        "r_entropy", "r_reason", "r_first", "r_continued", "r_cycles",
+        "results", "state", "part", "part_all", "n_passes", "n_full",
+        "n_lanes", "n_busy", "n_emiss", "out",
+    )
+
+    def __init__(self):
+        self.ep = 0
+        self.j = 0
+        self.n_steps = 0
+        self.phase = "open"
+        self.steps_done = 0
+        self.n_passes = self.n_full = self.n_lanes = 0
+        self.n_busy = self.n_emiss = 0
+        self.out = None
+
+
 class BatchedFleetEngine:
     """Runs a list of eligible ``(index, DeviceSpec, fleet_seed)`` tasks.
 
     Construction materializes every device (traces, profiles, controllers,
     per-event precomputations); :meth:`run` plays all episodes in lockstep
     and returns one :class:`~repro.fleet.results.DeviceResult` per task,
-    in task order.
+    in task order.  The incremental twin — :meth:`begin` /
+    :meth:`advance` / :meth:`finalize` — executes the same instruction
+    sequence in caller-sized slices; see the module docstring.
     """
 
     def __init__(self, tasks):
@@ -365,20 +414,60 @@ class BatchedFleetEngine:
             else np.zeros(max_ev, bool)
         )
         self._no_leak = bool((self._leakage == 0.0).all())
+        self._single = self._groups[0] if len(self._groups) == 1 else None
+        #: Live stepper state (see :meth:`begin`); ``None`` until started.
+        self._rs = None
+        #: How many :meth:`advance` steps a full run takes: one per
+        #: lockstep event-index step, and one for each episode that has
+        #: no single-cycle steps at all (an all-intermittent fleet, whose
+        #: whole episode executes inside the multi-cycle kernel).
+        self.total_steps = 0
+        for ep in range(int(self._episodes.max())):
+            part_sc = (self._episodes > ep) & self._sc
+            n = int(self._n_events[part_sc].max()) if part_sc.any() else 0
+            self.total_steps += max(n, 1)
         if prof is not None:
             prof.add_wall("batch.build", time.perf_counter() - t_build)
             prof.memory_probe("batch.build")
 
     # ------------------------------------------------------------------ #
     def run(self):
-        """Play every device's episodes; return DeviceResults in task order."""
-        from repro.fleet.results import DeviceResult
+        """Play every device's episodes; return DeviceResults in task order.
 
-        # Observability: fetched once per run; every hot-loop touch below
-        # is guarded by ``prof is not None`` so the off path costs one
-        # local branch (the ≤2% no-op budget in benchmarks/test_p6_obs.py).
+        Implemented as ``begin(); advance(); finalize()`` — the one-shot
+        and incremental paths share every instruction, so they cannot
+        drift apart (the goldens that pin this method pin the stepper).
+        """
+        self.begin()
+        self.advance()
+        return self.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Incremental stepper (what the gateway's ``advance`` verb sits on)
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """``True`` once every episode of every device has been played."""
+        return self._rs is not None and self._rs.phase == "done"
+
+    @property
+    def steps_done(self) -> int:
+        """Lockstep steps executed so far (``0`` before :meth:`begin`)."""
+        return 0 if self._rs is None else self._rs.steps_done
+
+    def begin(self) -> None:
+        """Allocate the live state columns and open incremental execution.
+
+        Observability is fetched once per run here; every hot-loop touch
+        downstream is guarded by ``prof is not None`` so the off path
+        costs one local branch (the ≤2% no-op budget in
+        ``benchmarks/test_p6_obs.py``).
+        """
+        if self._rs is not None:
+            raise SimulationError(
+                "engine already started: one begin() per BatchedFleetEngine"
+            )
         rec = get_recorder()
-        prof = rec.profiler
         if rec.metrics is not None:
             rec.metrics.inc("batch.engine.runs")
             rec.metrics.inc("batch.engine.devices", self._m)
@@ -386,15 +475,15 @@ class BatchedFleetEngine:
                 "batch.engine.devices.intermittent", int(self._exec_int.sum())
             )
             rec.metrics.inc(f"batch.kernel.{self._kernel_mode}")
-        n_passes = n_full = n_lanes = n_busy = n_emiss = 0
-        t0 = time.perf_counter()
+        rs = _RunState()
+        rs.prof = rec.profiler
+        rs.t0 = time.perf_counter()
         m, max_ev = self._m, self._events.shape[0]
-        has_int, has_rules = self._has_int, self._has_rules
-        level = np.zeros(m)
-        total_drawn = np.zeros(m)
-        t_charged = np.zeros(m)
-        cum_charged = np.zeros(m)
-        busy_until = np.zeros(m)
+        rs.level = np.zeros(m)
+        rs.total_drawn = np.zeros(m)
+        rs.t_charged = np.zeros(m)
+        rs.cum_charged = np.zeros(m)
+        rs.busy_until = np.zeros(m)
         # Record buffers, reused across episodes (finished devices are
         # snapshotted by copy before the next reset).  Without continue
         # rules the first exit always equals the final exit, and without
@@ -403,301 +492,100 @@ class BatchedFleetEngine:
         # storage waste/charge ledger is likewise not observable in any
         # result and is skipped entirely.  (event, device) layout like
         # the inputs: contiguous writes per step.
-        r_exit = np.empty((max_ev, m), np.int64)
-        r_correct = np.empty((max_ev, m), bool)
-        r_latency = np.empty((max_ev, m))
-        r_energy = np.empty((max_ev, m))
-        r_entropy = np.empty((max_ev, m))
-        r_reason = np.empty((max_ev, m), np.int8)
-        r_first = np.empty((max_ev, m), np.int64) if has_rules else None
-        r_continued = np.empty((max_ev, m), np.int64) if has_rules else None
-        r_cycles = np.empty((max_ev, m), np.int64) if has_int else None
-        results = [None] * m
-        all_rows = self._all_rows
-        single = self._groups[0] if len(self._groups) == 1 else None
-        no_leak = self._no_leak
-        for ep in range(int(self._episodes.max())):
-            part = self._episodes > ep
-            part_all = bool(part.all())
-            # reset_storage=True semantics at the top of every run().
-            level[part] = self._initial[part]
-            total_drawn[part] = 0.0
-            t_charged[part] = 0.0
-            cum_charged[part] = 0.0
-            busy_until[part] = 0.0
-            r_exit[:, part] = -1
-            r_correct[:, part] = False
-            r_latency[:, part] = 0.0
-            r_energy[:, part] = 0.0
-            r_entropy[:, part] = 1.0
-            r_reason[:, part] = _MISS_NONE
-            if has_rules:
-                r_first[:, part] = -1
-                r_continued[:, part] = 0
-            if has_int:
-                r_cycles[:, part] = 1
-            state = RuntimeStateBatch(
-                time=None,
-                energy_mj=level,  # aliased: only ever mutated in place
-                capacity_mj=self._capacity,
-                charge_power_mw=None,
-                peak_power_mw=self._peak,
+        rs.r_exit = np.empty((max_ev, m), np.int64)
+        rs.r_correct = np.empty((max_ev, m), bool)
+        rs.r_latency = np.empty((max_ev, m))
+        rs.r_energy = np.empty((max_ev, m))
+        rs.r_entropy = np.empty((max_ev, m))
+        rs.r_reason = np.empty((max_ev, m), np.int8)
+        rs.r_first = (
+            np.empty((max_ev, m), np.int64) if self._has_rules else None
+        )
+        rs.r_continued = (
+            np.empty((max_ev, m), np.int64) if self._has_rules else None
+        )
+        rs.r_cycles = (
+            np.empty((max_ev, m), np.int64) if self._has_int else None
+        )
+        rs.results = [None] * m
+        rs.max_episodes = int(self._episodes.max())
+        self._rs = rs
+
+    def advance(self, max_steps=None) -> int:
+        """Execute up to ``max_steps`` lockstep steps; returns how many ran.
+
+        ``None`` runs to completion.  One step is one event-index pass
+        over the active single-cycle lanes; an episode with no
+        single-cycle steps at all (an all-intermittent fleet, whose
+        whole episode executes inside the multi-cycle kernel) costs one
+        step, so advancing always makes progress.  Episode-boundary work
+        — state resets, the intermittent kernel pass, trailing charge,
+        controller end-of-episode hooks, result snapshots — rides along
+        with the adjacent step.  Any K-way split of ``advance`` calls
+        executes the exact instruction sequence of one uninterrupted
+        :meth:`run`, so results are bit-identical.
+        """
+        if self._rs is None:
+            self.begin()
+        rs = self._rs
+        if max_steps is not None:
+            max_steps = int(max_steps)
+            if max_steps < 0:
+                raise ConfigError(
+                    f"advance() needs max_steps >= 0 or None, got {max_steps}"
+                )
+        done = 0
+        while rs.phase != "done" and (max_steps is None or done < max_steps):
+            if rs.phase == "open":
+                self._open_episode()
+                if rs.n_steps == 0:
+                    done += 1
+                    rs.steps_done += 1
+                    self._close_episode()
+                    continue
+                rs.phase = "step"
+            t_step = time.perf_counter() if rs.prof is not None else 0.0
+            self._lockstep_step()
+            done += 1
+            rs.steps_done += 1
+            rs.j += 1
+            if rs.prof is not None:
+                rs.prof.add_wall(
+                    "batch.lockstep", time.perf_counter() - t_step
+                )
+            if rs.j >= rs.n_steps:
+                self._close_episode()
+        return done
+
+    def finalize(self):
+        """Freeze per-device results; only valid once :attr:`finished`.
+
+        Idempotent: repeated calls return the same DeviceResult list.
+        """
+        from repro.fleet.results import DeviceResult
+
+        rs = self._rs
+        if rs is None or rs.phase != "done":
+            raise SimulationError(
+                "finalize() before the engine finished: advance() to "
+                "completion first (see the finished property)"
             )
-            if has_int:
-                t_int = time.perf_counter() if prof is not None else 0.0
-                self._run_intermittent_pass(
-                    part, level, total_drawn, t_charged, cum_charged,
-                    busy_until, r_exit, r_correct, r_latency, r_energy,
-                    r_entropy, r_reason, r_cycles, prof=prof,
-                )
-                if prof is not None:
-                    prof.add_wall(
-                        "batch.intermittent", time.perf_counter() - t_int
-                    )
-            part_sc = part & self._sc
-            n_steps = int(self._n_events[part_sc].max()) if part_sc.any() else 0
-            t_lockstep = time.perf_counter() if prof is not None else 0.0
-            for j in range(n_steps):
-                te = self._events[j]
-                act_full_j = (
-                    self._full_ok and part_all and bool(self._act_full[j])
-                )
-                act = (
-                    self._active_sc[j] if part_all
-                    else part & self._active_sc[j]
-                )
-                busy = (te < busy_until) if act_full_j else act & (te < busy_until)
-                any_busy = bool(busy.any())
-                if any_busy:
-                    r_reason[j][busy] = _MISS_BUSY
-                    proc = act & ~busy
-                    if prof is not None:
-                        n_passes += 1
-                        n_busy += int(np.count_nonzero(busy))
-                        n_lanes += int(np.count_nonzero(proc))
-                    if not proc.any():
-                        continue
-                else:
-                    proc = act
-                    if prof is not None:
-                        n_passes += 1
-                        n_lanes += int(np.count_nonzero(proc))
-                full = act_full_j and not any_busy
-                if prof is not None and full:
-                    n_full += 1
-                # Storage charging up to the event (precomputed increment).
-                cum_j = self._cum_at_event[j]
-                charging = proc & (te > t_charged)
-                if self._sim_compiled is not None:
-                    # REPRO_KERNEL=compiled: row loop with the identical
-                    # op sequence (non-charging rows only ever receive
-                    # exact +0.0 identities on the numpy branches, so
-                    # skipping them leaves the same bits).
-                    ch_rows = np.nonzero(charging)[0]
-                    if ch_rows.size:
-                        self._sim_compiled.charge_rows(
-                            ch_rows, te, cum_j, t_charged, cum_charged,
-                            level, self._efficiency, self._capacity,
-                            self._leakage, no_leak,
-                        )
-                elif full and charging.all():
-                    inc = np.maximum(cum_j - cum_charged, 0.0)
-                    banked = inc * self._efficiency
-                    stored = np.minimum(banked, self._capacity - level)
-                    level += stored
-                    if not no_leak:
-                        lost = np.minimum(
-                            level, self._leakage * (te - t_charged)
-                        )
-                        level -= lost
-                    t_charged[:] = te
-                    cum_charged[:] = cum_j
-                elif charging.any():
-                    inc = np.where(
-                        charging, np.maximum(cum_j - cum_charged, 0.0), 0.0
-                    )
-                    banked = inc * self._efficiency
-                    stored = np.minimum(banked, self._capacity - level)
-                    level += stored
-                    if not no_leak:
-                        lost = np.where(
-                            charging,
-                            np.minimum(level, self._leakage * (te - t_charged)),
-                            0.0,
-                        )
-                        level -= lost
-                    t_charged = np.where(charging, te, t_charged)
-                    cum_charged = np.where(charging, cum_j, cum_charged)
-                # Controller decisions across the device axis.
-                state.time = te
-                state.charge_power_mw = self._charge_power[j]
-                pidx = all_rows if full else np.nonzero(proc)[0]
-                gids = None
-                if single is not None:
-                    k_sel = single.select_exit_batch(pidx, state)
-                else:
-                    k_sel = np.empty(len(pidx), np.int64)
-                    gids = self._group_of[pidx]
-                    for g, group in enumerate(self._groups):
-                        sub = gids == g
-                        if sub.any():
-                            k_sel[sub] = group.select_exit_batch(pidx[sub], state)
-                level_p = level if full else level[pidx]
-                if single is not None and single.always_valid:
-                    cost = self._exit_cost[pidx, k_sel]
-                    afford = level_p >= cost - 1e-12
-                else:
-                    valid = (k_sel >= 0) & (k_sel < self._n_exits[pidx])
-                    cost = self._exit_cost[pidx, np.where(valid, k_sel, 0)]
-                    afford = valid & (level_p >= cost - 1e-12)
-                n_afford = int(np.count_nonzero(afford))
-                aff_all = n_afford == len(pidx)
-                rewards = None
-                if not aff_all:
-                    mi = pidx[~afford]
-                    r_reason[j][mi] = _MISS_ENERGY
-                    busy_until[mi] = te[mi]
-                    rewards = np.zeros(len(pidx))
-                    if prof is not None:
-                        n_emiss += len(mi)
-                if n_afford:
-                    if aff_all:
-                        pi, kk, cost_p = pidx, k_sel, cost
-                    else:
-                        pi = pidx[afford]
-                        kk = k_sel[afford]
-                        cost_p = cost[afford]
-                    busy_s = self._exit_time[pi, kk]
-                    difficulty = self._sim_draws.random(pi)
-                    correct = difficulty < self._exit_acc[pi, kk]
-                    n_correct = int(np.count_nonzero(correct))
-                    if n_correct == len(pi):
-                        entropy = self._sim_draws.beta(2.0, 8.0, pi)
-                    elif not n_correct:
-                        entropy = self._sim_draws.beta(5.0, 3.0, pi)
-                    else:
-                        entropy = np.empty(len(pi))
-                        entropy[correct] = self._sim_draws.beta(
-                            2.0, 8.0, pi[correct]
-                        )
-                        wrong = ~correct
-                        entropy[wrong] = self._sim_draws.beta(5.0, 3.0, pi[wrong])
-                    if has_rules:
-                        # Incremental-inference path: draw the base exit
-                        # now (the scalar order), then run the masked
-                        # continuation loop before any record writes.
-                        kk = kk.copy()
-                        busy_s = busy_s.copy()
-                        correct, entropy, energy_spent, first_k, continued = (
-                            self._run_continue_loop(
-                                pi, kk, busy_s, cost_p, difficulty,
-                                correct, entropy, level, total_drawn,
-                            )
-                        )
-                        r_exit[j][pi] = kk
-                        r_first[j][pi] = first_k
-                        r_correct[j][pi] = correct
-                        r_latency[j][pi] = busy_s
-                        r_energy[j][pi] = energy_spent
-                        r_entropy[j][pi] = entropy
-                        r_continued[j][pi] = continued
-                        busy_until[pi] = te[pi] + busy_s
-                    elif aff_all and full:
-                        # Whole fleet processed: contiguous row writes and
-                        # in-place ledger updates, no fancy indexing.
-                        np.subtract(level, cost_p, out=level)
-                        np.maximum(level, 0.0, out=level)
-                        total_drawn += cost_p
-                        r_exit[j] = kk
-                        r_correct[j] = correct
-                        r_latency[j] = busy_s
-                        r_energy[j] = cost_p
-                        r_entropy[j] = entropy
-                        np.add(te, busy_s, out=busy_until)
-                    else:
-                        level[pi] = np.maximum(0.0, level[pi] - cost_p)
-                        total_drawn[pi] += cost_p
-                        r_exit[j][pi] = kk
-                        r_correct[j][pi] = correct
-                        r_latency[j][pi] = busy_s
-                        r_energy[j][pi] = cost_p
-                        r_entropy[j][pi] = entropy
-                        busy_until[pi] = te[pi] + busy_s
-                    if aff_all:
-                        rewards = correct
-                    else:
-                        rewards[afford] = correct
-                    if has_rules:
-                        # Credit the recorded continue trajectories with
-                        # the event's realized correctness.
-                        for g, group in enumerate(self._rule_groups):
-                            if not group.learns:
-                                continue
-                            sub = self._rule_of[pi] == g
-                            if sub.any():
-                                group.observe_batch(pi[sub], correct[sub])
-                if single is not None:
-                    if single.wants_rewards:
-                        single.report_event_batch(pidx, rewards)
-                else:
-                    for g, group in enumerate(self._groups):
-                        if not group.wants_rewards:
-                            continue
-                        sub = gids == g
-                        if sub.any():
-                            group.report_event_batch(pidx[sub], rewards[sub])
-            if prof is not None:
-                prof.add_wall(
-                    "batch.lockstep", time.perf_counter() - t_lockstep
-                )
-            # Trailing charge to the end of the trace, then episode close.
-            tail = part & (self._duration > t_charged)
-            if tail.any():
-                inc = np.where(
-                    tail, np.maximum(self._total_env - cum_charged, 0.0), 0.0
-                )
-                banked = inc * self._efficiency
-                stored = np.minimum(banked, self._capacity - level)
-                level += stored
-                if not no_leak:
-                    lost = np.where(
-                        tail,
-                        np.minimum(
-                            level, self._leakage * (self._duration - t_charged)
-                        ),
-                        0.0,
-                    )
-                    level -= lost
-            prows = all_rows[part]
-            pgids = self._group_of[prows]
-            for g, group in enumerate(self._groups):
-                sub = prows[pgids == g]
-                if len(sub):
-                    group.end_episode_batch(sub)
-            for g, group in enumerate(self._rule_groups):
-                sub = prows[self._rule_of[prows] == g]
-                if len(sub):
-                    group.end_episode_batch(sub)
-            finishing = part & (self._episodes == ep + 1)
-            for i in np.nonzero(finishing)[0].tolist():
-                results[i] = self._snapshot(
-                    i, total_drawn[i], r_exit, r_correct, r_latency,
-                    r_energy, r_entropy, r_reason, r_first, r_continued,
-                    r_cycles,
-                )
-        wall = time.perf_counter() - t0
+        if rs.out is not None:
+            return rs.out
+        wall = time.perf_counter() - rs.t0
+        prof = rs.prof
         if prof is not None:
             prof.add_wall("batch.run", wall)
-            prof.tally("batch.lockstep.passes", n_passes)
-            prof.tally("batch.lockstep.full_passes", n_full)
-            prof.tally("batch.lockstep.lanes", n_lanes)
-            prof.tally("batch.lockstep.busy_misses", n_busy)
-            prof.tally("batch.lockstep.energy_misses", n_emiss)
+            prof.tally("batch.lockstep.passes", rs.n_passes)
+            prof.tally("batch.lockstep.full_passes", rs.n_full)
+            prof.tally("batch.lockstep.lanes", rs.n_lanes)
+            prof.tally("batch.lockstep.busy_misses", rs.n_busy)
+            prof.tally("batch.lockstep.energy_misses", rs.n_emiss)
             prof.memory_probe("batch.run")
         out = []
         grid_cache: dict = {}
         for i, d in enumerate(self.devices):
-            sim_result = results[i]
+            sim_result = rs.results[i]
             grid = grid_cache.get(d.trace.duration)
             if grid is None:
                 grid = np.linspace(0.0, d.trace.duration, 512)
@@ -714,7 +602,314 @@ class BatchedFleetEngine:
                     wall_s=wall / self._m,
                 )
             )
+        rs.out = out
         return out
+
+    # ------------------------------------------------------------------ #
+    def _open_episode(self) -> None:
+        """Reset state columns for episode ``rs.ep`` and run participating
+        intermittent devices' whole-episode kernel pass."""
+        rs = self._rs
+        part = self._episodes > rs.ep
+        rs.part = part
+        rs.part_all = bool(part.all())
+        # reset_storage=True semantics at the top of every run().
+        rs.level[part] = self._initial[part]
+        rs.total_drawn[part] = 0.0
+        rs.t_charged[part] = 0.0
+        rs.cum_charged[part] = 0.0
+        rs.busy_until[part] = 0.0
+        rs.r_exit[:, part] = -1
+        rs.r_correct[:, part] = False
+        rs.r_latency[:, part] = 0.0
+        rs.r_energy[:, part] = 0.0
+        rs.r_entropy[:, part] = 1.0
+        rs.r_reason[:, part] = _MISS_NONE
+        if self._has_rules:
+            rs.r_first[:, part] = -1
+            rs.r_continued[:, part] = 0
+        if self._has_int:
+            rs.r_cycles[:, part] = 1
+        rs.state = RuntimeStateBatch(
+            time=None,
+            energy_mj=rs.level,  # aliased: only ever mutated in place
+            capacity_mj=self._capacity,
+            charge_power_mw=None,
+            peak_power_mw=self._peak,
+        )
+        if self._has_int:
+            t_int = time.perf_counter() if rs.prof is not None else 0.0
+            self._run_intermittent_pass(
+                part, rs.level, rs.total_drawn, rs.t_charged,
+                rs.cum_charged, rs.busy_until, rs.r_exit, rs.r_correct,
+                rs.r_latency, rs.r_energy, rs.r_entropy, rs.r_reason,
+                rs.r_cycles, prof=rs.prof,
+            )
+            if rs.prof is not None:
+                rs.prof.add_wall(
+                    "batch.intermittent", time.perf_counter() - t_int
+                )
+        part_sc = part & self._sc
+        rs.n_steps = int(self._n_events[part_sc].max()) if part_sc.any() else 0
+        rs.j = 0
+
+    def _close_episode(self) -> None:
+        """Trailing charge, end-of-episode controller hooks, and result
+        snapshots for devices whose last episode just finished."""
+        rs = self._rs
+        part = rs.part
+        # Trailing charge to the end of the trace, then episode close.
+        tail = part & (self._duration > rs.t_charged)
+        if tail.any():
+            inc = np.where(
+                tail, np.maximum(self._total_env - rs.cum_charged, 0.0), 0.0
+            )
+            banked = inc * self._efficiency
+            stored = np.minimum(banked, self._capacity - rs.level)
+            rs.level += stored
+            if not self._no_leak:
+                lost = np.where(
+                    tail,
+                    np.minimum(
+                        rs.level,
+                        self._leakage * (self._duration - rs.t_charged),
+                    ),
+                    0.0,
+                )
+                rs.level -= lost
+        prows = self._all_rows[part]
+        pgids = self._group_of[prows]
+        for g, group in enumerate(self._groups):
+            sub = prows[pgids == g]
+            if len(sub):
+                group.end_episode_batch(sub)
+        for g, group in enumerate(self._rule_groups):
+            sub = prows[self._rule_of[prows] == g]
+            if len(sub):
+                group.end_episode_batch(sub)
+        finishing = part & (self._episodes == rs.ep + 1)
+        for i in np.nonzero(finishing)[0].tolist():
+            rs.results[i] = self._snapshot(
+                i, rs.total_drawn[i], rs.r_exit, rs.r_correct, rs.r_latency,
+                rs.r_energy, rs.r_entropy, rs.r_reason, rs.r_first,
+                rs.r_continued, rs.r_cycles,
+            )
+        rs.ep += 1
+        rs.phase = "done" if rs.ep >= rs.max_episodes else "open"
+
+    def _lockstep_step(self) -> None:
+        """One event-index pass over the active single-cycle lanes — the
+        body of the original lockstep loop, executing at ``rs.j``."""
+        rs = self._rs
+        j = rs.j
+        prof = rs.prof
+        part, part_all = rs.part, rs.part_all
+        has_rules = self._has_rules
+        level = rs.level
+        total_drawn = rs.total_drawn
+        t_charged = rs.t_charged
+        cum_charged = rs.cum_charged
+        busy_until = rs.busy_until
+        state = rs.state
+        r_exit, r_correct = rs.r_exit, rs.r_correct
+        r_latency, r_energy = rs.r_latency, rs.r_energy
+        r_entropy, r_reason = rs.r_entropy, rs.r_reason
+        r_first, r_continued = rs.r_first, rs.r_continued
+        all_rows = self._all_rows
+        single = self._single
+        no_leak = self._no_leak
+        te = self._events[j]
+        act_full_j = (
+            self._full_ok and part_all and bool(self._act_full[j])
+        )
+        act = (
+            self._active_sc[j] if part_all
+            else part & self._active_sc[j]
+        )
+        busy = (te < busy_until) if act_full_j else act & (te < busy_until)
+        any_busy = bool(busy.any())
+        if any_busy:
+            r_reason[j][busy] = _MISS_BUSY
+            proc = act & ~busy
+            if prof is not None:
+                rs.n_passes += 1
+                rs.n_busy += int(np.count_nonzero(busy))
+                rs.n_lanes += int(np.count_nonzero(proc))
+            if not proc.any():
+                return
+        else:
+            proc = act
+            if prof is not None:
+                rs.n_passes += 1
+                rs.n_lanes += int(np.count_nonzero(proc))
+        full = act_full_j and not any_busy
+        if prof is not None and full:
+            rs.n_full += 1
+        # Storage charging up to the event (precomputed increment).
+        cum_j = self._cum_at_event[j]
+        charging = proc & (te > t_charged)
+        if self._sim_compiled is not None:
+            # REPRO_KERNEL=compiled: row loop with the identical
+            # op sequence (non-charging rows only ever receive
+            # exact +0.0 identities on the numpy branches, so
+            # skipping them leaves the same bits).
+            ch_rows = np.nonzero(charging)[0]
+            if ch_rows.size:
+                self._sim_compiled.charge_rows(
+                    ch_rows, te, cum_j, t_charged, cum_charged,
+                    level, self._efficiency, self._capacity,
+                    self._leakage, no_leak,
+                )
+        elif full and charging.all():
+            inc = np.maximum(cum_j - cum_charged, 0.0)
+            banked = inc * self._efficiency
+            stored = np.minimum(banked, self._capacity - level)
+            level += stored
+            if not no_leak:
+                lost = np.minimum(
+                    level, self._leakage * (te - t_charged)
+                )
+                level -= lost
+            t_charged[:] = te
+            cum_charged[:] = cum_j
+        elif charging.any():
+            inc = np.where(
+                charging, np.maximum(cum_j - cum_charged, 0.0), 0.0
+            )
+            banked = inc * self._efficiency
+            stored = np.minimum(banked, self._capacity - level)
+            level += stored
+            if not no_leak:
+                lost = np.where(
+                    charging,
+                    np.minimum(level, self._leakage * (te - t_charged)),
+                    0.0,
+                )
+                level -= lost
+            # np.where rebinds (the one non-in-place update): write the
+            # fresh arrays back so the next step sees them.
+            rs.t_charged = t_charged = np.where(charging, te, t_charged)
+            rs.cum_charged = cum_charged = np.where(
+                charging, cum_j, cum_charged
+            )
+        # Controller decisions across the device axis.
+        state.time = te
+        state.charge_power_mw = self._charge_power[j]
+        pidx = all_rows if full else np.nonzero(proc)[0]
+        gids = None
+        if single is not None:
+            k_sel = single.select_exit_batch(pidx, state)
+        else:
+            k_sel = np.empty(len(pidx), np.int64)
+            gids = self._group_of[pidx]
+            for g, group in enumerate(self._groups):
+                sub = gids == g
+                if sub.any():
+                    k_sel[sub] = group.select_exit_batch(pidx[sub], state)
+        level_p = level if full else level[pidx]
+        if single is not None and single.always_valid:
+            cost = self._exit_cost[pidx, k_sel]
+            afford = level_p >= cost - 1e-12
+        else:
+            valid = (k_sel >= 0) & (k_sel < self._n_exits[pidx])
+            cost = self._exit_cost[pidx, np.where(valid, k_sel, 0)]
+            afford = valid & (level_p >= cost - 1e-12)
+        n_afford = int(np.count_nonzero(afford))
+        aff_all = n_afford == len(pidx)
+        rewards = None
+        if not aff_all:
+            mi = pidx[~afford]
+            r_reason[j][mi] = _MISS_ENERGY
+            busy_until[mi] = te[mi]
+            rewards = np.zeros(len(pidx))
+            if prof is not None:
+                rs.n_emiss += len(mi)
+        if n_afford:
+            if aff_all:
+                pi, kk, cost_p = pidx, k_sel, cost
+            else:
+                pi = pidx[afford]
+                kk = k_sel[afford]
+                cost_p = cost[afford]
+            busy_s = self._exit_time[pi, kk]
+            difficulty = self._sim_draws.random(pi)
+            correct = difficulty < self._exit_acc[pi, kk]
+            n_correct = int(np.count_nonzero(correct))
+            if n_correct == len(pi):
+                entropy = self._sim_draws.beta(2.0, 8.0, pi)
+            elif not n_correct:
+                entropy = self._sim_draws.beta(5.0, 3.0, pi)
+            else:
+                entropy = np.empty(len(pi))
+                entropy[correct] = self._sim_draws.beta(
+                    2.0, 8.0, pi[correct]
+                )
+                wrong = ~correct
+                entropy[wrong] = self._sim_draws.beta(5.0, 3.0, pi[wrong])
+            if has_rules:
+                # Incremental-inference path: draw the base exit
+                # now (the scalar order), then run the masked
+                # continuation loop before any record writes.
+                kk = kk.copy()
+                busy_s = busy_s.copy()
+                correct, entropy, energy_spent, first_k, continued = (
+                    self._run_continue_loop(
+                        pi, kk, busy_s, cost_p, difficulty,
+                        correct, entropy, level, total_drawn,
+                    )
+                )
+                r_exit[j][pi] = kk
+                r_first[j][pi] = first_k
+                r_correct[j][pi] = correct
+                r_latency[j][pi] = busy_s
+                r_energy[j][pi] = energy_spent
+                r_entropy[j][pi] = entropy
+                r_continued[j][pi] = continued
+                busy_until[pi] = te[pi] + busy_s
+            elif aff_all and full:
+                # Whole fleet processed: contiguous row writes and
+                # in-place ledger updates, no fancy indexing.
+                np.subtract(level, cost_p, out=level)
+                np.maximum(level, 0.0, out=level)
+                total_drawn += cost_p
+                r_exit[j] = kk
+                r_correct[j] = correct
+                r_latency[j] = busy_s
+                r_energy[j] = cost_p
+                r_entropy[j] = entropy
+                np.add(te, busy_s, out=busy_until)
+            else:
+                level[pi] = np.maximum(0.0, level[pi] - cost_p)
+                total_drawn[pi] += cost_p
+                r_exit[j][pi] = kk
+                r_correct[j][pi] = correct
+                r_latency[j][pi] = busy_s
+                r_energy[j][pi] = cost_p
+                r_entropy[j][pi] = entropy
+                busy_until[pi] = te[pi] + busy_s
+            if aff_all:
+                rewards = correct
+            else:
+                rewards[afford] = correct
+            if has_rules:
+                # Credit the recorded continue trajectories with
+                # the event's realized correctness.
+                for g, group in enumerate(self._rule_groups):
+                    if not group.learns:
+                        continue
+                    sub = self._rule_of[pi] == g
+                    if sub.any():
+                        group.observe_batch(pi[sub], correct[sub])
+        if single is not None:
+            if single.wants_rewards:
+                single.report_event_batch(pidx, rewards)
+        else:
+            for g, group in enumerate(self._groups):
+                if not group.wants_rewards:
+                    continue
+                sub = gids == g
+                if sub.any():
+                    group.report_event_batch(pidx[sub], rewards[sub])
 
     # ------------------------------------------------------------------ #
     def _run_intermittent_pass(

@@ -1,0 +1,157 @@
+"""Docs checker: markdown link/anchor validation + executable examples.
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two passes over ``README.md`` + ``docs/*.md`` (stdlib only):
+
+1. **Links.** Every relative markdown link must point at an existing
+   file, and every ``#anchor`` (same-file or cross-file) must match a
+   real heading under GitHub's slugification.  External links
+   (``http(s)://``, ``mailto:``) are not fetched.
+2. **Doctests.** Every fenced ``python`` block in ``docs/PROTOCOL.md``
+   runs through :mod:`doctest`, so the protocol document cannot drift
+   from the implementation it documents.
+
+``tests/test_docs.py`` wraps both passes as tier-1 tests; CI's
+``docs-check`` step runs this module directly.
+"""
+
+from __future__ import annotations
+
+import doctest
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The files the link pass covers.
+DOC_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/PROTOCOL.md")
+#: The files whose fenced python blocks execute as doctests.
+DOCTEST_FILES = ("docs/PROTOCOL.md",)
+
+_FENCE = re.compile(r"^```", re.MULTILINE)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_PY_FENCE = re.compile(r"^```python\s*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation
+    stripped, spaces to hyphens (backticks vanish, content stays)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fenced_blocks(markdown: str) -> str:
+    """Remove fenced code blocks (links inside them are not links)."""
+    out, keep = [], True
+    for chunk in _FENCE.split(markdown):
+        if keep:
+            out.append(chunk)
+        keep = not keep
+    return "".join(out)
+
+
+def heading_slugs(markdown: str) -> set:
+    """Every anchor a markdown file exposes (with GitHub dedup suffixes)."""
+    slugs: set = set()
+    counts: dict = {}
+    for match in _HEADING.finditer(strip_fenced_blocks(markdown)):
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(root: str = REPO_ROOT, files=DOC_FILES) -> list:
+    """Validate every relative link/anchor; returns finding strings."""
+    contents = {}
+    for rel in files:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            return [f"{rel}: file missing"]
+        with open(path) as fh:
+            contents[rel] = fh.read()
+    findings = []
+    for rel, markdown in contents.items():
+        base = os.path.dirname(os.path.join(root, rel))
+        for match in _LINK.finditer(strip_fenced_blocks(markdown)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(dest):
+                    findings.append(f"{rel}: broken link {target!r}")
+                    continue
+                dest_rel = os.path.relpath(dest, root)
+                if anchor and dest_rel in contents:
+                    if anchor not in heading_slugs(contents[dest_rel]):
+                        findings.append(
+                            f"{rel}: broken anchor {target!r} "
+                            f"(no heading slugs to '{anchor}' in {dest_rel})"
+                        )
+            elif anchor:
+                if anchor not in heading_slugs(markdown):
+                    findings.append(f"{rel}: broken same-file anchor #{anchor}")
+    return findings
+
+
+def run_doctests(root: str = REPO_ROOT, files=DOCTEST_FILES) -> list:
+    """Execute fenced python blocks as doctests; returns finding strings."""
+    findings = []
+    for rel in files:
+        path = os.path.join(root, rel)
+        with open(path) as fh:
+            markdown = fh.read()
+        blocks = _PY_FENCE.findall(markdown)
+        if not blocks:
+            findings.append(f"{rel}: no fenced python blocks to execute")
+            continue
+        parser = doctest.DocTestParser()
+        runner = doctest.DocTestRunner(
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+        )
+        globs: dict = {}  # shared across blocks, like one long session
+        for i, block in enumerate(blocks):
+            test = parser.get_doctest(
+                block, globs, f"{rel}[block {i}]", rel, 0
+            )
+            if not test.examples:
+                findings.append(
+                    f"{rel}: fenced python block {i} has no >>> examples"
+                )
+                continue
+            result = runner.run(test, clear_globs=False)
+            if result.failed:
+                findings.append(
+                    f"{rel}: block {i} failed {result.failed} of "
+                    f"{result.attempted} doctest examples"
+                )
+    return findings
+
+
+def main(argv=None) -> int:
+    """Run both passes; print findings; nonzero exit on any."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else REPO_ROOT
+    extra = sorted(
+        os.path.relpath(p, root)
+        for p in glob.glob(os.path.join(root, "docs", "*.md"))
+    )
+    files = tuple(dict.fromkeys(DOC_FILES + tuple(extra)))
+    findings = check_links(root, files) + run_doctests(root)
+    for finding in findings:
+        print(f"FAIL: {finding}")
+    if not findings:
+        print(f"docs OK: {len(files)} files, links + anchors + doctests clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
